@@ -1,0 +1,31 @@
+// Ablation: Channel Selection Algorithm #1 vs #2 (paper §III-B.3: "the
+// proposed approach can be easily adapted to the second algorithm").
+//
+// Both algorithms are deterministic functions of parameters the attacker
+// sniffs (CSA#1: hopIncrement from CONNECT_REQ; CSA#2: the access address
+// itself), so the injection cost should be indistinguishable.
+#include <cstdio>
+
+#include "experiment.hpp"
+
+int main() {
+    using namespace injectable::bench;
+
+    std::printf("=== Ablation: CSA#1 vs CSA#2 (paper §III-B.3) ===\n");
+    std::printf("hop 36, 2 m triangle, 25 runs each\n\n");
+    print_stats_header("algorithm");
+
+    for (bool csa2 : {false, true}) {
+        ExperimentConfig config;
+        config.hop_interval = 36;
+        config.use_csa2 = csa2;
+        config.base_seed = 8200 + (csa2 ? 1 : 0);
+        const Stats stats = summarize(run_series(config));
+        print_stats_row(csa2 ? "CSA#2 (BLE 5)" : "CSA#1", stats);
+    }
+    std::printf(
+        "\nExpected shape: statistically identical columns — upgrading to the\n"
+        "BLE 5 channel selection algorithm is NOT a mitigation (the PRN is\n"
+        "seeded by the access address, which every data frame leaks).\n");
+    return 0;
+}

@@ -1,0 +1,221 @@
+// Ablation: the §VIII IDS against all four scenarios — detection rate, time
+// to first alert, and the false-positive baseline on benign traffic.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "core/scenarios.hpp"
+#include "experiment.hpp"
+#include "gatt/builder.hpp"
+#include "ids/detector.hpp"
+
+namespace {
+
+using namespace injectable;
+using namespace injectable::bench;
+using namespace ble;
+using ble::ids::Alert;
+using ble::ids::InjectionDetector;
+
+struct IdsRun {
+    explicit IdsRun(std::uint64_t seed)
+        : rng(seed), medium(scheduler, rng.fork(), sim::PathLossModel{}) {
+        host::PeripheralConfig p_cfg;
+        p_cfg.name = "bulb";
+        peripheral = std::make_unique<host::Peripheral>(scheduler, medium, rng.fork(), p_cfg);
+        bulb.install(peripheral->att_server());
+        host::CentralConfig c_cfg;
+        c_cfg.name = "phone";
+        c_cfg.radio.position = {2.0, 0.0};
+        c_cfg.radio.clock.sca_ppm = 30.0;
+        c_cfg.declared_sca_ppm = 50.0;
+        central = std::make_unique<host::Central>(scheduler, medium, rng.fork(), c_cfg);
+        sim::RadioDeviceConfig a_cfg;
+        a_cfg.name = "attacker";
+        a_cfg.position = {1.0, 1.732};
+        attacker = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), a_cfg);
+        sim::RadioDeviceConfig probe_cfg;
+        probe_cfg.name = "ids-probe";
+        probe_cfg.position = {0.5, -1.0};
+        probe = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), probe_cfg);
+    }
+
+    bool establish() {
+        AdvSniffer atk_sniffer(*attacker);
+        AdvSniffer ids_sniffer(*probe);
+        std::optional<SniffedConnection> atk_cap, ids_cap;
+        atk_sniffer.on_connection = [&](const SniffedConnection& c,
+                                        const link::ConnectReqPdu&) { atk_cap = c; };
+        ids_sniffer.on_connection = [&](const SniffedConnection& c,
+                                        const link::ConnectReqPdu&) { ids_cap = c; };
+        atk_sniffer.start();
+        ids_sniffer.start();
+        peripheral->start();
+        link::ConnectionParams params;
+        params.hop_interval = 36;
+        params.timeout = 300;
+        central->connect(peripheral->address(), params);
+        const TimePoint deadline = scheduler.now() + 5_s;
+        while (scheduler.now() < deadline &&
+               !(atk_cap && ids_cap && central->connected() && peripheral->connected())) {
+            if (!scheduler.run_one()) break;
+        }
+        atk_sniffer.stop();
+        ids_sniffer.stop();
+        if (!atk_cap || !ids_cap || !central->connected()) return false;
+        detector = std::make_unique<InjectionDetector>(*probe, *ids_cap);
+        detector->on_alert = [this](const Alert& alert) {
+            if (!first_alert) first_alert = alert;
+        };
+        detector->start();
+        session = std::make_unique<AttackSession>(*attacker, *atk_cap);
+        session->start();
+        attack_t0 = scheduler.now();
+        scheduler.run_until(scheduler.now() + 400_ms);
+        return true;
+    }
+
+    template <typename Pred>
+    bool run_until(Duration budget, Pred pred) {
+        const TimePoint deadline = scheduler.now() + budget;
+        while (scheduler.now() < deadline && !pred()) {
+            if (!scheduler.run_one()) break;
+        }
+        return pred();
+    }
+
+    Rng rng;
+    sim::Scheduler scheduler;
+    sim::RadioMedium medium;
+    std::unique_ptr<host::Peripheral> peripheral;
+    std::unique_ptr<host::Central> central;
+    std::unique_ptr<AttackerRadio> attacker;
+    std::unique_ptr<AttackerRadio> probe;
+    gatt::LightbulbProfile bulb;
+    std::unique_ptr<AttackSession> session;
+    std::unique_ptr<InjectionDetector> detector;
+    std::optional<Alert> first_alert;
+    TimePoint attack_t0 = 0;
+};
+
+struct DetectRow {
+    int runs = 0;
+    int attack_ok = 0;
+    int detected = 0;
+    double latency_ms_sum = 0;
+};
+
+void print_detect_row(const char* name, const DetectRow& row) {
+    std::printf("%-28s %7d %11d %10d %12.0f\n", name, row.runs, row.attack_ok,
+                row.detected,
+                row.detected ? row.latency_ms_sum / row.detected : 0.0);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Ablation: IDS detection (paper §VIII, solution 3), 15 runs ===\n\n");
+    std::printf("%-28s %7s %11s %10s %12s\n", "workload", "runs", "attack ok",
+                "detected", "latency(ms)");
+
+    constexpr int kRuns = 15;
+
+    // Benign baseline: no attack, busy GATT traffic.
+    {
+        DetectRow row;
+        for (int i = 0; i < kRuns; ++i) {
+            IdsRun run(9800 + static_cast<std::uint64_t>(i));
+            if (!run.establish()) continue;
+            run.session->stop();
+            ++row.runs;
+            for (int k = 0; k < 10; ++k) {
+                run.central->gatt().write_command(
+                    run.bulb.control_handle(),
+                    gatt::LightbulbProfile::cmd_set_brightness(
+                        static_cast<std::uint8_t>(k * 10)));
+                run.scheduler.run_until(run.scheduler.now() + 500_ms);
+            }
+            if (run.first_alert) ++row.detected;  // false positive
+        }
+        print_detect_row("benign (FP baseline)", row);
+    }
+
+    // Scenario A.
+    {
+        DetectRow row;
+        for (int i = 0; i < kRuns; ++i) {
+            IdsRun run(9810 + static_cast<std::uint64_t>(i));
+            if (!run.establish()) continue;
+            ++row.runs;
+            ScenarioA scenario(*run.session);
+            std::optional<ScenarioA::Result> result;
+            scenario.inject_write(run.bulb.control_handle(),
+                                  gatt::LightbulbProfile::cmd_set_power(false),
+                                  [&](const ScenarioA::Result& r) { result = r; });
+            run.run_until(60_s, [&] { return result.has_value(); });
+            run.scheduler.run_until(run.scheduler.now() + 2_s);
+            if (result && result->success) ++row.attack_ok;
+            if (run.first_alert) {
+                ++row.detected;
+                row.latency_ms_sum += to_ms(run.first_alert->time - run.attack_t0);
+            }
+        }
+        print_detect_row("scenario A (ATT inject)", row);
+    }
+
+    // Scenario B.
+    {
+        DetectRow row;
+        for (int i = 0; i < kRuns; ++i) {
+            IdsRun run(9830 + static_cast<std::uint64_t>(i));
+            if (!run.establish()) continue;
+            ++row.runs;
+            ble::att::AttServer fake;
+            gatt::GattBuilder builder(fake);
+            gatt::add_gap_service(builder, "Hacked");
+            ScenarioB scenario(*run.session, fake);
+            std::optional<ScenarioB::Result> result;
+            scenario.execute([&](const ScenarioB::Result& r) { result = r; });
+            run.run_until(60_s, [&] { return result.has_value(); });
+            run.scheduler.run_until(run.scheduler.now() + 2_s);
+            if (result && result->success) ++row.attack_ok;
+            if (run.first_alert) {
+                ++row.detected;
+                row.latency_ms_sum += to_ms(run.first_alert->time - run.attack_t0);
+            }
+        }
+        print_detect_row("scenario B (slave hijack)", row);
+    }
+
+    // Scenario C.
+    {
+        DetectRow row;
+        for (int i = 0; i < kRuns; ++i) {
+            IdsRun run(9850 + static_cast<std::uint64_t>(i));
+            if (!run.establish()) continue;
+            ++row.runs;
+            ScenarioC scenario(*run.session);
+            std::optional<ScenarioC::Result> result;
+            scenario.execute([&](const ScenarioC::Result& r) { result = r; });
+            run.run_until(120_s, [&] { return result.has_value(); });
+            run.scheduler.run_until(run.scheduler.now() + 3_s);
+            if (result && result->success) ++row.attack_ok;
+            if (run.first_alert) {
+                ++row.detected;
+                row.latency_ms_sum += to_ms(run.first_alert->time - run.attack_t0);
+            }
+        }
+        print_detect_row("scenario C (master hijack)", row);
+    }
+
+    std::printf(
+        "\nExpected shape: zero alerts on benign traffic. Update-based hijacks\n"
+        "(C/D) are always caught — their double-anchor transmit window is a\n"
+        "gross timing signature. Terminate hijacks are caught when the probe\n"
+        "decodes the injected PDU or its timing shift. Single-frame ATT\n"
+        "injections (A) are the stealthiest: the anchor shifts by only\n"
+        "(widening - attacker latency), sometimes inside the legitimate drift\n"
+        "envelope — the residual the paper's RF-fingerprinting IDS [13] exists\n"
+        "to cover.\n");
+    return 0;
+}

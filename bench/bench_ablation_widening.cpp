@@ -1,0 +1,43 @@
+// Ablation: counter-measure 1 of paper §VIII — "by reducing the duration of
+// the widening windows the possibility for an attacker to inject a frame at
+// the right time will be mechanically reduced ... the rate of successful
+// injection will decrease due to the collision with a legitimate frame."
+//
+// We scale the *victim slave's* window widening below the spec value and
+// measure both the injection cost and the collateral damage (the legitimate
+// link's own stability), which is the trade-off the paper warns about.
+#include <cstdio>
+
+#include "experiment.hpp"
+
+int main() {
+    using namespace injectable::bench;
+
+    std::printf("=== Ablation: window-widening reduction (paper §VIII, solution 1) ===\n");
+    std::printf("hop 36, 2 m triangle, 25 runs/scale; attacker still assumes spec widening\n\n");
+    std::printf("%-10s %9s %7s %8s %7s %12s\n", "scale", "success", "median", "mean",
+                "max", "victims died");
+
+    for (double scale : {1.0, 0.75, 0.5, 0.25, 0.1}) {
+        ExperimentConfig config;
+        config.hop_interval = 36;
+        config.widening_scale = scale;
+        config.base_seed = 7000 + static_cast<std::uint64_t>(scale * 100);
+        auto results = run_series(config);
+        const Stats stats = summarize(results);
+        int victim_down = 0;
+        for (const auto& r : results) victim_down += r.victim_disconnected ? 1 : 0;
+        std::printf("%-10.2f %5d/%-3d %7.1f %8.2f %7.0f %8d/%d\n", scale,
+                    stats.successes, stats.n, stats.median, stats.mean, stats.max,
+                    victim_down, stats.n);
+    }
+    std::printf(
+        "\nExpected shape: smaller windows drive the injection cost up steeply\n"
+        "(the attacker, still assuming spec widening, transmits before the\n"
+        "shrunken window opens). With the well-behaved crystals modelled here\n"
+        "the legitimate link itself survives even 0.1x; a device drifting near\n"
+        "its declared SCA would instead start losing sync — the paper's warning\n"
+        "about \"side effects on the reliability and stability of the\n"
+        "communications\".\n");
+    return 0;
+}

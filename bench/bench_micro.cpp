@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: the simulation
+// runs millions of these per experiment, and the attacker-side primitives
+// (CRC reversal, channel prediction) bound how fast real tooling can sync.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/ccm.hpp"
+#include "link/channel_selection.hpp"
+#include "phy/crc.hpp"
+#include "phy/frame.hpp"
+#include "phy/whitening.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace ble;
+
+void BM_Crc24(benchmark::State& state) {
+    Bytes pdu(static_cast<std::size_t>(state.range(0)), 0x5A);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(phy::crc24(pdu, 0x555555));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc24)->Arg(10)->Arg(27)->Arg(255);
+
+void BM_Crc24Reverse(benchmark::State& state) {
+    Bytes pdu(27, 0x5A);
+    const std::uint32_t crc = phy::crc24(pdu, 0x123456);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(phy::crc24_reverse(pdu, crc));
+    }
+}
+BENCHMARK(BM_Crc24Reverse);
+
+void BM_Whitening(benchmark::State& state) {
+    Bytes data(static_cast<std::size_t>(state.range(0)), 0xA5);
+    for (auto _ : state) {
+        phy::whiten(37, data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Whitening)->Arg(27)->Arg(255);
+
+void BM_Aes128Encrypt(benchmark::State& state) {
+    crypto::Aes128Key key{};
+    key[0] = 0x42;
+    const crypto::Aes128 aes(key);
+    crypto::Aes128Block block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block.data());
+    }
+}
+BENCHMARK(BM_Aes128Encrypt);
+
+void BM_CcmSeal(benchmark::State& state) {
+    crypto::Aes128Key key{};
+    const crypto::AesCcm ccm(key);
+    crypto::CcmNonce nonce{};
+    Bytes payload(static_cast<std::size_t>(state.range(0)), 0x77);
+    const Bytes aad{0x02};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ccm.seal(nonce, aad, payload));
+    }
+}
+BENCHMARK(BM_CcmSeal)->Arg(27)->Arg(251);
+
+void BM_Csa1(benchmark::State& state) {
+    link::Csa1 csa(7, link::ChannelMap{});
+    std::uint16_t counter = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(csa.channel_for_event(counter++));
+    }
+}
+BENCHMARK(BM_Csa1);
+
+void BM_Csa2(benchmark::State& state) {
+    link::Csa2 csa(0xAF9A9CD4, link::ChannelMap{});
+    std::uint16_t counter = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(csa.channel_for_event(counter++));
+    }
+}
+BENCHMARK(BM_Csa2);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+    const Bytes pdu{0x0A, 0x09, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    for (auto _ : state) {
+        const auto frame = phy::make_air_frame(0xAF9A9CD4, pdu, 0x555555);
+        benchmark::DoNotOptimize(phy::split_frame(frame.bytes));
+    }
+}
+BENCHMARK(BM_FrameRoundTrip);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Scheduler scheduler;
+        for (int i = 0; i < 1000; ++i) {
+            scheduler.schedule_at(i * 10, [] {});
+        }
+        scheduler.run_all();
+        benchmark::DoNotOptimize(scheduler.now());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_RngU64(benchmark::State& state) {
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.next_u64());
+    }
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

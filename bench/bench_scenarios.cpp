@@ -1,0 +1,220 @@
+// Paper §VI: the four attack scenarios, run end-to-end 20 times each and
+// validated against ground truth (device state / who stays connected). The
+// paper reports these qualitatively ("successfully implemented for the three
+// devices"); this harness adds measured success rates, attempt counts and
+// time-to-takeover.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "core/scenarios.hpp"
+#include "experiment.hpp"
+#include "gatt/builder.hpp"
+
+namespace {
+
+using namespace injectable;
+using namespace injectable::bench;
+using namespace ble;
+
+struct ScenarioWorld {
+    explicit ScenarioWorld(std::uint64_t seed)
+        : rng(seed), medium(scheduler, rng.fork(), sim::PathLossModel{}) {
+        host::PeripheralConfig p_cfg;
+        p_cfg.name = "bulb";
+        host::CentralConfig c_cfg;
+        c_cfg.name = "phone";
+        c_cfg.radio.position = {2.0, 0.0};
+        c_cfg.radio.clock.sca_ppm = 30.0;
+        c_cfg.declared_sca_ppm = 50.0;
+        peripheral = std::make_unique<host::Peripheral>(scheduler, medium, rng.fork(), p_cfg);
+        bulb.install(peripheral->att_server());
+        central = std::make_unique<host::Central>(scheduler, medium, rng.fork(), c_cfg);
+        sim::RadioDeviceConfig a_cfg;
+        a_cfg.name = "attacker";
+        a_cfg.position = {1.0, 1.732};
+        attacker = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), a_cfg);
+    }
+
+    bool establish_and_sync() {
+        AdvSniffer sniffer(*attacker);
+        std::optional<SniffedConnection> sniffed;
+        sniffer.on_connection = [&](const SniffedConnection& conn,
+                                    const link::ConnectReqPdu&) { sniffed = conn; };
+        sniffer.start();
+        peripheral->start();
+        link::ConnectionParams params;
+        params.hop_interval = 36;
+        params.timeout = 300;
+        central->connect(peripheral->address(), params);
+        const TimePoint deadline = scheduler.now() + 5_s;
+        while (scheduler.now() < deadline &&
+               !(sniffed && central->connected() && peripheral->connected())) {
+            if (!scheduler.run_one()) break;
+        }
+        sniffer.stop();
+        if (!sniffed || !central->connected()) return false;
+        session = std::make_unique<AttackSession>(*attacker, *sniffed);
+        session->start();
+        scheduler.run_until(scheduler.now() + 400_ms);
+        return true;
+    }
+
+    template <typename Pred>
+    bool run_until(Duration budget, Pred pred) {
+        const TimePoint deadline = scheduler.now() + budget;
+        while (scheduler.now() < deadline && !pred()) {
+            if (!scheduler.run_one()) break;
+        }
+        return pred();
+    }
+
+    Rng rng;
+    sim::Scheduler scheduler;
+    sim::RadioMedium medium;
+    std::unique_ptr<host::Peripheral> peripheral;
+    std::unique_ptr<host::Central> central;
+    std::unique_ptr<AttackerRadio> attacker;
+    gatt::LightbulbProfile bulb;
+    std::unique_ptr<AttackSession> session;
+};
+
+struct Row {
+    int runs = 0;
+    int success = 0;
+    long total_attempts = 0;
+    double total_takeover_ms = 0;
+};
+
+void print_row(const char* name, const Row& row) {
+    std::printf("%-34s %5d/%-3d %10.1f %14.0f\n", name, row.success, row.runs,
+                row.runs ? static_cast<double>(row.total_attempts) / row.success : 0.0,
+                row.success ? row.total_takeover_ms / row.success : 0.0);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Attack scenarios A-D (paper §VI), 20 runs each ===\n\n");
+    std::printf("%-34s %9s %10s %14s\n", "scenario", "success", "attempts",
+                "takeover (ms)");
+
+    constexpr int kRuns = 20;
+
+    // Scenario A: illegitimate use of a device functionality.
+    Row row_a;
+    for (int i = 0; i < kRuns; ++i) {
+        ScenarioWorld world(9100 + static_cast<std::uint64_t>(i));
+        if (!world.establish_and_sync()) continue;
+        ++row_a.runs;
+        const TimePoint t0 = world.scheduler.now();
+        ScenarioA scenario(*world.session);
+        std::optional<ScenarioA::Result> result;
+        scenario.inject_write(world.bulb.control_handle(),
+                              gatt::LightbulbProfile::cmd_set_power(false),
+                              [&](const ScenarioA::Result& r) { result = r; });
+        world.run_until(60_s, [&] { return result.has_value(); });
+        if (result && result->success && !world.bulb.state().powered) {
+            ++row_a.success;
+            row_a.total_attempts += result->attempts;
+            row_a.total_takeover_ms += to_ms(world.scheduler.now() - t0);
+        }
+    }
+    print_row("A: trigger feature (bulb off)", row_a);
+
+    // Scenario B: slave hijack, validated by the forged Device Name read.
+    Row row_b;
+    for (int i = 0; i < kRuns; ++i) {
+        ScenarioWorld world(9200 + static_cast<std::uint64_t>(i));
+        if (!world.establish_and_sync()) continue;
+        ++row_b.runs;
+        const TimePoint t0 = world.scheduler.now();
+        att::AttServer fake;
+        gatt::GattBuilder builder(fake);
+        const auto name_handle = gatt::add_gap_service(builder, "Hacked");
+        ScenarioB scenario(*world.session, fake);
+        std::optional<ScenarioB::Result> result;
+        scenario.execute([&](const ScenarioB::Result& r) { result = r; });
+        world.run_until(60_s, [&] { return result.has_value(); });
+        if (!result || !result->success) continue;
+        std::optional<Bytes> name;
+        world.central->gatt().read(name_handle,
+                                   [&](std::optional<Bytes> v) { name = std::move(v); });
+        world.run_until(5_s, [&] { return name.has_value(); });
+        if (name && std::string(name->begin(), name->end()) == "Hacked" &&
+            world.central->connected()) {
+            ++row_b.success;
+            row_b.total_attempts += result->attempts;
+            row_b.total_takeover_ms += to_ms(world.scheduler.now() - t0);
+        }
+    }
+    print_row("B: slave hijack (serve 'Hacked')", row_b);
+
+    // Scenario C: master hijack, validated by driving the bulb.
+    Row row_c;
+    for (int i = 0; i < kRuns; ++i) {
+        ScenarioWorld world(9300 + static_cast<std::uint64_t>(i));
+        if (!world.establish_and_sync()) continue;
+        ++row_c.runs;
+        const TimePoint t0 = world.scheduler.now();
+        ScenarioC scenario(*world.session);
+        std::optional<ScenarioC::Result> result;
+        scenario.execute([&](const ScenarioC::Result& r) { result = r; });
+        world.run_until(120_s, [&] { return result.has_value(); });
+        if (!result || !result->success) continue;
+        bool wrote = false;
+        scenario.hijacked_master()->client().write(
+            world.bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false),
+            [&](bool ok) { wrote = ok; });
+        world.run_until(5_s, [&] { return wrote; });
+        if (wrote && !world.bulb.state().powered) {
+            ++row_c.success;
+            row_c.total_attempts += result->attempts;
+            row_c.total_takeover_ms += to_ms(world.scheduler.now() - t0);
+        }
+    }
+    print_row("C: master hijack (drive slave)", row_c);
+
+    // Scenario D: MitM, validated by on-the-fly RGB tampering.
+    Row row_d;
+    for (int i = 0; i < kRuns; ++i) {
+        ScenarioWorld world(9400 + static_cast<std::uint64_t>(i));
+        if (!world.establish_and_sync()) continue;
+        ++row_d.runs;
+        const TimePoint t0 = world.scheduler.now();
+        sim::RadioDeviceConfig r2_cfg;
+        r2_cfg.name = "attacker2";
+        r2_cfg.position = {1.0, 1.732};
+        AttackerRadio radio2(world.scheduler, world.medium, world.rng.fork(), r2_cfg);
+        ScenarioD scenario(*world.session, radio2);
+        scenario.tamper = [](Bytes sdu, bool from_master) -> std::optional<Bytes> {
+            if (from_master && sdu.size() >= 7 && sdu[0] == 0x12 &&
+                sdu[3] == gatt::LightbulbProfile::kSetColor) {
+                sdu[4] = 0x11;
+                sdu[5] = 0x22;
+                sdu[6] = 0x33;
+            }
+            return sdu;
+        };
+        std::optional<ScenarioD::Result> result;
+        scenario.execute([&](const ScenarioD::Result& r) { result = r; });
+        world.run_until(120_s, [&] { return result.has_value(); });
+        if (!result || !result->success) continue;
+        bool wrote = false;
+        world.central->gatt().write(world.bulb.control_handle(),
+                                    gatt::LightbulbProfile::cmd_set_color(200, 100, 50),
+                                    [&](bool ok) { wrote = ok; });
+        world.run_until(10_s, [&] { return wrote; });
+        if (wrote && world.bulb.state().r == 0x11 && world.bulb.state().g == 0x22) {
+            ++row_d.success;
+            row_d.total_attempts += result->attempts;
+            row_d.total_takeover_ms += to_ms(world.scheduler.now() - t0);
+        }
+    }
+    print_row("D: MitM (tamper RGB in flight)", row_d);
+
+    std::printf(
+        "\nExpected shape (paper): all four scenarios succeed against the\n"
+        "emulated devices; B-D leave the surviving victims unaware.\n");
+    return 0;
+}

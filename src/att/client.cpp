@@ -1,0 +1,90 @@
+#include "att/client.hpp"
+
+namespace ble::att {
+
+void AttClient::request(AttPdu pdu, ResultCallback callback) {
+    queue_.push_back(Pending{std::move(pdu), std::move(callback)});
+    pump();
+}
+
+void AttClient::pump() {
+    if (in_flight_ || queue_.empty()) return;
+    in_flight_ = std::move(queue_.front());
+    queue_.pop_front();
+    send_(in_flight_->pdu);
+}
+
+void AttClient::handle_pdu(const AttPdu& pdu) {
+    switch (pdu.opcode) {
+        case Opcode::kHandleValueNotification: {
+            if (const auto hv = HandleValue::parse(pdu); hv && on_notification) {
+                on_notification(hv->handle, hv->value);
+            }
+            return;
+        }
+        case Opcode::kHandleValueIndication: {
+            if (const auto hv = HandleValue::parse(pdu)) {
+                if (on_indication) on_indication(hv->handle, hv->value);
+                send_(make_confirmation());
+            }
+            return;
+        }
+        default:
+            break;
+    }
+
+    if (!in_flight_) return;  // unsolicited response: drop
+    Pending done = std::move(*in_flight_);
+    in_flight_.reset();
+
+    RequestResult result;
+    if (pdu.opcode == Opcode::kErrorRsp) {
+        result.error = ErrorRsp::parse(pdu);
+    } else {
+        result.response = pdu;
+    }
+    if (done.callback) done.callback(result);
+    pump();
+}
+
+void AttClient::read(std::uint16_t handle,
+                     std::function<void(std::optional<Bytes>)> callback) {
+    request(make_read_req(handle), [callback = std::move(callback)](const RequestResult& r) {
+        if (!callback) return;
+        if (r.ok() && r.response->opcode == Opcode::kReadRsp) {
+            callback(r.response->params);
+        } else {
+            callback(std::nullopt);
+        }
+    });
+}
+
+void AttClient::write(std::uint16_t handle, Bytes value,
+                      std::function<void(bool)> callback) {
+    request(make_write_req(handle, value),
+            [callback = std::move(callback)](const RequestResult& r) {
+                if (callback) callback(r.ok() && r.response->opcode == Opcode::kWriteRsp);
+            });
+}
+
+void AttClient::write_command(std::uint16_t handle, BytesView value) {
+    // Commands bypass the request queue: no response will ever arrive.
+    send_(make_write_cmd(handle, value));
+}
+
+void AttClient::exchange_mtu(std::uint16_t mtu,
+                             std::function<void(std::uint16_t)> callback) {
+    request(make_exchange_mtu_req(mtu),
+            [callback = std::move(callback)](const RequestResult& r) {
+                if (!callback) return;
+                if (r.ok() && r.response->opcode == Opcode::kExchangeMtuRsp &&
+                    r.response->params.size() == 2) {
+                    ByteReader reader(r.response->params);
+                    callback(*reader.read_u16());
+                } else {
+                    callback(0);
+                }
+            });
+}
+
+}  // namespace ble::att

@@ -1,0 +1,62 @@
+// ATT client: issues one outstanding request at a time (the ATT flow-control
+// rule) and routes responses/notifications back to callbacks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "att/att_pdu.hpp"
+
+namespace ble::att {
+
+/// Result of a request: a response PDU or the server's Error Response.
+struct RequestResult {
+    std::optional<AttPdu> response;
+    std::optional<ErrorRsp> error;
+
+    [[nodiscard]] bool ok() const noexcept { return response.has_value(); }
+};
+
+class AttClient {
+public:
+    using SendFn = std::function<void(const AttPdu&)>;
+    using ResultCallback = std::function<void(const RequestResult&)>;
+
+    explicit AttClient(SendFn send) : send_(std::move(send)) {}
+
+    /// Feed every server->client ATT PDU here.
+    void handle_pdu(const AttPdu& pdu);
+
+    /// Queues a request; callbacks fire in order as responses arrive.
+    void request(AttPdu pdu, ResultCallback callback);
+
+    // Convenience wrappers.
+    void read(std::uint16_t handle, std::function<void(std::optional<Bytes>)> callback);
+    void write(std::uint16_t handle, Bytes value, std::function<void(bool)> callback);
+    /// Write Command: fire-and-forget, no response expected.
+    void write_command(std::uint16_t handle, BytesView value);
+    void exchange_mtu(std::uint16_t mtu, std::function<void(std::uint16_t)> callback);
+
+    /// Unsolicited server pushes.
+    std::function<void(std::uint16_t handle, const Bytes& value)> on_notification;
+    std::function<void(std::uint16_t handle, const Bytes& value)> on_indication;
+
+    [[nodiscard]] bool busy() const noexcept { return in_flight_.has_value(); }
+    [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+private:
+    void pump();
+
+    struct Pending {
+        AttPdu pdu;
+        ResultCallback callback;
+    };
+
+    SendFn send_;
+    std::deque<Pending> queue_;
+    std::optional<Pending> in_flight_;
+};
+
+}  // namespace ble::att

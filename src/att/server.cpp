@@ -1,0 +1,204 @@
+#include "att/server.hpp"
+
+#include <algorithm>
+
+namespace ble::att {
+
+namespace {
+// Group-end helper: services run until the next service declaration.
+constexpr std::uint16_t kPrimaryServiceUuid = 0x2800;
+constexpr std::uint16_t kSecondaryServiceUuid = 0x2801;
+
+bool is_service_declaration(const Uuid& type) noexcept {
+    return type == Uuid::from16(kPrimaryServiceUuid) ||
+           type == Uuid::from16(kSecondaryServiceUuid);
+}
+}  // namespace
+
+std::uint16_t AttServer::add(Attribute attribute) {
+    attribute.handle = static_cast<std::uint16_t>(db_.size() + 1);
+    db_.push_back(std::move(attribute));
+    return db_.back().handle;
+}
+
+Attribute* AttServer::find(std::uint16_t handle) noexcept {
+    if (handle == 0 || handle > db_.size()) return nullptr;
+    return &db_[handle - 1];
+}
+
+const Attribute* AttServer::find(std::uint16_t handle) const noexcept {
+    if (handle == 0 || handle > db_.size()) return nullptr;
+    return &db_[handle - 1];
+}
+
+const Attribute* AttServer::find_by_type(std::uint16_t start, std::uint16_t end,
+                                         const Uuid& type) const noexcept {
+    for (const auto& attr : db_) {
+        if (attr.handle >= start && attr.handle <= end && attr.type == type) return &attr;
+    }
+    return nullptr;
+}
+
+std::optional<AttPdu> AttServer::handle_pdu(const AttPdu& request) {
+    switch (request.opcode) {
+        case Opcode::kExchangeMtuReq:
+            return make_exchange_mtu_rsp(mtu_);
+        case Opcode::kReadReq:
+            return handle_read(request);
+        case Opcode::kWriteReq:
+            return handle_write(request, /*is_command=*/false);
+        case Opcode::kWriteCmd:
+            return handle_write(request, /*is_command=*/true);
+        case Opcode::kFindInformationReq:
+            return handle_find_information(request);
+        case Opcode::kReadByTypeReq:
+            return handle_read_by_type(request);
+        case Opcode::kReadByGroupTypeReq:
+            return handle_read_by_group_type(request);
+        case Opcode::kHandleValueConfirmation:
+            return std::nullopt;
+        default:
+            // Commands (odd bit 6 set) are silently dropped; requests get an
+            // error so the client is not left hanging.
+            if ((static_cast<std::uint8_t>(request.opcode) & 0x40) != 0) return std::nullopt;
+            return make_error_rsp(request.opcode, 0, ErrorCode::kRequestNotSupported);
+    }
+}
+
+std::optional<AttPdu> AttServer::handle_read(const AttPdu& request) {
+    const auto hv = HandleValue::parse(request);
+    if (!hv) return make_error_rsp(request.opcode, 0, ErrorCode::kInvalidPdu);
+    Attribute* attr = find(hv->handle);
+    if (attr == nullptr) {
+        return make_error_rsp(request.opcode, hv->handle, ErrorCode::kInvalidHandle);
+    }
+    if (!attr->readable) {
+        return make_error_rsp(request.opcode, hv->handle, ErrorCode::kReadNotPermitted);
+    }
+    const Bytes value = attr->on_read ? attr->on_read() : attr->value;
+    // Truncate to MTU - 1 like a real server.
+    const std::size_t n = std::min<std::size_t>(value.size(), mtu_ - 1u);
+    return make_read_rsp(BytesView(value.data(), n));
+}
+
+std::optional<AttPdu> AttServer::handle_write(const AttPdu& request, bool is_command) {
+    const auto hv = HandleValue::parse(request);
+    if (!hv) {
+        if (is_command) return std::nullopt;
+        return make_error_rsp(request.opcode, 0, ErrorCode::kInvalidPdu);
+    }
+    Attribute* attr = find(hv->handle);
+    if (attr == nullptr) {
+        if (is_command) return std::nullopt;
+        return make_error_rsp(request.opcode, hv->handle, ErrorCode::kInvalidHandle);
+    }
+    if (!attr->writable) {
+        if (is_command) return std::nullopt;
+        return make_error_rsp(request.opcode, hv->handle, ErrorCode::kWriteNotPermitted);
+    }
+    if (attr->on_write) {
+        if (const auto error = attr->on_write(hv->value)) {
+            if (is_command) return std::nullopt;
+            return make_error_rsp(request.opcode, hv->handle, *error);
+        }
+    }
+    attr->value = hv->value;
+    if (is_command) return std::nullopt;
+    return make_write_rsp();
+}
+
+std::optional<AttPdu> AttServer::handle_find_information(const AttPdu& request) {
+    const auto range = RangeRequest::parse(request);
+    if (!range || range->start == 0 || range->start > range->end) {
+        return make_error_rsp(request.opcode, 0, ErrorCode::kInvalidPdu);
+    }
+    // Format 1 (16-bit UUIDs) or 2 (128-bit); all entries in one response
+    // must share a format.
+    ByteWriter w;
+    std::optional<bool> fmt16;
+    for (const auto& attr : db_) {
+        if (attr.handle < range->start || attr.handle > range->end) continue;
+        const bool is16 = attr.type.is16();
+        if (!fmt16) fmt16 = is16;
+        if (*fmt16 != is16) break;
+        if (w.size() + (is16 ? 4u : 18u) > mtu_ - 2u) break;
+        w.write_u16(attr.handle);
+        attr.type.write_to(w);
+    }
+    if (!fmt16) {
+        return make_error_rsp(request.opcode, range->start, ErrorCode::kAttributeNotFound);
+    }
+    ByteWriter out;
+    out.write_u8(*fmt16 ? 0x01 : 0x02);
+    out.write_bytes(w.bytes());
+    return AttPdu{Opcode::kFindInformationRsp, out.take()};
+}
+
+std::optional<AttPdu> AttServer::handle_read_by_type(const AttPdu& request) {
+    const auto range = RangeRequest::parse(request);
+    if (!range || !range->type || range->start == 0 || range->start > range->end) {
+        return make_error_rsp(request.opcode, 0, ErrorCode::kInvalidPdu);
+    }
+    ByteWriter w;
+    std::optional<std::size_t> entry_len;
+    for (const auto& attr : db_) {
+        if (attr.handle < range->start || attr.handle > range->end) continue;
+        if (!(attr.type == *range->type)) continue;
+        const Bytes value = attr.on_read ? attr.on_read() : attr.value;
+        const std::size_t len = 2 + value.size();
+        if (!entry_len) entry_len = len;
+        if (*entry_len != len) break;
+        if (w.size() + len > mtu_ - 2u) break;
+        w.write_u16(attr.handle);
+        w.write_bytes(value);
+    }
+    if (!entry_len) {
+        return make_error_rsp(request.opcode, range->start, ErrorCode::kAttributeNotFound);
+    }
+    ByteWriter out;
+    out.write_u8(static_cast<std::uint8_t>(*entry_len));
+    out.write_bytes(w.bytes());
+    return AttPdu{Opcode::kReadByTypeRsp, out.take()};
+}
+
+std::optional<AttPdu> AttServer::handle_read_by_group_type(const AttPdu& request) {
+    const auto range = RangeRequest::parse(request);
+    if (!range || !range->type || range->start == 0 || range->start > range->end) {
+        return make_error_rsp(request.opcode, 0, ErrorCode::kInvalidPdu);
+    }
+    if (!is_service_declaration(*range->type)) {
+        return make_error_rsp(request.opcode, range->start,
+                              ErrorCode::kRequestNotSupported);
+    }
+    ByteWriter w;
+    std::optional<std::size_t> entry_len;
+    for (std::size_t i = 0; i < db_.size(); ++i) {
+        const auto& attr = db_[i];
+        if (attr.handle < range->start || attr.handle > range->end) continue;
+        if (!(attr.type == *range->type)) continue;
+        // Group end: last handle before the next service declaration.
+        std::uint16_t group_end = static_cast<std::uint16_t>(db_.size());
+        for (std::size_t j = i + 1; j < db_.size(); ++j) {
+            if (is_service_declaration(db_[j].type)) {
+                group_end = static_cast<std::uint16_t>(db_[j].handle - 1);
+                break;
+            }
+        }
+        const std::size_t len = 4 + attr.value.size();
+        if (!entry_len) entry_len = len;
+        if (*entry_len != len) break;
+        if (w.size() + len > mtu_ - 2u) break;
+        w.write_u16(attr.handle);
+        w.write_u16(group_end);
+        w.write_bytes(attr.value);
+    }
+    if (!entry_len) {
+        return make_error_rsp(request.opcode, range->start, ErrorCode::kAttributeNotFound);
+    }
+    ByteWriter out;
+    out.write_u8(static_cast<std::uint8_t>(*entry_len));
+    out.write_bytes(w.bytes());
+    return AttPdu{Opcode::kReadByGroupTypeRsp, out.take()};
+}
+
+}  // namespace ble::att

@@ -1,0 +1,60 @@
+// ATT server: "a database of attributes" (paper §III-A), answering client
+// requests — and, in scenario A, the attacker's injected ones, which is the
+// whole point: the server cannot tell a spoofed Write Request from a real one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "att/att_pdu.hpp"
+#include "att/uuid.hpp"
+
+namespace ble::att {
+
+struct Attribute {
+    std::uint16_t handle = 0;  // assigned by the server on add()
+    Uuid type;
+    Bytes value;
+    bool readable = true;
+    bool writable = false;
+    /// Dynamic read override; when set, replaces `value` for reads.
+    std::function<Bytes()> on_read;
+    /// Write interceptor: return nullopt to accept (value is stored), or an
+    /// error code to refuse.
+    std::function<std::optional<ErrorCode>(BytesView new_value)> on_write;
+};
+
+class AttServer {
+public:
+    /// Appends an attribute; handles are assigned sequentially from 1.
+    std::uint16_t add(Attribute attribute);
+
+    [[nodiscard]] Attribute* find(std::uint16_t handle) noexcept;
+    [[nodiscard]] const Attribute* find(std::uint16_t handle) const noexcept;
+    [[nodiscard]] const std::vector<Attribute>& attributes() const noexcept { return db_; }
+
+    /// First attribute with the given type in [start, end], or nullptr.
+    [[nodiscard]] const Attribute* find_by_type(std::uint16_t start, std::uint16_t end,
+                                                const Uuid& type) const noexcept;
+
+    /// Processes one client PDU. Returns the response PDU, or nullopt when
+    /// the PDU needs no response (Write Command, Confirmation, unknown
+    /// commands).
+    std::optional<AttPdu> handle_pdu(const AttPdu& request);
+
+    [[nodiscard]] std::uint16_t mtu() const noexcept { return mtu_; }
+
+private:
+    std::optional<AttPdu> handle_read(const AttPdu& request);
+    std::optional<AttPdu> handle_write(const AttPdu& request, bool is_command);
+    std::optional<AttPdu> handle_find_information(const AttPdu& request);
+    std::optional<AttPdu> handle_read_by_type(const AttPdu& request);
+    std::optional<AttPdu> handle_read_by_group_type(const AttPdu& request);
+
+    std::vector<Attribute> db_;
+    std::uint16_t mtu_ = 23;
+};
+
+}  // namespace ble::att

@@ -1,0 +1,80 @@
+#include "att/uuid.hpp"
+
+#include <cstdio>
+
+namespace ble::att {
+
+namespace {
+// Bluetooth base UUID 00000000-0000-1000-8000-00805F9B34FB, little-endian.
+constexpr std::array<std::uint8_t, 16> kBaseUuid = {0xFB, 0x34, 0x9B, 0x5F, 0x80, 0x00,
+                                                    0x00, 0x80, 0x00, 0x10, 0x00, 0x00,
+                                                    0x00, 0x00, 0x00, 0x00};
+}  // namespace
+
+Uuid Uuid::from16(std::uint16_t value) noexcept {
+    Uuid uuid;
+    uuid.bytes_ = kBaseUuid;
+    uuid.bytes_[12] = static_cast<std::uint8_t>(value & 0xFF);
+    uuid.bytes_[13] = static_cast<std::uint8_t>(value >> 8);
+    return uuid;
+}
+
+Uuid Uuid::from128(const std::array<std::uint8_t, 16>& bytes) noexcept {
+    Uuid uuid;
+    uuid.bytes_ = bytes;
+    return uuid;
+}
+
+bool Uuid::is16() const noexcept {
+    for (int i = 0; i < 12; ++i) {
+        if (bytes_[static_cast<std::size_t>(i)] != kBaseUuid[static_cast<std::size_t>(i)]) {
+            return false;
+        }
+    }
+    return bytes_[14] == 0 && bytes_[15] == 0;
+}
+
+std::uint16_t Uuid::as16() const noexcept {
+    return static_cast<std::uint16_t>(bytes_[12] | (bytes_[13] << 8));
+}
+
+void Uuid::write_to(ByteWriter& w) const {
+    if (is16()) {
+        w.write_u16(as16());
+    } else {
+        w.write_bytes(BytesView(bytes_.data(), bytes_.size()));
+    }
+}
+
+std::optional<Uuid> Uuid::read_from(ByteReader& r, std::size_t size) {
+    if (size == 2) {
+        const auto v = r.read_u16();
+        if (!v) return std::nullopt;
+        return from16(*v);
+    }
+    if (size == 16) {
+        const auto raw = r.read_bytes(16);
+        if (!raw) return std::nullopt;
+        std::array<std::uint8_t, 16> bytes{};
+        std::copy(raw->begin(), raw->end(), bytes.begin());
+        return from128(bytes);
+    }
+    return std::nullopt;
+}
+
+std::string Uuid::to_string() const {
+    if (is16()) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "0x%04x", as16());
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-%02x%02x%02x%02x%02x%02x",
+                  bytes_[15], bytes_[14], bytes_[13], bytes_[12], bytes_[11], bytes_[10],
+                  bytes_[9], bytes_[8], bytes_[7], bytes_[6], bytes_[5], bytes_[4], bytes_[3],
+                  bytes_[2], bytes_[1], bytes_[0]);
+    return buf;
+}
+
+}  // namespace ble::att

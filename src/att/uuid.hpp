@@ -1,0 +1,47 @@
+// Bluetooth UUIDs: 16-bit SIG-assigned shorthands embedded in the 128-bit
+// Bluetooth base UUID, plus full 128-bit vendor UUIDs (the emulated lightbulb
+// uses one, like its real counterpart).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ble::att {
+
+class Uuid {
+public:
+    Uuid() = default;
+
+    static Uuid from16(std::uint16_t value) noexcept;
+    static Uuid from128(const std::array<std::uint8_t, 16>& bytes) noexcept;
+
+    /// True when this UUID is `xxxx` on the Bluetooth base UUID.
+    [[nodiscard]] bool is16() const noexcept;
+    /// The 16-bit shorthand (only meaningful when is16()).
+    [[nodiscard]] std::uint16_t as16() const noexcept;
+
+    /// 128-bit little-endian on-air representation.
+    [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const noexcept { return bytes_; }
+
+    /// Serializes as 2 bytes when possible, else 16 (ATT find/read-by-type).
+    void write_to(ByteWriter& w) const;
+    /// Reads a UUID of explicit width (2 or 16 bytes).
+    static std::optional<Uuid> read_from(ByteReader& r, std::size_t size);
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Uuid& a, const Uuid& b) noexcept {
+        return a.bytes_ == b.bytes_;
+    }
+
+private:
+    // Stored little-endian, matching the on-air order; defaults to the base
+    // UUID with a zero shorthand.
+    std::array<std::uint8_t, 16> bytes_{};
+};
+
+}  // namespace ble::att

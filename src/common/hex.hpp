@@ -1,0 +1,17 @@
+// Hex encoding helpers used by logs, tests and the dongle wire protocol.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ble {
+
+/// "0a1b2c" — lowercase, no separators.
+std::string to_hex(BytesView data);
+
+/// Accepts upper/lower case; rejects odd length or non-hex characters.
+std::optional<Bytes> from_hex(const std::string& hex);
+
+}  // namespace ble

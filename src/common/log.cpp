@@ -1,0 +1,45 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ble {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex; empty => stderr
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+    const std::lock_guard lock(g_sink_mutex);
+    g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+    if (level < log_level()) return;
+    const std::lock_guard lock(g_sink_mutex);
+    if (g_sink) {
+        g_sink(level, msg);
+    } else {
+        std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+    }
+}
+
+}  // namespace ble

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The stack logs through a single global sink so tests can silence it and the
+// examples/benches can turn on tracing.  Logging is deliberately simple
+// (printf-style formatting done by callers) — this library's hot path is a
+// discrete-event simulation where a heavyweight logger would dominate.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace ble {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Threshold below which messages are dropped. Defaults to kWarn.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Replace the sink (default writes to stderr). Pass nullptr to restore it.
+void set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log_message(level, os.str());
+}
+}  // namespace detail
+
+#define BLE_LOG_TRACE(...) ::ble::detail::log_fmt(::ble::LogLevel::kTrace, __VA_ARGS__)
+#define BLE_LOG_DEBUG(...) ::ble::detail::log_fmt(::ble::LogLevel::kDebug, __VA_ARGS__)
+#define BLE_LOG_INFO(...) ::ble::detail::log_fmt(::ble::LogLevel::kInfo, __VA_ARGS__)
+#define BLE_LOG_WARN(...) ::ble::detail::log_fmt(::ble::LogLevel::kWarn, __VA_ARGS__)
+#define BLE_LOG_ERROR(...) ::ble::detail::log_fmt(::ble::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ble

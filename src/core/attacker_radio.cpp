@@ -1,0 +1,4 @@
+#include "core/attacker_radio.hpp"
+
+// Header-only in practice; this TU pins the vtable.
+namespace injectable {}

@@ -1,0 +1,38 @@
+#include "core/forge.hpp"
+
+namespace injectable {
+
+using ble::link::DataPdu;
+using ble::link::Llid;
+
+DataPdu forge_data_pdu(Llid llid, ble::Bytes payload, bool slave_sn, bool slave_nesn,
+                       bool md) {
+    const auto [sn, nesn] = forged_sequence_bits(slave_sn, slave_nesn);
+    DataPdu pdu;
+    pdu.llid = llid;
+    pdu.payload = std::move(payload);
+    pdu.sn = sn;
+    pdu.nesn = nesn;
+    pdu.md = md;
+    return pdu;
+}
+
+ble::Bytes att_over_l2cap(const ble::att::AttPdu& pdu) {
+    const ble::Bytes att = pdu.serialize();
+    ble::ByteWriter w(4 + att.size());
+    w.write_u16(static_cast<std::uint16_t>(att.size()));
+    w.write_u16(0x0004);  // ATT fixed channel
+    w.write_bytes(att);
+    return w.take();
+}
+
+DataPdu forge_att_request(const ble::att::AttPdu& att, bool slave_sn, bool slave_nesn) {
+    return forge_data_pdu(Llid::kDataStart, att_over_l2cap(att), slave_sn, slave_nesn);
+}
+
+DataPdu forge_ll_control(const ble::link::ControlPdu& control, bool slave_sn,
+                         bool slave_nesn) {
+    return forge_data_pdu(Llid::kControl, control.serialize(), slave_sn, slave_nesn);
+}
+
+}  // namespace injectable

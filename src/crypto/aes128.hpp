@@ -1,0 +1,32 @@
+// AES-128 block cipher (FIPS-197), encrypt-only.
+//
+// BLE's Link-Layer security (Vol 6, Part E) only ever uses the forward
+// transform: CCM builds both encryption and authentication from AES-ECB
+// encryptions, and the session-key derivation is a single block encryption.
+// Implemented from scratch (table-based S-box, on-the-fly key schedule) — no
+// external crypto dependency, which keeps the simulation self-contained.
+//
+// This is NOT a hardened implementation (timing side channels are out of
+// scope for a protocol simulation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ble::crypto {
+
+using Aes128Key = std::array<std::uint8_t, 16>;
+using Aes128Block = std::array<std::uint8_t, 16>;
+
+class Aes128 {
+public:
+    explicit Aes128(const Aes128Key& key) noexcept;
+
+    /// Encrypts one 16-byte block (ECB).
+    [[nodiscard]] Aes128Block encrypt(const Aes128Block& plaintext) const noexcept;
+
+private:
+    std::array<std::uint32_t, 44> round_keys_{};
+};
+
+}  // namespace ble::crypto

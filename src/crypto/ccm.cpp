@@ -1,0 +1,105 @@
+#include "crypto/ccm.hpp"
+
+#include <algorithm>
+
+namespace ble::crypto {
+
+namespace {
+constexpr std::size_t kBlock = 16;
+}
+
+Aes128Block AesCcm::keystream_block(const CcmNonce& nonce, std::uint16_t counter) const {
+    // A_i block: flags(L-1 = 1) | nonce | counter (big-endian, 2 bytes).
+    Aes128Block a{};
+    a[0] = 0x01;
+    std::copy(nonce.begin(), nonce.end(), a.begin() + 1);
+    a[14] = static_cast<std::uint8_t>(counter >> 8);
+    a[15] = static_cast<std::uint8_t>(counter & 0xFF);
+    return aes_.encrypt(a);
+}
+
+std::array<std::uint8_t, kMicSize> AesCcm::compute_mic(const CcmNonce& nonce, BytesView aad,
+                                                       BytesView payload) const {
+    // B_0: flags | nonce | message length.
+    // flags = (aad present) << 6 | ((M-2)/2) << 3 | (L-1)  with M=4, L=2.
+    Aes128Block b0{};
+    b0[0] = static_cast<std::uint8_t>((aad.empty() ? 0x00 : 0x40) | (((kMicSize - 2) / 2) << 3) |
+                                      0x01);
+    std::copy(nonce.begin(), nonce.end(), b0.begin() + 1);
+    b0[14] = static_cast<std::uint8_t>(payload.size() >> 8);
+    b0[15] = static_cast<std::uint8_t>(payload.size() & 0xFF);
+
+    Aes128Block x = aes_.encrypt(b0);
+
+    // AAD blocks: length prefix (2 bytes, since aad < 2^16 - 2^8) then data,
+    // zero-padded to a block boundary.
+    if (!aad.empty()) {
+        Bytes a;
+        a.push_back(static_cast<std::uint8_t>(aad.size() >> 8));
+        a.push_back(static_cast<std::uint8_t>(aad.size() & 0xFF));
+        a.insert(a.end(), aad.begin(), aad.end());
+        while (a.size() % kBlock != 0) a.push_back(0);
+        for (std::size_t off = 0; off < a.size(); off += kBlock) {
+            for (std::size_t i = 0; i < kBlock; ++i) x[i] ^= a[off + i];
+            x = aes_.encrypt(x);
+        }
+    }
+
+    // Payload blocks, zero-padded.
+    for (std::size_t off = 0; off < payload.size(); off += kBlock) {
+        const std::size_t n = std::min(kBlock, payload.size() - off);
+        for (std::size_t i = 0; i < n; ++i) x[i] ^= payload[off + i];
+        x = aes_.encrypt(x);
+    }
+
+    // MIC = first M bytes of X XOR S_0.
+    const Aes128Block s0 = keystream_block(nonce, 0);
+    std::array<std::uint8_t, kMicSize> mic{};
+    for (std::size_t i = 0; i < kMicSize; ++i) mic[i] = x[i] ^ s0[i];
+    return mic;
+}
+
+Bytes AesCcm::seal(const CcmNonce& nonce, BytesView aad, BytesView payload) const {
+    Bytes out;
+    out.reserve(payload.size() + kMicSize);
+    for (std::size_t off = 0; off < payload.size(); off += kBlock) {
+        const Aes128Block s =
+            keystream_block(nonce, static_cast<std::uint16_t>(off / kBlock + 1));
+        const std::size_t n = std::min(kBlock, payload.size() - off);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(static_cast<std::uint8_t>(payload[off + i] ^ s[i]));
+        }
+    }
+    const auto mic = compute_mic(nonce, aad, payload);
+    out.insert(out.end(), mic.begin(), mic.end());
+    return out;
+}
+
+std::optional<Bytes> AesCcm::open(const CcmNonce& nonce, BytesView aad,
+                                  BytesView sealed) const {
+    if (sealed.size() < kMicSize) return std::nullopt;
+    const std::size_t payload_len = sealed.size() - kMicSize;
+
+    Bytes plain;
+    plain.reserve(payload_len);
+    for (std::size_t off = 0; off < payload_len; off += kBlock) {
+        const Aes128Block s =
+            keystream_block(nonce, static_cast<std::uint16_t>(off / kBlock + 1));
+        const std::size_t n = std::min(kBlock, payload_len - off);
+        for (std::size_t i = 0; i < n; ++i) {
+            plain.push_back(static_cast<std::uint8_t>(sealed[off + i] ^ s[i]));
+        }
+    }
+
+    const auto mic = compute_mic(nonce, aad, plain);
+    // Constant-time-ish comparison (not a real hardening concern in a sim,
+    // but cheap to do right).
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < kMicSize; ++i) {
+        diff |= static_cast<std::uint8_t>(mic[i] ^ sealed[payload_len + i]);
+    }
+    if (diff != 0) return std::nullopt;
+    return plain;
+}
+
+}  // namespace ble::crypto

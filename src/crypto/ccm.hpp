@@ -1,0 +1,38 @@
+// AES-CCM (RFC 3610) with the Bluetooth LE Link-Layer parameters:
+// 13-byte nonce (L = 2) and a 4-byte MIC (M = 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aes128.hpp"
+
+namespace ble::crypto {
+
+using CcmNonce = std::array<std::uint8_t, 13>;
+constexpr std::size_t kMicSize = 4;
+
+class AesCcm {
+public:
+    explicit AesCcm(const Aes128Key& key) noexcept : aes_(key) {}
+
+    /// Returns ciphertext || MIC (payload.size() + 4 bytes).
+    [[nodiscard]] Bytes seal(const CcmNonce& nonce, BytesView aad, BytesView payload) const;
+
+    /// Opens ciphertext || MIC; nullopt if the MIC does not verify.
+    [[nodiscard]] std::optional<Bytes> open(const CcmNonce& nonce, BytesView aad,
+                                            BytesView sealed) const;
+
+private:
+    [[nodiscard]] std::array<std::uint8_t, kMicSize> compute_mic(const CcmNonce& nonce,
+                                                                 BytesView aad,
+                                                                 BytesView payload) const;
+    [[nodiscard]] Aes128Block keystream_block(const CcmNonce& nonce,
+                                              std::uint16_t counter) const;
+
+    Aes128 aes_;
+};
+
+}  // namespace ble::crypto

@@ -1,0 +1,56 @@
+#include "crypto/link_encryption.hpp"
+
+#include <algorithm>
+
+namespace ble::crypto {
+
+Aes128Key derive_session_key(const SessionMaterial& material) noexcept {
+    Aes128Block skd{};
+    std::copy(material.skd_m.begin(), material.skd_m.end(), skd.begin());
+    std::copy(material.skd_s.begin(), material.skd_s.end(), skd.begin() + 8);
+    return Aes128(material.ltk).encrypt(skd);
+}
+
+LinkEncryption::LinkEncryption(const SessionMaterial& material)
+    : ccm_(derive_session_key(material)) {
+    std::copy(material.iv_m.begin(), material.iv_m.end(), iv_.begin());
+    std::copy(material.iv_s.begin(), material.iv_s.end(), iv_.begin() + 4);
+}
+
+CcmNonce LinkEncryption::make_nonce(std::uint64_t packet_counter,
+                                    bool master_direction) const noexcept {
+    CcmNonce nonce{};
+    // 39-bit counter, least significant octet first; direction bit is the MSB
+    // of the fifth octet.
+    for (int i = 0; i < 5; ++i) {
+        nonce[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((packet_counter >> (8 * i)) & 0xFF);
+    }
+    nonce[4] = static_cast<std::uint8_t>((nonce[4] & 0x7F) |
+                                         (master_direction ? 0x80 : 0x00));
+    std::copy(iv_.begin(), iv_.end(), nonce.begin() + 5);
+    return nonce;
+}
+
+Bytes LinkEncryption::encrypt(std::uint8_t first_header_byte, BytesView payload,
+                              bool sender_is_master) {
+    const std::uint64_t pc = counter(sender_is_master)++;
+    const Bytes aad{first_header_byte};
+    return ccm_.seal(make_nonce(pc, sender_is_master), aad, payload);
+}
+
+std::optional<Bytes> LinkEncryption::decrypt(std::uint8_t first_header_byte,
+                                             BytesView payload, bool sender_is_master) {
+    const Bytes aad{first_header_byte};
+    std::uint64_t& expected = counter(sender_is_master);
+    for (std::uint64_t delta = 0; delta < kCounterWindow; ++delta) {
+        const std::uint64_t pc = expected + delta;
+        if (auto plain = ccm_.open(make_nonce(pc, sender_is_master), aad, payload)) {
+            expected = pc + 1;  // resync
+            return plain;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace ble::crypto

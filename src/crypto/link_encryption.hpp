@@ -1,0 +1,71 @@
+// Link-Layer encryption session (Vol 6, Part E) plugged into
+// link::Connection via the LinkCrypto interface.
+//
+// Key material:
+//   SK  = AES-128_LTK(SKD),  SKD = SKDm || SKDs  (halves from LL_ENC_REQ/RSP)
+//   IV  = IVm || IVs
+//   nonce = 39-bit per-direction packet counter | direction bit | IV
+//   AAD = the PDU's first header byte with SN/NESN/MD masked.
+//
+// Each direction counts its own encrypted packets. Our Connection re-seals a
+// retransmitted PDU (instead of caching ciphertext like silicon does), so the
+// receiver accepts a small forward window of packet counters and resyncs on
+// success; the security-relevant property the paper depends on — an attacker
+// without the session key cannot produce a valid MIC, so injection collapses
+// to denial of service — is preserved exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/ccm.hpp"
+#include "link/connection.hpp"
+
+namespace ble::crypto {
+
+struct SessionMaterial {
+    Aes128Key ltk{};
+    std::array<std::uint8_t, 8> skd_m{};
+    std::array<std::uint8_t, 8> skd_s{};
+    std::array<std::uint8_t, 4> iv_m{};
+    std::array<std::uint8_t, 4> iv_s{};
+};
+
+/// Derives the session key SK = AES-128_LTK(SKDm || SKDs).
+[[nodiscard]] Aes128Key derive_session_key(const SessionMaterial& material) noexcept;
+
+class LinkEncryption final : public link::LinkCrypto {
+public:
+    explicit LinkEncryption(const SessionMaterial& material);
+
+    Bytes encrypt(std::uint8_t first_header_byte, BytesView payload,
+                  bool sender_is_master) override;
+    std::optional<Bytes> decrypt(std::uint8_t first_header_byte, BytesView payload,
+                                 bool sender_is_master) override;
+    [[nodiscard]] std::size_t mic_size() const noexcept override { return kMicSize; }
+
+    /// Packets sealed so far in each direction (diagnostics / tests).
+    [[nodiscard]] std::uint64_t tx_count(bool master_direction) const noexcept {
+        return counter(master_direction);
+    }
+
+private:
+    [[nodiscard]] CcmNonce make_nonce(std::uint64_t packet_counter,
+                                      bool master_direction) const noexcept;
+    [[nodiscard]] std::uint64_t& counter(bool master_direction) noexcept {
+        return master_direction ? counter_m_ : counter_s_;
+    }
+    [[nodiscard]] const std::uint64_t& counter(bool master_direction) const noexcept {
+        return master_direction ? counter_m_ : counter_s_;
+    }
+
+    AesCcm ccm_;
+    std::array<std::uint8_t, 8> iv_{};
+    std::uint64_t counter_m_ = 0;  // master -> slave packets
+    std::uint64_t counter_s_ = 0;  // slave -> master packets
+
+    /// Retransmission tolerance (see header comment).
+    static constexpr std::uint64_t kCounterWindow = 8;
+};
+
+}  // namespace ble::crypto

@@ -1,0 +1,80 @@
+// The dongle "firmware": the embedded half of the paper's §V-E proof of
+// concept. It owns the radio and the attack machinery; the host talks to it
+// exclusively through serialized Command/Notification frames, exactly like
+// the real nRF52840 build behind its USB endpoint.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/session.hpp"
+#include "core/sniffer.hpp"
+#include "dongle/protocol.hpp"
+
+namespace injectable::dongle {
+
+class Firmware {
+public:
+    using NotifySink = std::function<void(const ble::Bytes& wire)>;
+
+    explicit Firmware(AttackerRadio& radio) : radio_(radio) {}
+
+    /// Where notifications are written (the "USB IN endpoint").
+    void set_notify_sink(NotifySink sink) { notify_ = std::move(sink); }
+
+    /// Entry point for command frames (the "USB OUT endpoint").
+    void handle_command(ble::BytesView wire);
+
+    [[nodiscard]] bool following() const noexcept { return session_ && !session_->lost(); }
+
+private:
+    void notify(NotificationType type, ble::BytesView payload);
+    void notify_error(const std::string& message);
+    void start_adv_sniffer();
+    void start_recovery();
+    void follow();
+    void inject(ble::BytesView payload);
+    void stop_all();
+
+    AttackerRadio& radio_;
+    NotifySink notify_;
+
+    std::unique_ptr<AdvSniffer> sniffer_;
+    std::unique_ptr<ConnectionRecovery> recovery_;
+    std::unique_ptr<AttackSession> session_;
+    std::optional<SniffedConnection> last_connection_;
+};
+
+/// Host-side driver: a typed API over the byte protocol, mirroring the
+/// command-line tooling the paper's authors built on top of their dongle.
+class HostDriver {
+public:
+    /// `to_dongle` transports serialized command frames to the firmware.
+    explicit HostDriver(std::function<void(const ble::Bytes&)> to_dongle)
+        : to_dongle_(std::move(to_dongle)) {}
+
+    /// Feed every notification frame from the dongle here.
+    void handle_notification(ble::BytesView wire);
+
+    void start_adv_sniffer();
+    void start_recovery();
+    void follow();
+    void inject(ble::link::Llid llid, ble::BytesView payload, std::uint16_t max_attempts);
+    void stop();
+
+    // Host-visible events.
+    std::function<void(const SniffedConnection&)> on_connection;
+    std::function<void(const SniffedPacket&)> on_packet;
+    std::function<void(int attempt, bool success)> on_attempt;
+    std::function<void(bool success, int attempts)> on_done;
+    std::function<void()> on_connection_lost;
+    std::function<void(const std::string&)> on_error;
+
+private:
+    void send(CommandType type, ble::BytesView payload = {});
+
+    std::function<void(const ble::Bytes&)> to_dongle_;
+};
+
+}  // namespace injectable::dongle

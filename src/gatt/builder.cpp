@@ -1,0 +1,68 @@
+#include "gatt/builder.hpp"
+
+namespace ble::gatt {
+
+std::uint16_t GattBuilder::begin_service(const att::Uuid& uuid) {
+    att::Attribute attr;
+    attr.type = att::Uuid::from16(kPrimaryService);
+    ByteWriter w;
+    uuid.write_to(w);
+    attr.value = w.take();
+    attr.readable = true;
+    return server_.add(std::move(attr));
+}
+
+CharacteristicHandles GattBuilder::add_characteristic(CharacteristicSpec spec) {
+    CharacteristicHandles handles;
+
+    // Declaration: properties(1) | value handle(2) | UUID. The value handle is
+    // always the next one, which we know because handles are sequential.
+    att::Attribute decl;
+    decl.type = att::Uuid::from16(kCharacteristicDecl);
+    decl.readable = true;
+    handles.declaration = static_cast<std::uint16_t>(server_.attributes().size() + 1);
+    const auto value_handle = static_cast<std::uint16_t>(handles.declaration + 1);
+    ByteWriter w;
+    w.write_u8(spec.properties);
+    w.write_u16(value_handle);
+    spec.uuid.write_to(w);
+    decl.value = w.take();
+    server_.add(std::move(decl));
+
+    att::Attribute value;
+    value.type = spec.uuid;
+    value.value = std::move(spec.initial_value);
+    value.readable = (spec.properties & props::kRead) != 0;
+    value.writable = (spec.properties & (props::kWrite | props::kWriteNoRsp)) != 0;
+    value.on_read = std::move(spec.on_read);
+    value.on_write = std::move(spec.on_write);
+    handles.value = server_.add(std::move(value));
+
+    if (spec.with_cccd || (spec.properties & (props::kNotify | props::kIndicate)) != 0) {
+        att::Attribute cccd;
+        cccd.type = att::Uuid::from16(kCccd);
+        cccd.value = {0x00, 0x00};
+        cccd.readable = true;
+        cccd.writable = true;
+        handles.cccd = server_.add(std::move(cccd));
+    }
+    return handles;
+}
+
+std::uint16_t add_gap_service(GattBuilder& builder, const std::string& device_name) {
+    builder.begin_service(kGapService);
+    GattBuilder::CharacteristicSpec name;
+    name.uuid = att::Uuid::from16(kDeviceName);
+    name.properties = props::kRead;
+    name.initial_value.assign(device_name.begin(), device_name.end());
+    const auto handles = builder.add_characteristic(std::move(name));
+
+    GattBuilder::CharacteristicSpec appearance;
+    appearance.uuid = att::Uuid::from16(kAppearance);
+    appearance.properties = props::kRead;
+    appearance.initial_value = {0x00, 0x00};
+    builder.add_characteristic(std::move(appearance));
+    return handles.value;
+}
+
+}  // namespace ble::gatt

@@ -1,0 +1,53 @@
+// GATT attribute-table builder: lays out services, characteristic
+// declarations, values and CCCDs in the handle order real stacks use, so a
+// generic GATT client (or an attacker's injected discovery requests) sees a
+// realistic database.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "att/server.hpp"
+#include "gatt/uuids.hpp"
+
+namespace ble::gatt {
+
+/// Handles describing one characteristic after insertion.
+struct CharacteristicHandles {
+    std::uint16_t declaration = 0;
+    std::uint16_t value = 0;
+    std::uint16_t cccd = 0;  // 0 when the characteristic has no CCCD
+};
+
+class GattBuilder {
+public:
+    explicit GattBuilder(att::AttServer& server) : server_(server) {}
+
+    /// Starts a primary service group.
+    std::uint16_t begin_service(const att::Uuid& uuid);
+    std::uint16_t begin_service(std::uint16_t uuid16) {
+        return begin_service(att::Uuid::from16(uuid16));
+    }
+
+    struct CharacteristicSpec {
+        att::Uuid uuid;
+        std::uint8_t properties = props::kRead;
+        Bytes initial_value;
+        std::function<Bytes()> on_read;
+        std::function<std::optional<att::ErrorCode>(BytesView)> on_write;
+        bool with_cccd = false;
+    };
+
+    CharacteristicHandles add_characteristic(CharacteristicSpec spec);
+
+private:
+    att::AttServer& server_;
+};
+
+/// Convenience: adds the mandatory GAP service (device name + appearance).
+/// Returns the device-name value handle — the attribute scenario B's hijacker
+/// serves "Hacked" from.
+std::uint16_t add_gap_service(GattBuilder& builder, const std::string& device_name);
+
+}  // namespace ble::gatt

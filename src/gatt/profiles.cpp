@@ -1,0 +1,247 @@
+#include "gatt/profiles.hpp"
+
+#include <algorithm>
+
+namespace ble::gatt {
+
+namespace {
+// Vendor 128-bit UUIDs for the bulb's service/characteristic (arbitrary but
+// stable values, standing in for the real product's proprietary UUIDs).
+const att::Uuid kBulbService = att::Uuid::from128(
+    {0x01, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x10, 0x20, 0x30, 0x40,
+     0x50, 0x60});
+const att::Uuid kBulbControl = att::Uuid::from128(
+    {0x02, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x10, 0x20, 0x30, 0x40,
+     0x50, 0x60});
+}  // namespace
+
+void LightbulbProfile::install(att::AttServer& server, const std::string& name) {
+    GattBuilder builder(server);
+    name_handle_ = add_gap_service(builder, name);
+
+    builder.begin_service(kBulbService);
+    GattBuilder::CharacteristicSpec control;
+    control.uuid = kBulbControl;
+    control.properties = props::kRead | props::kWrite | props::kWriteNoRsp;
+    control.initial_value = {0x00};
+    control.on_write = [this](BytesView value) { return handle_command(value); };
+    control_handle_ = builder.add_characteristic(std::move(control)).value;
+}
+
+std::optional<att::ErrorCode> LightbulbProfile::handle_command(BytesView value) {
+    if (value.empty()) return att::ErrorCode::kInvalidAttributeValueLength;
+    switch (value[0]) {
+        case kSetPower:
+            if (value.size() < 2) return att::ErrorCode::kInvalidAttributeValueLength;
+            state_.powered = value[1] != 0;
+            break;
+        case kSetColor:
+            if (value.size() < 4) return att::ErrorCode::kInvalidAttributeValueLength;
+            state_.r = value[1];
+            state_.g = value[2];
+            state_.b = value[3];
+            break;
+        case kSetBrightness:
+            if (value.size() < 2) return att::ErrorCode::kInvalidAttributeValueLength;
+            state_.brightness = std::min<std::uint8_t>(value[1], 100);
+            break;
+        default:
+            return att::ErrorCode::kRequestNotSupported;
+    }
+    ++state_.commands_received;
+    if (on_change) on_change(state_);
+    return std::nullopt;
+}
+
+namespace {
+Bytes padded(Bytes base, std::size_t pad) {
+    base.insert(base.end(), pad, 0x00);
+    return base;
+}
+}  // namespace
+
+Bytes LightbulbProfile::cmd_set_power(bool on, std::size_t pad) {
+    return padded({kSetPower, static_cast<std::uint8_t>(on ? 1 : 0)}, pad);
+}
+
+Bytes LightbulbProfile::cmd_set_color(std::uint8_t r, std::uint8_t g, std::uint8_t b,
+                                      std::size_t pad) {
+    return padded({kSetColor, r, g, b}, pad);
+}
+
+Bytes LightbulbProfile::cmd_set_brightness(std::uint8_t level, std::size_t pad) {
+    return padded({kSetBrightness, level}, pad);
+}
+
+void KeyfobProfile::install(att::AttServer& server, const std::string& name) {
+    GattBuilder builder(server);
+    name_handle_ = add_gap_service(builder, name);
+
+    builder.begin_service(kImmediateAlertService);
+    GattBuilder::CharacteristicSpec alert;
+    alert.uuid = att::Uuid::from16(kAlertLevel);
+    alert.properties = props::kRead | props::kWrite | props::kWriteNoRsp;
+    alert.initial_value = {0x00};
+    alert.on_write = [this](BytesView value) -> std::optional<att::ErrorCode> {
+        if (value.size() != 1) return att::ErrorCode::kInvalidAttributeValueLength;
+        if (value[0] > 2) return att::ErrorCode::kInvalidAttributeValueLength;
+        alert_level_ = value[0];
+        if (on_alert) on_alert(alert_level_);
+        return std::nullopt;
+    };
+    alert_handle_ = builder.add_characteristic(std::move(alert)).value;
+}
+
+void SmartwatchProfile::install(att::AttServer& server, const std::string& name) {
+    GattBuilder builder(server);
+    name_handle_ = add_gap_service(builder, name);
+
+    builder.begin_service(kAlertNotificationService);
+    GattBuilder::CharacteristicSpec sms;
+    sms.uuid = att::Uuid::from16(kNewAlert);
+    sms.properties = props::kWrite | props::kNotify;
+    sms.on_write = [this](BytesView value) -> std::optional<att::ErrorCode> {
+        auto parsed = decode_sms(value);
+        if (!parsed) return att::ErrorCode::kInvalidAttributeValueLength;
+        messages_.push_back(*parsed);
+        if (on_sms) on_sms(messages_.back());
+        return std::nullopt;
+    };
+    sms_handle_ = builder.add_characteristic(std::move(sms)).value;
+
+    builder.begin_service(kBatteryService);
+    GattBuilder::CharacteristicSpec battery;
+    battery.uuid = att::Uuid::from16(kBatteryLevel);
+    battery.properties = props::kRead | props::kNotify;
+    battery.initial_value = {100};
+    battery_handle_ = builder.add_characteristic(std::move(battery)).value;
+}
+
+Bytes SmartwatchProfile::encode_sms(const std::string& sender, const std::string& body) {
+    Bytes out;
+    out.reserve(sender.size() + 1 + body.size());
+    out.insert(out.end(), sender.begin(), sender.end());
+    out.push_back(0x00);
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+std::optional<SmartwatchProfile::Sms> SmartwatchProfile::decode_sms(BytesView value) {
+    const auto sep = std::find(value.begin(), value.end(), std::uint8_t{0});
+    if (sep == value.end()) return std::nullopt;
+    Sms sms;
+    sms.sender.assign(value.begin(), sep);
+    sms.body.assign(sep + 1, value.end());
+    return sms;
+}
+
+namespace {
+// USB HID usage tables, boot keyboard page: a-z => 0x04.., 1-9 => 0x1E..,
+// 0 => 0x27, space 0x2C. Shifted characters set the left-shift modifier.
+struct HidKey {
+    std::uint8_t usage;
+    bool shift;
+};
+
+HidKey hid_key_for(char c) {
+    if (c >= 'a' && c <= 'z') return {static_cast<std::uint8_t>(0x04 + (c - 'a')), false};
+    if (c >= 'A' && c <= 'Z') return {static_cast<std::uint8_t>(0x04 + (c - 'A')), true};
+    if (c >= '1' && c <= '9') return {static_cast<std::uint8_t>(0x1E + (c - '1')), false};
+    switch (c) {
+        case '0': return {0x27, false};
+        case '\n': return {0x28, false};
+        case ' ': return {0x2C, false};
+        case '-': return {0x2D, false};
+        case '.': return {0x37, false};
+        case '/': return {0x38, false};
+        case '\\': return {0x31, false};
+        case '|': return {0x31, true};
+        default: return {0x00, false};
+    }
+}
+
+char hid_char_for(std::uint8_t usage, bool shift) {
+    if (usage >= 0x04 && usage <= 0x1D) {
+        const char base = static_cast<char>('a' + (usage - 0x04));
+        return shift ? static_cast<char>(base - 'a' + 'A') : base;
+    }
+    if (usage >= 0x1E && usage <= 0x26) return static_cast<char>('1' + (usage - 0x1E));
+    switch (usage) {
+        case 0x27: return '0';
+        case 0x28: return '\n';
+        case 0x2C: return ' ';
+        case 0x2D: return '-';
+        case 0x37: return '.';
+        case 0x38: return '/';
+        case 0x31: return shift ? '|' : '\\';
+        default: return 0;
+    }
+}
+
+// Minimal boot-keyboard report map (descriptor), as real HoG keyboards ship.
+const Bytes kBootKeyboardReportMap = {
+    0x05, 0x01,  // Usage Page (Generic Desktop)
+    0x09, 0x06,  // Usage (Keyboard)
+    0xA1, 0x01,  // Collection (Application)
+    0x05, 0x07,  //   Usage Page (Key Codes)
+    0x19, 0xE0, 0x29, 0xE7, 0x15, 0x00, 0x25, 0x01,
+    0x75, 0x01, 0x95, 0x08, 0x81, 0x02,  //   modifiers
+    0x95, 0x01, 0x75, 0x08, 0x81, 0x01,  //   reserved byte
+    0x95, 0x06, 0x75, 0x08, 0x15, 0x00, 0x25, 0x65,
+    0x19, 0x00, 0x29, 0x65, 0x81, 0x00,  //   6 keycodes
+    0xC0,        // End Collection
+};
+}  // namespace
+
+void HidKeyboardProfile::install(att::AttServer& server, const std::string& name) {
+    GattBuilder builder(server);
+    name_handle_ = add_gap_service(builder, name);
+
+    builder.begin_service(kHidService);
+
+    GattBuilder::CharacteristicSpec protocol_mode;
+    protocol_mode.uuid = att::Uuid::from16(kHidProtocolMode);
+    protocol_mode.properties = props::kRead | props::kWriteNoRsp;
+    protocol_mode.initial_value = {0x01};  // report protocol
+    builder.add_characteristic(std::move(protocol_mode));
+
+    GattBuilder::CharacteristicSpec report_map;
+    report_map.uuid = att::Uuid::from16(kHidReportMap);
+    report_map.properties = props::kRead;
+    report_map.initial_value = kBootKeyboardReportMap;
+    report_map_handle_ = builder.add_characteristic(std::move(report_map)).value;
+
+    GattBuilder::CharacteristicSpec report;
+    report.uuid = att::Uuid::from16(kHidReport);
+    report.properties = props::kRead | props::kNotify;
+    report.initial_value = Bytes(8, 0x00);
+    report_handle_ = builder.add_characteristic(std::move(report)).value;
+
+    GattBuilder::CharacteristicSpec hid_info;
+    hid_info.uuid = att::Uuid::from16(kHidInformation);
+    hid_info.properties = props::kRead;
+    hid_info.initial_value = {0x11, 0x01, 0x00, 0x02};  // HID 1.11, normally connectable
+    builder.add_characteristic(std::move(hid_info));
+
+    GattBuilder::CharacteristicSpec control_point;
+    control_point.uuid = att::Uuid::from16(kHidControlPoint);
+    control_point.properties = props::kWriteNoRsp;
+    builder.add_characteristic(std::move(control_point));
+}
+
+Bytes HidKeyboardProfile::key_press_report(char c) {
+    const HidKey key = hid_key_for(c);
+    Bytes report(8, 0x00);
+    report[0] = key.shift ? 0x02 : 0x00;  // left shift modifier
+    report[2] = key.usage;
+    return report;
+}
+
+Bytes HidKeyboardProfile::key_release_report() { return Bytes(8, 0x00); }
+
+char HidKeyboardProfile::decode_report(BytesView report) {
+    if (report.size() != 8 || report[2] == 0) return 0;
+    return hid_char_for(report[2], (report[0] & 0x22) != 0);
+}
+
+}  // namespace ble::gatt

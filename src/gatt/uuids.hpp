@@ -1,0 +1,43 @@
+// SIG-assigned 16-bit UUIDs used by the emulated devices.
+#pragma once
+
+#include <cstdint>
+
+namespace ble::gatt {
+
+// Declarations.
+constexpr std::uint16_t kPrimaryService = 0x2800;
+constexpr std::uint16_t kSecondaryService = 0x2801;
+constexpr std::uint16_t kCharacteristicDecl = 0x2803;
+constexpr std::uint16_t kCccd = 0x2902;  // Client Characteristic Configuration
+
+// Services.
+constexpr std::uint16_t kGapService = 0x1800;
+constexpr std::uint16_t kGattService = 0x1801;
+constexpr std::uint16_t kImmediateAlertService = 0x1802;
+constexpr std::uint16_t kBatteryService = 0x180F;
+constexpr std::uint16_t kAlertNotificationService = 0x1811;
+constexpr std::uint16_t kHidService = 0x1812;
+
+// Characteristics.
+constexpr std::uint16_t kDeviceName = 0x2A00;
+constexpr std::uint16_t kAppearance = 0x2A01;
+constexpr std::uint16_t kAlertLevel = 0x2A06;
+constexpr std::uint16_t kBatteryLevel = 0x2A19;
+constexpr std::uint16_t kNewAlert = 0x2A46;
+constexpr std::uint16_t kHidInformation = 0x2A4A;
+constexpr std::uint16_t kHidReportMap = 0x2A4B;
+constexpr std::uint16_t kHidControlPoint = 0x2A4C;
+constexpr std::uint16_t kHidReport = 0x2A4D;
+constexpr std::uint16_t kHidProtocolMode = 0x2A4E;
+
+// Characteristic property bits (in the declaration value).
+namespace props {
+constexpr std::uint8_t kRead = 0x02;
+constexpr std::uint8_t kWriteNoRsp = 0x04;
+constexpr std::uint8_t kWrite = 0x08;
+constexpr std::uint8_t kNotify = 0x10;
+constexpr std::uint8_t kIndicate = 0x20;
+}  // namespace props
+
+}  // namespace ble::gatt

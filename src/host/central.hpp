@@ -1,0 +1,64 @@
+// Central host: scans, connects, runs a GATT client over L2CAP, and can
+// start Link-Layer encryption when it shares an LTK with the peer. The
+// paper's experiments use a Central as the legitimate "Master" (a Mirage
+// simulated Central in Exp. 1/2, a smartphone in Exp. 3) — here it is the
+// same class with different connection parameters.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "att/client.hpp"
+#include "crypto/link_encryption.hpp"
+#include "host/l2cap.hpp"
+#include "link/device.hpp"
+
+namespace ble::host {
+
+struct CentralConfig {
+    std::string name = "central";
+    sim::RadioDeviceConfig radio{};
+    /// SCA declared in CONNECT_REQ (0 = actual crystal bound).
+    double declared_sca_ppm = 0.0;
+    /// Negotiate Channel Selection Algorithm #2 when the peer supports it.
+    bool support_csa2 = false;
+};
+
+class Central {
+public:
+    Central(sim::Scheduler& scheduler, sim::RadioMedium& medium, Rng rng,
+            CentralConfig config);
+
+    /// Scans for `peer` and connects with `params` (AA/CRCInit auto-filled).
+    void connect(const link::DeviceAddress& peer, link::ConnectionParams params = {});
+
+    [[nodiscard]] att::AttClient& gatt() noexcept { return att_client_; }
+    [[nodiscard]] link::LinkLayerDevice& device() noexcept { return *device_; }
+    [[nodiscard]] link::Connection* connection() noexcept { return device_->connection(); }
+    [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+    /// Starts the LL encryption procedure as master (LL_ENC_REQ ...).
+    void start_encryption(const crypto::Aes128Key& ltk);
+    [[nodiscard]] bool encrypted() const noexcept;
+
+    std::function<void()> on_connected;
+    std::function<void(link::DisconnectReason)> on_disconnected;
+    std::function<void(const link::ConnectionEventReport&)> on_event_closed;
+
+private:
+    void wire_hooks();
+    void handle_control(const link::ControlPdu& pdu);
+
+    CentralConfig config_;
+    std::unique_ptr<link::LinkLayerDevice> device_;
+    att::AttClient att_client_;
+    std::unique_ptr<L2capChannel> l2cap_;
+    bool connected_ = false;
+    Rng rng_;
+
+    std::optional<crypto::Aes128Key> ltk_;
+    std::optional<link::EncReq> enc_req_;  // material we sent, awaiting EncRsp
+};
+
+}  // namespace ble::host

@@ -1,0 +1,44 @@
+// Minimal L2CAP basic-mode framing: [length u16 | CID u16 | payload],
+// fragmented over Link-Layer data PDUs (LLID "start" / "continuation").
+// ATT rides on the fixed channel 0x0004.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "link/pdu.hpp"
+
+namespace ble::host {
+
+constexpr std::uint16_t kAttCid = 0x0004;
+
+class L2capChannel {
+public:
+    /// Sends one LL fragment (LLID + payload).
+    using SendFragment = std::function<void(link::Llid, Bytes)>;
+    /// Delivers one reassembled SDU.
+    using DeliverSdu = std::function<void(std::uint16_t cid, const Bytes& sdu)>;
+
+    L2capChannel(std::size_t max_ll_payload, SendFragment send, DeliverSdu deliver)
+        : max_ll_payload_(max_ll_payload), send_(std::move(send)),
+          deliver_(std::move(deliver)) {}
+
+    /// Frames `sdu` on `cid` and emits one or more LL fragments.
+    void send(std::uint16_t cid, BytesView sdu);
+
+    /// Feed every received (non-control) LL data PDU here.
+    void handle_ll_pdu(const link::DataPdu& pdu);
+
+    [[nodiscard]] std::size_t pending_rx_bytes() const noexcept { return rx_buffer_.size(); }
+
+private:
+    std::size_t max_ll_payload_;
+    SendFragment send_;
+    DeliverSdu deliver_;
+
+    Bytes rx_buffer_;           // accumulating L2CAP frame (starts with header)
+    std::size_t rx_expected_ = 0;  // total frame size incl. 4-byte header
+};
+
+}  // namespace ble::host

@@ -1,0 +1,46 @@
+// Bluetooth device addresses (BD_ADDR): 48 bits, public or random.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace ble::link {
+
+enum class AddressType : std::uint8_t { kPublic = 0, kRandom = 1 };
+
+class DeviceAddress {
+public:
+    DeviceAddress() = default;
+    DeviceAddress(std::array<std::uint8_t, 6> octets, AddressType type) noexcept
+        : octets_(octets), type_(type) {}
+
+    /// Parses "aa:bb:cc:dd:ee:ff" (most significant octet first, as printed).
+    static std::optional<DeviceAddress> from_string(const std::string& text,
+                                                    AddressType type = AddressType::kPublic);
+
+    /// Random static address (two most significant bits set, per spec).
+    static DeviceAddress random_static(Rng& rng);
+
+    /// On-air byte order is least-significant-octet first.
+    void write_to(ByteWriter& w) const;
+    static std::optional<DeviceAddress> read_from(ByteReader& r, AddressType type);
+
+    [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const noexcept { return octets_; }
+    [[nodiscard]] AddressType type() const noexcept { return type_; }
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const DeviceAddress& a, const DeviceAddress& b) noexcept {
+        return a.octets_ == b.octets_ && a.type_ == b.type_;
+    }
+
+private:
+    std::array<std::uint8_t, 6> octets_{};  // octets_[0] = least significant
+    AddressType type_ = AddressType::kPublic;
+};
+
+}  // namespace ble::link

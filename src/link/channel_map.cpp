@@ -1,0 +1,43 @@
+#include "link/channel_map.hpp"
+
+#include <bit>
+
+namespace ble::link {
+
+void ChannelMap::set_used(std::uint8_t channel, bool used) noexcept {
+    if (channel >= 37) return;
+    if (used) {
+        bits_ |= 1ULL << channel;
+    } else {
+        bits_ &= ~(1ULL << channel);
+    }
+}
+
+int ChannelMap::used_count() const noexcept { return std::popcount(bits_); }
+
+std::vector<std::uint8_t> ChannelMap::used_channels() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(static_cast<std::size_t>(used_count()));
+    for (std::uint8_t ch = 0; ch < 37; ++ch) {
+        if (is_used(ch)) out.push_back(ch);
+    }
+    return out;
+}
+
+void ChannelMap::write_to(ByteWriter& w) const {
+    for (int i = 0; i < 5; ++i) {
+        w.write_u8(static_cast<std::uint8_t>((bits_ >> (8 * i)) & 0xFF));
+    }
+}
+
+ChannelMap ChannelMap::read_from(ByteReader& r) {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto byte = r.read_u8();
+        if (!byte) return ChannelMap{0};
+        bits |= static_cast<std::uint64_t>(*byte) << (8 * i);
+    }
+    return ChannelMap{bits};
+}
+
+}  // namespace ble::link

@@ -1,0 +1,43 @@
+// The 37-bit data-channel map (Table II, "Channel Map" field).
+//
+// A master marks noisy channels unused via CHANNEL_MAP_IND; the channel
+// selection algorithms remap onto the used set.  At least two channels must
+// stay used (spec minimum; we enforce >= 1 and warn below 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ble::link {
+
+class ChannelMap {
+public:
+    /// All 37 data channels used.
+    ChannelMap() noexcept : bits_(0x1FFFFFFFFFULL) {}
+    explicit ChannelMap(std::uint64_t bits) noexcept : bits_(bits & 0x1FFFFFFFFFULL) {}
+
+    [[nodiscard]] bool is_used(std::uint8_t channel) const noexcept {
+        return channel < 37 && ((bits_ >> channel) & 1) != 0;
+    }
+    void set_used(std::uint8_t channel, bool used) noexcept;
+
+    [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+    [[nodiscard]] int used_count() const noexcept;
+    /// Used channels, ascending — the remapping table of both CSAs.
+    [[nodiscard]] std::vector<std::uint8_t> used_channels() const;
+
+    /// On-air representation: 5 bytes, channel 0 = LSB of first byte.
+    void write_to(ByteWriter& w) const;
+    static ChannelMap read_from(ByteReader& r);
+
+    friend bool operator==(const ChannelMap& a, const ChannelMap& b) noexcept {
+        return a.bits_ == b.bits_;
+    }
+
+private:
+    std::uint64_t bits_;
+};
+
+}  // namespace ble::link

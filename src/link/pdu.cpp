@@ -1,0 +1,65 @@
+#include "link/pdu.hpp"
+
+namespace ble::link {
+
+namespace {
+constexpr std::uint8_t kLlidMask = 0b11;
+constexpr std::uint8_t kNesnBit = 1u << 2;
+constexpr std::uint8_t kSnBit = 1u << 3;
+constexpr std::uint8_t kMdBit = 1u << 4;
+}  // namespace
+
+Bytes DataPdu::serialize() const {
+    ByteWriter w(2 + payload.size());
+    std::uint8_t flags = static_cast<std::uint8_t>(llid) & kLlidMask;
+    if (nesn) flags |= kNesnBit;
+    if (sn) flags |= kSnBit;
+    if (md) flags |= kMdBit;
+    w.write_u8(flags);
+    w.write_u8(static_cast<std::uint8_t>(payload.size()));
+    w.write_bytes(payload);
+    return w.take();
+}
+
+std::optional<DataPdu> DataPdu::parse(BytesView pdu) noexcept {
+    if (pdu.size() < 2) return std::nullopt;
+    const std::uint8_t flags = pdu[0];
+    const std::uint8_t length = pdu[1];
+    if (pdu.size() != static_cast<std::size_t>(length) + 2) return std::nullopt;
+    DataPdu out;
+    out.llid = static_cast<Llid>(flags & kLlidMask);
+    if (out.llid == Llid::kReserved) return std::nullopt;
+    out.nesn = (flags & kNesnBit) != 0;
+    out.sn = (flags & kSnBit) != 0;
+    out.md = (flags & kMdBit) != 0;
+    out.payload.assign(pdu.begin() + 2, pdu.end());
+    return out;
+}
+
+Bytes AdvPdu::serialize() const {
+    ByteWriter w(2 + payload.size());
+    std::uint8_t flags = static_cast<std::uint8_t>(type) & 0x0F;
+    if (ch_sel) flags |= 1u << 5;
+    if (tx_add) flags |= 1u << 6;
+    if (rx_add) flags |= 1u << 7;
+    w.write_u8(flags);
+    w.write_u8(static_cast<std::uint8_t>(payload.size() & 0x3F));
+    w.write_bytes(payload);
+    return w.take();
+}
+
+std::optional<AdvPdu> AdvPdu::parse(BytesView pdu) noexcept {
+    if (pdu.size() < 2) return std::nullopt;
+    const std::uint8_t flags = pdu[0];
+    const std::uint8_t length = pdu[1] & 0x3F;
+    if (pdu.size() != static_cast<std::size_t>(length) + 2) return std::nullopt;
+    AdvPdu out;
+    out.type = static_cast<AdvPduType>(flags & 0x0F);
+    out.ch_sel = (flags & (1u << 5)) != 0;
+    out.tx_add = (flags & (1u << 6)) != 0;
+    out.rx_add = (flags & (1u << 7)) != 0;
+    out.payload.assign(pdu.begin() + 2, pdu.end());
+    return out;
+}
+
+}  // namespace ble::link

@@ -1,0 +1,74 @@
+// Link-Layer PDU headers (Vol 6, Part B, §2.3 / §2.4).
+//
+// The two header bits at the heart of the paper's Eq. 6 — SN and NESN — live
+// in the first byte of every data-channel PDU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace ble::link {
+
+/// LLID field of a data-channel PDU header.
+enum class Llid : std::uint8_t {
+    kReserved = 0b00,
+    kDataContinuation = 0b01,  ///< L2CAP continuation, or empty PDU (len 0)
+    kDataStart = 0b10,         ///< start of an L2CAP message
+    kControl = 0b11,           ///< LL control PDU
+};
+
+/// Header + payload of a data-channel PDU.
+struct DataPdu {
+    Llid llid = Llid::kDataContinuation;
+    bool nesn = false;
+    bool sn = false;
+    bool md = false;  ///< More Data: keeps the connection event open
+    Bytes payload;
+
+    [[nodiscard]] bool is_empty() const noexcept {
+        return llid == Llid::kDataContinuation && payload.empty();
+    }
+    [[nodiscard]] bool is_control() const noexcept { return llid == Llid::kControl; }
+
+    /// Serializes header (2 bytes) + payload.
+    [[nodiscard]] Bytes serialize() const;
+    /// Parses a PDU; nullopt on truncation or header/length mismatch.
+    static std::optional<DataPdu> parse(BytesView pdu) noexcept;
+
+    static DataPdu empty(bool nesn, bool sn) {
+        DataPdu p;
+        p.llid = Llid::kDataContinuation;
+        p.nesn = nesn;
+        p.sn = sn;
+        return p;
+    }
+};
+
+/// Advertising-channel PDU types (4-bit header field).
+enum class AdvPduType : std::uint8_t {
+    kAdvInd = 0b0000,
+    kAdvDirectInd = 0b0001,
+    kAdvNonconnInd = 0b0010,
+    kScanReq = 0b0011,
+    kScanRsp = 0b0100,
+    kConnectReq = 0b0101,
+    kAdvScanInd = 0b0110,
+};
+
+/// Header + payload of an advertising-channel PDU.
+struct AdvPdu {
+    AdvPduType type = AdvPduType::kAdvInd;
+    /// ChSel header bit: the sender supports Channel Selection Algorithm #2.
+    /// Set on both ADV_IND and CONNECT_REQ => the connection uses CSA#2.
+    bool ch_sel = false;
+    bool tx_add = false;  ///< advertiser address is random
+    bool rx_add = false;  ///< target address is random
+    Bytes payload;
+
+    [[nodiscard]] Bytes serialize() const;
+    static std::optional<AdvPdu> parse(BytesView pdu) noexcept;
+};
+
+}  // namespace ble::link

@@ -1,0 +1,93 @@
+#include "link/trace.hpp"
+
+#include <cstdio>
+
+#include "common/hex.hpp"
+#include "link/adv_pdu.hpp"
+#include "link/control_pdu.hpp"
+#include "link/pdu.hpp"
+#include "phy/access_address.hpp"
+#include "phy/frame.hpp"
+#include "sim/radio_device.hpp"
+
+namespace ble::link {
+
+namespace {
+const char* adv_type_name(AdvPduType type) {
+    switch (type) {
+        case AdvPduType::kAdvInd: return "ADV_IND";
+        case AdvPduType::kAdvDirectInd: return "ADV_DIRECT_IND";
+        case AdvPduType::kAdvNonconnInd: return "ADV_NONCONN_IND";
+        case AdvPduType::kScanReq: return "SCAN_REQ";
+        case AdvPduType::kScanRsp: return "SCAN_RSP";
+        case AdvPduType::kConnectReq: return "CONNECT_REQ";
+        case AdvPduType::kAdvScanInd: return "ADV_SCAN_IND";
+    }
+    return "ADV_UNKNOWN";
+}
+}  // namespace
+
+std::string describe_frame(BytesView bytes) {
+    const auto raw = phy::split_frame(bytes);
+    if (!raw) return "malformed (" + std::to_string(bytes.size()) + "B)";
+
+    char buf[160];
+    if (raw->access_address == phy::kAdvertisingAccessAddress) {
+        const auto pdu = AdvPdu::parse(raw->pdu);
+        if (!pdu) return "ADV malformed";
+        std::snprintf(buf, sizeof(buf), "%s (%zuB)%s", adv_type_name(pdu->type),
+                      pdu->payload.size(), pdu->ch_sel ? " ChSel" : "");
+        return buf;
+    }
+
+    const auto pdu = DataPdu::parse(raw->pdu);
+    if (!pdu) return "DATA malformed";
+    std::string detail;
+    if (pdu->is_control()) {
+        if (const auto control = ControlPdu::parse(pdu->payload)) {
+            detail = control_opcode_name(control->opcode);
+        } else {
+            detail = "LL control (empty)";
+        }
+    } else if (pdu->is_empty()) {
+        detail = "empty PDU";
+    } else {
+        detail = "L2CAP ";
+        detail += pdu->llid == Llid::kDataStart ? "start" : "cont";
+        detail += " " + std::to_string(pdu->payload.size()) + "B";
+    }
+    std::snprintf(buf, sizeof(buf), "DATA sn=%d nesn=%d%s %s", pdu->sn ? 1 : 0,
+                  pdu->nesn ? 1 : 0, pdu->md ? " MD" : "", detail.c_str());
+    return buf;
+}
+
+PacketTrace::PacketTrace(sim::RadioMedium& medium, std::size_t max_records)
+    : max_records_(max_records) {
+    medium.add_tx_observer([this](const sim::RadioDevice& sender, sim::Channel channel,
+                                  TimePoint time, const sim::AirFrame& frame) {
+        if (records_.size() >= max_records_) return;
+        TraceRecord record;
+        record.time = time;
+        record.sender = sender.name();
+        record.channel = channel;
+        record.air_bytes = frame.bytes.size() + 1;  // + preamble
+        if (frame.bytes.size() >= 4) {
+            record.access_address = static_cast<std::uint32_t>(
+                frame.bytes[0] | (frame.bytes[1] << 8) | (frame.bytes[2] << 16) |
+                (static_cast<std::uint32_t>(frame.bytes[3]) << 24));
+        }
+        record.description = describe_frame(frame.bytes);
+        records_.push_back(record);
+        if (on_record) on_record(records_.back());
+    });
+}
+
+std::string PacketTrace::format(const TraceRecord& record) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf), "%12.3f ms  ch %2u  AA %08x  %-10s  %s",
+                  to_ms(record.time), record.channel, record.access_address,
+                  record.sender.c_str(), record.description.c_str());
+    return buf;
+}
+
+}  // namespace ble::link

@@ -1,0 +1,53 @@
+// PacketTrace: a Wireshark-style decoder for everything crossing the
+// simulated medium. Attach it to a RadioMedium and get one line per frame —
+// sender, channel, PDU type, flow-control bits, decoded control opcode —
+// which is how the examples' INJECTABLE_TRACE=1 mode and debugging sessions
+// see the attack unfold.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/medium.hpp"
+
+namespace ble::link {
+
+/// One decoded over-the-air frame.
+struct TraceRecord {
+    TimePoint time = 0;
+    std::string sender;
+    sim::Channel channel = 0;
+    std::uint32_t access_address = 0;
+    /// Human-readable decode, e.g. "ADV_IND (21B)" or
+    /// "DATA sn=1 nesn=0 LL_TERMINATE_IND".
+    std::string description;
+    std::size_t air_bytes = 0;
+};
+
+/// Decodes a serialized frame (AA + PDU + CRC) into the description used by
+/// TraceRecord; exposed for tests and external tooling.
+[[nodiscard]] std::string describe_frame(BytesView bytes);
+
+class PacketTrace {
+public:
+    /// Attaches to the medium; records every transmission from then on.
+    explicit PacketTrace(sim::RadioMedium& medium, std::size_t max_records = 100'000);
+
+    [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+        return records_;
+    }
+    void clear() noexcept { records_.clear(); }
+
+    /// Optional live sink (e.g. printing); called for every record.
+    std::function<void(const TraceRecord&)> on_record;
+
+    /// Formats one record as a fixed-width log line.
+    static std::string format(const TraceRecord& record);
+
+private:
+    std::vector<TraceRecord> records_;
+    std::size_t max_records_;
+};
+
+}  // namespace ble::link

@@ -1,0 +1,51 @@
+#include "phy/access_address.hpp"
+
+#include <bit>
+
+namespace ble::phy {
+
+namespace {
+int count_transitions(std::uint32_t v) noexcept {
+    // Transitions between adjacent bits of the 32-bit word.
+    const std::uint32_t x = v ^ (v >> 1);
+    return std::popcount(x & 0x7FFFFFFFu);
+}
+
+int max_run_length(std::uint32_t v) noexcept {
+    int best = 0;
+    int run = 0;
+    int prev = -1;
+    for (int i = 0; i < 32; ++i) {
+        const int bit = static_cast<int>((v >> i) & 1);
+        run = (bit == prev) ? run + 1 : 1;
+        prev = bit;
+        if (run > best) best = run;
+    }
+    return best;
+}
+}  // namespace
+
+bool is_valid_access_address(std::uint32_t aa) noexcept {
+    if (aa == kAdvertisingAccessAddress) return false;
+    if (std::popcount(aa ^ kAdvertisingAccessAddress) <= 1) return false;
+    if (max_run_length(aa) > 6) return false;
+    const std::uint32_t b0 = aa & 0xFF;
+    if (b0 == ((aa >> 8) & 0xFF) && b0 == ((aa >> 16) & 0xFF) && b0 == ((aa >> 24) & 0xFF)) {
+        return false;
+    }
+    if (count_transitions(aa) > 24) return false;
+    // At least two transitions within the most significant six bits.
+    const std::uint32_t top6 = aa >> 26;
+    const std::uint32_t trans = (top6 ^ (top6 >> 1)) & 0x1F;
+    if (std::popcount(trans) < 2) return false;
+    return true;
+}
+
+std::uint32_t random_access_address(Rng& rng) noexcept {
+    for (;;) {
+        const auto aa = static_cast<std::uint32_t>(rng.next_u64());
+        if (is_valid_access_address(aa)) return aa;
+    }
+}
+
+}  // namespace ble::phy

@@ -1,0 +1,29 @@
+// Access-address rules (Vol 6, Part B, §2.1.2).
+//
+// Every connection is identified on-air by a 32-bit access address chosen by
+// the initiator in CONNECT_REQ. The spec constrains the bit pattern so
+// receivers can correlate on it reliably; the InjectaBLE sniffer exploits the
+// fact that any valid data frame leaks its connection's AA in the clear.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ble::phy {
+
+/// AA used by all advertising-channel packets.
+constexpr std::uint32_t kAdvertisingAccessAddress = 0x8E89BED6;
+
+/// Checks the spec's validity constraints for a data-channel access address:
+/// - not the advertising AA, and differing from it in more than one bit,
+/// - no more than six consecutive equal bits,
+/// - not all four octets equal,
+/// - no more than 24 bit transitions,
+/// - at least two transitions in the most significant six bits.
+[[nodiscard]] bool is_valid_access_address(std::uint32_t aa) noexcept;
+
+/// Draws a uniformly random *valid* access address.
+[[nodiscard]] std::uint32_t random_access_address(Rng& rng) noexcept;
+
+}  // namespace ble::phy

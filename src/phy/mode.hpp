@@ -1,0 +1,35 @@
+// Physical-layer modes and airtime arithmetic (paper §III-A).
+//
+// All of the paper's experiments run on LE 1M (1 µs/bit, 8 µs/byte — the
+// "22 bytes over the air = 176 µs" arithmetic in §VII-A).  LE 2M and the two
+// coded modes are implemented for completeness: the attack applies to all of
+// them since window widening is PHY-independent.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+
+namespace ble::phy {
+
+enum class Mode {
+    kLe1M,       ///< 1 Mbit/s uncoded
+    kLe2M,       ///< 2 Mbit/s uncoded
+    kCodedS2,    ///< 500 kbit/s, FEC S=2
+    kCodedS8,    ///< 125 kbit/s, FEC S=8
+};
+
+[[nodiscard]] const char* mode_name(Mode mode) noexcept;
+
+/// Airtime of one PDU byte.
+[[nodiscard]] Duration byte_time(Mode mode) noexcept;
+
+/// Airtime of the preamble (for coded modes this folds in the fixed coded
+/// overhead: FEC1 access address at S=8, CI and TERM1 fields).
+[[nodiscard]] Duration preamble_time(Mode mode) noexcept;
+
+/// Total frame airtime for a PDU of `pdu_len` bytes
+/// (preamble + access address + PDU + CRC [+ TERM2 for coded]).
+[[nodiscard]] Duration frame_duration(Mode mode, std::size_t pdu_len) noexcept;
+
+}  // namespace ble::phy

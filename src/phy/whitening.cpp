@@ -1,0 +1,37 @@
+#include "phy/whitening.hpp"
+
+namespace ble::phy {
+
+namespace {
+std::uint8_t swap_bits(std::uint8_t v) noexcept {
+    v = static_cast<std::uint8_t>(((v & 0xF0) >> 4) | ((v & 0x0F) << 4));
+    v = static_cast<std::uint8_t>(((v & 0xCC) >> 2) | ((v & 0x33) << 2));
+    v = static_cast<std::uint8_t>(((v & 0xAA) >> 1) | ((v & 0x55) << 1));
+    return v;
+}
+}  // namespace
+
+void whiten(std::uint8_t channel, Bytes& data) noexcept {
+    // Register layout after bit-swapping the channel index: position 0 of the
+    // spec's register lands in the MSB, which is where the output tap sits.
+    std::uint8_t lfsr = static_cast<std::uint8_t>(swap_bits(channel) | 2);
+    for (auto& byte : data) {
+        std::uint8_t d = byte;
+        for (std::uint8_t bit = 1; bit != 0; bit = static_cast<std::uint8_t>(bit << 1)) {
+            if (lfsr & 0x80) {
+                lfsr ^= 0x11;  // feedback taps of x^7 + x^4 + 1
+                d ^= bit;
+            }
+            lfsr = static_cast<std::uint8_t>(lfsr << 1);
+        }
+        byte = d;
+    }
+}
+
+Bytes whitened(std::uint8_t channel, BytesView data) {
+    Bytes out(data.begin(), data.end());
+    whiten(channel, out);
+    return out;
+}
+
+}  // namespace ble::phy

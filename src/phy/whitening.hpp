@@ -1,0 +1,25 @@
+// BLE data whitening (Vol 6, Part B, §3.2): a 7-bit LFSR (x^7 + x^4 + 1)
+// seeded from the channel index scrambles PDU+CRC bits to avoid long runs.
+// Whitening is an involution (whiten == dewhiten), so both directions share
+// one function.
+//
+// The simulation medium carries *unwhitened* logical bytes (whitening is
+// bijective per channel, so it cannot change collision outcomes), but the
+// implementation is kept bit-exact because the sniffer's CRCInit recovery and
+// the dongle's frame dumps operate on the de-whitened stream, and tests pin
+// the generated sequences.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ble::phy {
+
+/// XORs the whitening sequence for `channel` (0..39) into `data`, in place.
+void whiten(std::uint8_t channel, Bytes& data) noexcept;
+
+/// Convenience copy version.
+[[nodiscard]] Bytes whitened(std::uint8_t channel, BytesView data);
+
+}  // namespace ble::phy

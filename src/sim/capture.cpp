@@ -1,0 +1,17 @@
+#include "sim/capture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ble::sim {
+
+double CaptureModel::byte_corruption_prob(double sir_db, double phase_quality) const noexcept {
+    const double phase_shift = (std::clamp(phase_quality, 0.0, 1.0) - 0.5) * 2.0 *
+                               params_.phase_spread_db;
+    const double effective = sir_db + phase_shift;
+    const double survival = 1.0 / (1.0 + std::exp(-(effective - params_.mid_sir_db) /
+                                                  params_.slope_db));
+    return 1.0 - survival;
+}
+
+}  // namespace ble::sim

@@ -1,0 +1,212 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "sim/radio_device.hpp"
+
+namespace ble::sim {
+
+namespace {
+double dbm_to_mw(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) noexcept { return 10.0 * std::log10(mw); }
+}  // namespace
+
+RadioMedium::RadioMedium(Scheduler& scheduler, Rng rng, PathLossModel path_loss,
+                         CaptureModel capture, MediumParams params)
+    : scheduler_(scheduler),
+      rng_(rng),
+      path_loss_(std::move(path_loss)),
+      capture_(capture),
+      params_(params) {}
+
+void RadioMedium::attach(RadioDevice& device) {
+    devices_.push_back(&device);
+    listeners_[&device] = ListenState{};
+}
+
+void RadioMedium::detach(RadioDevice& device) noexcept {
+    std::erase(devices_, &device);
+    listeners_.erase(&device);
+    // Any in-flight transmission keeps a sender pointer only for exclusion
+    // checks; clear it so a device destroyed mid-frame cannot dangle.
+    for (auto& [id, tx] : active_) {
+        if (tx.sender == &device) tx.sender = nullptr;
+    }
+}
+
+void RadioMedium::start_listening(RadioDevice& device, Channel channel) {
+    auto& state = listeners_[&device];
+    state.channel = channel;
+    state.active = true;
+    state.locked_tx = 0;  // switching channels drops any sync
+}
+
+bool RadioMedium::is_receiving(const RadioDevice& device) const noexcept {
+    auto it = listeners_.find(const_cast<RadioDevice*>(&device));
+    return it != listeners_.end() && it->second.active && it->second.locked_tx != 0;
+}
+
+void RadioMedium::stop_listening(RadioDevice& device) noexcept {
+    auto it = listeners_.find(&device);
+    if (it == listeners_.end()) return;
+    it->second.active = false;
+    it->second.locked_tx = 0;
+}
+
+double RadioMedium::rx_power_dbm(Transmission& tx, const RadioDevice& receiver) {
+    auto it = tx.rx_power_dbm.find(&receiver);
+    if (it != tx.rx_power_dbm.end()) return it->second;
+    // One fading draw per (frame, receiver): channel hopping decorrelates
+    // consecutive frames, so each frame sees a fresh fade.
+    const double loss =
+        tx.sender == nullptr
+            ? 200.0
+            : path_loss_.sample_loss_db(tx.sender->position(), receiver.position(), rng_);
+    const double power = (tx.sender ? tx.sender->tx_power_dbm() : 0.0) - loss;
+    tx.rx_power_dbm.emplace(&receiver, power);
+    return power;
+}
+
+std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFrame frame) {
+    // Half-duplex: transmitting suspends any reception in progress.
+    stop_listening(device);
+    device.transmitting_ = true;
+
+    const std::uint64_t id = next_tx_id_++;
+    Transmission tx;
+    tx.id = id;
+    tx.sender = &device;
+    tx.channel = channel;
+    tx.start = scheduler_.now();
+    tx.end = tx.start + frame.duration();
+    tx.frame = std::move(frame);
+
+    for (const auto& observer : observers_) observer(device, channel, tx.start, tx.frame);
+
+    auto [it, inserted] = active_.emplace(id, std::move(tx));
+    Transmission& stored = it->second;
+
+    // Idle listeners on this channel lock onto the new frame if it is loud
+    // enough. Listeners already locked on an earlier frame, or that started
+    // listening mid-frame, cannot sync (no preamble for them) — the frame
+    // only interferes.
+    for (RadioDevice* d : devices_) {
+        if (d == &device) continue;
+        auto& state = listeners_[d];
+        if (!state.active || state.channel != channel || state.locked_tx != 0) continue;
+        if (d->transmitting()) continue;
+        if (rx_power_dbm(stored, *d) >= params_.sensitivity_dbm) {
+            state.locked_tx = id;
+        }
+    }
+
+    scheduler_.schedule_at(stored.end, [this, id] { finish_transmission(id); });
+    return id;
+}
+
+void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
+    const double signal_dbm = rx_power_dbm(tx, receiver);
+    const double noise_mw = dbm_to_mw(params_.noise_floor_dbm);
+
+    // Collect interferers overlapping this frame at this receiver. The
+    // carrier-phase alignment between two unsynchronised transmitters rotates
+    // with their frequency offset (paper §V-D: survival "depends on the phase
+    // difference between the injected and legitimate signals"), with a
+    // coherence time on the order of a byte — so the phase lottery is drawn
+    // *per byte* below, which is what makes longer overlaps deadlier.
+    struct Interferer {
+        const Transmission* tx;
+        double power_mw;
+    };
+    std::vector<Interferer> interferers;
+    for (auto& [other_id, other] : active_) {
+        if (other_id == tx.id || other.channel != tx.channel) continue;
+        if (other.start >= tx.end || other.end <= tx.start) continue;
+        if (other.sender == &receiver) continue;  // own TX handled by half-duplex
+        interferers.push_back(
+            Interferer{&other, dbm_to_mw(rx_power_dbm(other, receiver))});
+    }
+
+    Bytes bytes = tx.frame.bytes;
+    bool corrupted = false;
+    int sync_bit_errors = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        const TimePoint byte_start =
+            tx.start + tx.frame.preamble_time + static_cast<Duration>(i) * tx.frame.byte_time;
+        const TimePoint byte_end = byte_start + tx.frame.byte_time;
+
+        double interference_mw = noise_mw;
+        double phase = 0.5;  // neutral when only noise is present
+        for (const auto& intf : interferers) {
+            if (intf.tx->start < byte_end && intf.tx->end > byte_start) {
+                interference_mw += intf.power_mw;
+                phase = rng_.next_double();  // per-byte carrier-phase lottery
+            }
+        }
+        const double sir_db = signal_dbm - mw_to_dbm(interference_mw);
+        const double p_corrupt = capture_.byte_corruption_prob(sir_db, phase);
+        if (rng_.chance(p_corrupt)) {
+            // Flip a random bit: the CRC then fails naturally downstream.
+            bytes[i] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+            corrupted = true;
+            if (i < tx.frame.sync_bytes) ++sync_bit_errors;
+        }
+    }
+
+    auto& state = listeners_[&receiver];
+    state.locked_tx = 0;  // receiver returns to idle listening
+
+    if (sync_bit_errors > params_.max_sync_bit_errors) {
+        // The correlator never matched: nothing is delivered, exactly like a
+        // real radio that misses the access address.
+        BLE_LOG_TRACE("medium: ", receiver.name(), " lost sync on tx ", tx.id);
+        return;
+    }
+    // A tolerated near-miss correlation outputs the *matched* sync word.
+    for (std::size_t i = 0; i < tx.frame.sync_bytes && i < bytes.size(); ++i) {
+        bytes[i] = tx.frame.bytes[i];
+    }
+
+    RxFrame rx;
+    rx.bytes = std::move(bytes);
+    rx.start = tx.start;
+    rx.end = tx.end;
+    rx.channel = tx.channel;
+    rx.rssi_dbm = signal_dbm;
+    rx.corrupted_by_medium = corrupted;
+    rx.transmission_id = tx.id;
+    receiver.on_rx(rx);
+}
+
+void RadioMedium::finish_transmission(std::uint64_t tx_id) {
+    auto it = active_.find(tx_id);
+    if (it == active_.end()) return;
+    Transmission& tx = it->second;
+
+    RadioDevice* sender = tx.sender;
+
+    // Deliver to every receiver locked on this frame. Snapshot first: on_rx
+    // handlers may retune radios or start transmissions.
+    std::vector<RadioDevice*> locked;
+    for (auto& [device, state] : listeners_) {
+        if (state.active && state.locked_tx == tx_id) locked.push_back(device);
+    }
+    for (RadioDevice* receiver : locked) deliver(tx, *receiver);
+
+    // Keep the record around briefly so frames that overlapped it can still
+    // account for its interference, then garbage-collect.
+    const TimePoint horizon = scheduler_.now() - 10_ms;
+    std::erase_if(active_, [&](const auto& entry) {
+        return entry.second.end <= scheduler_.now() && entry.second.end < horizon;
+    });
+    // NOTE: `tx` may be dangling from here on.
+
+    if (sender != nullptr) {
+        sender->transmitting_ = false;
+        sender->on_tx_complete();
+    }
+}
+
+}  // namespace ble::sim

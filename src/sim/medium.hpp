@@ -1,0 +1,151 @@
+// RadioMedium: the shared 2.4 GHz channel.
+//
+// Mechanics (mirrors how a real BLE receiver behaves, at byte granularity):
+//  * A receiver that is idle-listening on a channel *locks onto* the first
+//    transmission that starts while it listens and arrives above sensitivity.
+//    It cannot re-sync mid-frame, so a transmission already in flight when the
+//    receiver opens its window is missed entirely — this is exactly why
+//    window widening exists, and why the attacker's earlier frame wins the
+//    race even when the legitimate master transmits moments later.
+//  * When the locked transmission ends, every byte that overlapped another
+//    transmission (or sits near the noise floor) is corrupted with a
+//    probability from CaptureModel.  A corrupted sync header (preamble /
+//    access address region) suppresses delivery entirely; corruption later in
+//    the frame is delivered as-is and caught by the link layer's CRC — the
+//    paper's outcome (b).
+//  * Devices are half-duplex: transmitting suspends listening.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/capture.hpp"
+#include "sim/path_loss.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ble::sim {
+
+class RadioDevice;
+
+/// BLE channel index, 0..36 data + 37..39 advertising.
+using Channel = std::uint8_t;
+constexpr Channel kNumChannels = 40;
+
+/// A fully serialized over-the-air frame, PHY-agnostic from the medium's
+/// point of view: opaque bytes plus explicit timing.
+struct AirFrame {
+    /// Access address + PDU + CRC (unwhitened; whitening is a PHY detail that
+    /// is bijective per channel, so the medium carries logical bytes).
+    Bytes bytes;
+    /// Airtime of the preamble preceding bytes[0] (8 µs for LE 1M).
+    Duration preamble_time = 8_us;
+    /// Airtime of one byte (8 µs for LE 1M).
+    Duration byte_time = 8_us;
+    /// Corruption within the first `sync_bytes` of `bytes` (plus the
+    /// preamble) prevents receiver sync: the frame is silently lost.
+    std::size_t sync_bytes = 4;
+
+    [[nodiscard]] Duration duration() const noexcept {
+        return preamble_time + static_cast<Duration>(bytes.size()) * byte_time;
+    }
+};
+
+/// What a locked receiver gets when the frame ends.
+struct RxFrame {
+    Bytes bytes;  ///< possibly corrupted copy of AirFrame::bytes
+    TimePoint start = 0;
+    TimePoint end = 0;
+    Channel channel = 0;
+    double rssi_dbm = -127.0;
+    /// God-view flag: true if the medium corrupted at least one byte.  The
+    /// protocol stack must NOT consult this (it re-checks CRC like real
+    /// hardware); it exists for tests and for validating the paper's Eq. 7
+    /// success heuristic against ground truth.
+    bool corrupted_by_medium = false;
+    /// God-view: id of the transmission this frame came from.
+    std::uint64_t transmission_id = 0;
+};
+
+struct MediumParams {
+    double noise_floor_dbm = -100.0;
+    double sensitivity_dbm = -94.0;
+    /// Bit errors tolerated by the sync-word correlator (real BLE receivers
+    /// accept an access address with a couple of flipped bits and output the
+    /// *matched* pattern). Beyond this, the frame is silently lost.
+    int max_sync_bit_errors = 2;
+};
+
+class RadioMedium {
+public:
+    RadioMedium(Scheduler& scheduler, Rng rng, PathLossModel path_loss = PathLossModel{},
+                CaptureModel capture = CaptureModel{}, MediumParams params = {});
+
+    RadioMedium(const RadioMedium&) = delete;
+    RadioMedium& operator=(const RadioMedium&) = delete;
+
+    /// Called by RadioDevice's constructor/destructor.
+    void attach(RadioDevice& device);
+    void detach(RadioDevice& device) noexcept;
+
+    /// Device API (normally called through RadioDevice helpers).
+    void start_listening(RadioDevice& device, Channel channel);
+    void stop_listening(RadioDevice& device) noexcept;
+    [[nodiscard]] bool is_receiving(const RadioDevice& device) const noexcept;
+    std::uint64_t transmit(RadioDevice& device, Channel channel, AirFrame frame);
+
+    [[nodiscard]] PathLossModel& path_loss() noexcept { return path_loss_; }
+    [[nodiscard]] const MediumParams& params() const noexcept { return params_; }
+    [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+
+    /// Number of transmissions currently in flight (all channels).
+    [[nodiscard]] std::size_t active_transmissions() const noexcept { return active_.size(); }
+
+    /// Test hook: observe every transmission start (channel, start, frame,
+    /// sender). Used by the IDS's "double anchor frame" monitor and by tests.
+    using TxObserver =
+        std::function<void(const RadioDevice&, Channel, TimePoint, const AirFrame&)>;
+    void add_tx_observer(TxObserver observer) { observers_.push_back(std::move(observer)); }
+
+private:
+    struct Transmission {
+        std::uint64_t id = 0;
+        RadioDevice* sender = nullptr;
+        Channel channel = 0;
+        TimePoint start = 0;
+        TimePoint end = 0;
+        AirFrame frame;
+        /// Memoized received power per receiver (one fading draw per pair).
+        std::unordered_map<const RadioDevice*, double> rx_power_dbm;
+    };
+
+    struct ListenState {
+        Channel channel = 0;
+        bool active = false;
+        /// Transmission the receiver is locked on (0 = idle).
+        std::uint64_t locked_tx = 0;
+    };
+
+    double rx_power_dbm(Transmission& tx, const RadioDevice& receiver);
+    void finish_transmission(std::uint64_t tx_id);
+    void deliver(Transmission& tx, RadioDevice& receiver);
+
+    Scheduler& scheduler_;
+    Rng rng_;
+    PathLossModel path_loss_;
+    CaptureModel capture_;
+    MediumParams params_;
+
+    std::uint64_t next_tx_id_ = 1;
+    std::vector<RadioDevice*> devices_;
+    std::unordered_map<std::uint64_t, Transmission> active_;
+    std::unordered_map<RadioDevice*, ListenState> listeners_;
+    std::vector<TxObserver> observers_;
+};
+
+}  // namespace ble::sim

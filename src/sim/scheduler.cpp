@@ -1,0 +1,57 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace ble::sim {
+
+EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    const EventId id = next_id_++;
+    heap_.push(HeapEntry{t, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+}
+
+void Scheduler::cancel(EventId id) noexcept { callbacks_.erase(id); }
+
+bool Scheduler::run_one() {
+    while (!heap_.empty()) {
+        const HeapEntry entry = heap_.top();
+        heap_.pop();
+        auto it = callbacks_.find(entry.id);
+        if (it == callbacks_.end()) continue;  // cancelled
+        auto fn = std::move(it->second);
+        callbacks_.erase(it);
+        now_ = entry.t;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void Scheduler::run_until(TimePoint t) {
+    while (!heap_.empty()) {
+        // Skip cancelled entries without advancing time.
+        const HeapEntry entry = heap_.top();
+        auto it = callbacks_.find(entry.id);
+        if (it == callbacks_.end()) {
+            heap_.pop();
+            continue;
+        }
+        if (entry.t > t) break;
+        heap_.pop();
+        auto fn = std::move(it->second);
+        callbacks_.erase(it);
+        now_ = entry.t;
+        fn();
+    }
+    if (now_ < t) now_ = t;
+}
+
+std::size_t Scheduler::run_all(std::size_t max_events) {
+    std::size_t count = 0;
+    while (count < max_events && run_one()) ++count;
+    return count;
+}
+
+}  // namespace ble::sim

@@ -1,0 +1,68 @@
+// Discrete-event scheduler: the single source of truth for simulated time.
+//
+// Events fire in (time, insertion-order) order, so same-timestamp events are
+// deterministic.  Cancellation is O(1) (the heap entry is left in place and
+// skipped when popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ble::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Scheduler {
+public:
+    Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+    /// Schedules `fn` at absolute time `t` (clamped to `now()` if in the past).
+    EventId schedule_at(TimePoint t, std::function<void()> fn);
+    EventId schedule_after(Duration d, std::function<void()> fn) {
+        return schedule_at(now_ + d, std::move(fn));
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+    /// harmless no-op (devices routinely cancel their timeout guards).
+    void cancel(EventId id) noexcept;
+
+    [[nodiscard]] bool empty() const noexcept { return callbacks_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+
+    /// Runs the next event; returns false if none are pending.
+    bool run_one();
+
+    /// Runs all events with time <= t, then advances the clock to exactly t.
+    void run_until(TimePoint t);
+
+    void run_for(Duration d) { run_until(now_ + d); }
+
+    /// Drains the queue (bounded by `max_events` as a runaway guard).
+    std::size_t run_all(std::size_t max_events = 100'000'000);
+
+private:
+    struct HeapEntry {
+        TimePoint t;
+        EventId id;
+        bool operator>(const HeapEntry& other) const noexcept {
+            return t != other.t ? t > other.t : id > other.id;
+        }
+    };
+
+    TimePoint now_ = 0;
+    EventId next_id_ = 1;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+    std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace ble::sim

@@ -1,0 +1,29 @@
+#include "sim/sleep_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ble::sim {
+
+SleepClock::SleepClock(SleepClockParams params, Rng rng) noexcept
+    : params_(params), rng_(rng) {
+    if (params_.initial_ppm == SleepClockParams::kSampleInitial) {
+        rate_ppm_ = rng_.uniform(-params_.sca_ppm, params_.sca_ppm);
+    } else {
+        rate_ppm_ = std::clamp(params_.initial_ppm, -params_.sca_ppm, params_.sca_ppm);
+    }
+}
+
+void SleepClock::step_walk() noexcept {
+    rate_ppm_ = rate_ppm_ * (1.0 - params_.reversion) +
+                rng_.normal(0.0, params_.walk_step_ppm);
+    rate_ppm_ = std::clamp(rate_ppm_, -params_.sca_ppm, params_.sca_ppm);
+}
+
+Duration SleepClock::to_global(Duration local) noexcept {
+    step_walk();
+    const double scaled = static_cast<double>(local) * (1.0 + rate_ppm_ * 1e-6);
+    return static_cast<Duration>(std::llround(scaled));
+}
+
+}  // namespace ble::sim

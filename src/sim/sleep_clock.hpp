@@ -1,0 +1,55 @@
+// Sleep-clock model: the physical root cause of the InjectaBLE window.
+//
+// Every BLE device times its radio events with a low-power "sleep clock"
+// whose frequency error is bounded by its Sleep Clock Accuracy (SCA, in ppm).
+// The spec compensates with *window widening* (paper Eq. 4); the attack races
+// inside that widened window.  We model each device's oscillator as a drift
+// rate that random-walks inside the ±SCA envelope: consecutive intervals see
+// correlated but slowly changing error, matching crystal behaviour far better
+// than i.i.d. jitter.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ble::sim {
+
+struct SleepClockParams {
+    /// Maximum |frequency error| in parts-per-million. 20 ppm is the paper's
+    /// worst-case assumption for the slave; masters often declare 31-50 ppm.
+    double sca_ppm = 20.0;
+    /// Random-walk step (ppm per resample). Larger = faster-wandering crystal.
+    double walk_step_ppm = 2.0;
+    /// Mean-reversion strength per resample: real crystals hover near their
+    /// nominal frequency and only rarely approach the declared SCA envelope.
+    double reversion = 0.02;
+    /// Initial drift rate; sampled uniformly in ±sca_ppm when NaN.
+    double initial_ppm = kSampleInitial;
+
+    static constexpr double kSampleInitial = 1e9;  // sentinel
+};
+
+class SleepClock {
+public:
+    SleepClock(SleepClockParams params, Rng rng) noexcept;
+
+    /// Real (simulation) duration that elapses while this device's local clock
+    /// counts `local` nanoseconds.  Also advances the random walk, so each
+    /// scheduled interval experiences slightly different drift.
+    [[nodiscard]] Duration to_global(Duration local) noexcept;
+
+    /// Current frequency error in ppm (positive = local clock runs slow, i.e.
+    /// scheduled events happen *later* in global time).
+    [[nodiscard]] double current_ppm() const noexcept { return rate_ppm_; }
+
+    [[nodiscard]] double sca_ppm() const noexcept { return params_.sca_ppm; }
+
+private:
+    void step_walk() noexcept;
+
+    SleepClockParams params_;
+    Rng rng_;
+    double rate_ppm_ = 0.0;
+};
+
+}  // namespace ble::sim

@@ -1,0 +1,121 @@
+// ATT server edge cases around MTU, boundaries and discovery pagination.
+#include <gtest/gtest.h>
+
+#include "att/server.hpp"
+
+namespace ble::att {
+namespace {
+
+TEST(AttServerEdgeTest, ReadTruncatesToMtuMinusOne) {
+    AttServer server;
+    Attribute attr;
+    attr.type = Uuid::from16(0x2A00);
+    attr.value = Bytes(40, 0xAB);  // longer than MTU 23 allows
+    const auto handle = server.add(std::move(attr));
+    const auto rsp = server.handle_pdu(make_read_req(handle));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kReadRsp);
+    EXPECT_EQ(rsp->params.size(), static_cast<std::size_t>(server.mtu() - 1));
+    EXPECT_EQ(rsp->params, Bytes(server.mtu() - 1u, 0xAB));
+}
+
+TEST(AttServerEdgeTest, FindInformationRespectsMtu) {
+    AttServer server;
+    for (int i = 0; i < 30; ++i) {
+        Attribute attr;
+        attr.type = Uuid::from16(static_cast<std::uint16_t>(0xFF00 + i));
+        server.add(std::move(attr));
+    }
+    const auto rsp = server.handle_pdu(make_find_information_req(1, 0xFFFF));
+    ASSERT_TRUE(rsp.has_value());
+    ASSERT_EQ(rsp->opcode, Opcode::kFindInformationRsp);
+    // format byte + entries of 4 bytes, all within MTU - 1.
+    EXPECT_LE(rsp->params.size(), static_cast<std::size_t>(server.mtu() - 1));
+    EXPECT_EQ((rsp->params.size() - 1) % 4, 0u);
+    // A follow-up request starting after the last returned handle pages on.
+    ByteReader r(rsp->params);
+    (void)r.read_u8();
+    std::uint16_t last_handle = 0;
+    while (r.remaining() >= 4) {
+        last_handle = *r.read_u16();
+        (void)r.read_u16();
+    }
+    const auto page2 = server.handle_pdu(
+        make_find_information_req(static_cast<std::uint16_t>(last_handle + 1), 0xFFFF));
+    ASSERT_TRUE(page2.has_value());
+    EXPECT_EQ(page2->opcode, Opcode::kFindInformationRsp);
+}
+
+TEST(AttServerEdgeTest, MixedUuidWidthsSplitAcrossResponses) {
+    AttServer server;
+    Attribute a16;
+    a16.type = Uuid::from16(0x2A00);
+    server.add(std::move(a16));
+    Attribute a128;
+    std::array<std::uint8_t, 16> raw{};
+    raw[0] = 0x42;
+    a128.type = Uuid::from128(raw);
+    server.add(std::move(a128));
+
+    const auto rsp = server.handle_pdu(make_find_information_req(1, 0xFFFF));
+    ASSERT_TRUE(rsp.has_value());
+    // First response: only the 16-bit entry (format 1).
+    EXPECT_EQ(rsp->params[0], 0x01);
+    EXPECT_EQ(rsp->params.size(), 1u + 4u);
+    // Second page: the 128-bit entry (format 2).
+    const auto page2 = server.handle_pdu(make_find_information_req(2, 0xFFFF));
+    ASSERT_TRUE(page2.has_value());
+    EXPECT_EQ(page2->params[0], 0x02);
+    EXPECT_EQ(page2->params.size(), 1u + 18u);
+}
+
+TEST(AttServerEdgeTest, InvertedRangeIsInvalidPdu) {
+    AttServer server;
+    Attribute attr;
+    attr.type = Uuid::from16(0x2A00);
+    server.add(std::move(attr));
+    const auto rsp = server.handle_pdu(make_find_information_req(5, 2));
+    ASSERT_TRUE(rsp.has_value());
+    const auto err = ErrorRsp::parse(*rsp);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->error, ErrorCode::kInvalidPdu);
+}
+
+TEST(AttServerEdgeTest, ZeroStartHandleIsInvalid) {
+    AttServer server;
+    const auto rsp = server.handle_pdu(make_find_information_req(0, 0xFFFF));
+    ASSERT_TRUE(rsp.has_value());
+    ASSERT_TRUE(ErrorRsp::parse(*rsp).has_value());
+}
+
+TEST(AttServerEdgeTest, WriteOfEmptyValueAllowed) {
+    AttServer server;
+    Attribute attr;
+    attr.type = Uuid::from16(0xFF01);
+    attr.value = {1, 2, 3};
+    attr.writable = true;
+    const auto handle = server.add(std::move(attr));
+    const auto rsp = server.handle_pdu(make_write_req(handle, Bytes{}));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kWriteRsp);
+    EXPECT_TRUE(server.find(handle)->value.empty());
+}
+
+TEST(AttServerEdgeTest, ReadByTypeStopsAtDifferingLengths) {
+    AttServer server;
+    for (int i = 0; i < 3; ++i) {
+        Attribute attr;
+        attr.type = Uuid::from16(0x2A99);
+        attr.value = Bytes(static_cast<std::size_t>(2 + i), 0x11);  // varying sizes
+        server.add(std::move(attr));
+    }
+    const auto rsp = server.handle_pdu(make_read_by_type_req(1, 0xFFFF, Uuid::from16(0x2A99)));
+    ASSERT_TRUE(rsp.has_value());
+    ASSERT_EQ(rsp->opcode, Opcode::kReadByTypeRsp);
+    // Only the first attribute fits the uniform-length rule: len byte = 2+2.
+    EXPECT_EQ(rsp->params[0], 4);
+    EXPECT_EQ(rsp->params.size(), 1u + 4u);
+}
+
+}  // namespace
+}  // namespace ble::att

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "att/server.hpp"
+
+namespace ble::att {
+namespace {
+
+AttServer make_simple_server() {
+    AttServer server;
+    Attribute name;
+    name.type = Uuid::from16(0x2A00);
+    name.value = {'b', 'u', 'l', 'b'};
+    server.add(std::move(name));
+
+    Attribute control;
+    control.type = Uuid::from16(0xFF01);
+    control.value = {0x00};
+    control.writable = true;
+    server.add(std::move(control));
+
+    Attribute secret;
+    secret.type = Uuid::from16(0xFF02);
+    secret.value = {0x42};
+    secret.readable = false;
+    server.add(std::move(secret));
+    return server;
+}
+
+TEST(AttServerTest, HandlesAreSequentialFromOne) {
+    AttServer server = make_simple_server();
+    EXPECT_EQ(server.attributes()[0].handle, 1);
+    EXPECT_EQ(server.attributes()[2].handle, 3);
+    EXPECT_NE(server.find(1), nullptr);
+    EXPECT_EQ(server.find(0), nullptr);
+    EXPECT_EQ(server.find(4), nullptr);
+}
+
+TEST(AttServerTest, ReadReturnsValue) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_read_req(1));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kReadRsp);
+    EXPECT_EQ(rsp->params, (Bytes{'b', 'u', 'l', 'b'}));
+}
+
+TEST(AttServerTest, ReadInvalidHandleErrors) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_read_req(99));
+    ASSERT_TRUE(rsp.has_value());
+    const auto err = ErrorRsp::parse(*rsp);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->error, ErrorCode::kInvalidHandle);
+    EXPECT_EQ(err->handle, 99);
+}
+
+TEST(AttServerTest, ReadNotPermitted) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_read_req(3));
+    const auto err = ErrorRsp::parse(*rsp);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->error, ErrorCode::kReadNotPermitted);
+}
+
+TEST(AttServerTest, WriteStoresValue) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_write_req(2, Bytes{0x01, 0x02}));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kWriteRsp);
+    EXPECT_EQ(server.find(2)->value, (Bytes{0x01, 0x02}));
+}
+
+TEST(AttServerTest, WriteNotPermittedOnReadOnly) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_write_req(1, Bytes{0x00}));
+    const auto err = ErrorRsp::parse(*rsp);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->error, ErrorCode::kWriteNotPermitted);
+}
+
+TEST(AttServerTest, WriteCallbackCanReject) {
+    AttServer server;
+    Attribute attr;
+    attr.type = Uuid::from16(0xFF10);
+    attr.writable = true;
+    attr.on_write = [](BytesView v) -> std::optional<ErrorCode> {
+        if (v.size() != 1) return ErrorCode::kInvalidAttributeValueLength;
+        return std::nullopt;
+    };
+    const auto handle = server.add(std::move(attr));
+
+    const auto bad = server.handle_pdu(make_write_req(handle, Bytes{1, 2}));
+    ASSERT_TRUE(ErrorRsp::parse(*bad).has_value());
+    const auto good = server.handle_pdu(make_write_req(handle, Bytes{7}));
+    EXPECT_EQ(good->opcode, Opcode::kWriteRsp);
+    EXPECT_EQ(server.find(handle)->value, Bytes{7});
+}
+
+TEST(AttServerTest, WriteCommandSilentOnAllOutcomes) {
+    AttServer server = make_simple_server();
+    EXPECT_EQ(server.handle_pdu(make_write_cmd(2, Bytes{0x09})), std::nullopt);
+    EXPECT_EQ(server.find(2)->value, Bytes{0x09});
+    EXPECT_EQ(server.handle_pdu(make_write_cmd(1, Bytes{0x00})), std::nullopt);  // RO
+    EXPECT_EQ(server.handle_pdu(make_write_cmd(99, Bytes{0x00})), std::nullopt); // bad handle
+}
+
+TEST(AttServerTest, DynamicReadCallback) {
+    AttServer server;
+    int reads = 0;
+    Attribute attr;
+    attr.type = Uuid::from16(0xFF20);
+    attr.on_read = [&reads] {
+        ++reads;
+        return Bytes{static_cast<std::uint8_t>(reads)};
+    };
+    const auto handle = server.add(std::move(attr));
+    EXPECT_EQ(server.handle_pdu(make_read_req(handle))->params, Bytes{1});
+    EXPECT_EQ(server.handle_pdu(make_read_req(handle))->params, Bytes{2});
+}
+
+TEST(AttServerTest, ExchangeMtu) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_exchange_mtu_req(185));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kExchangeMtuRsp);
+    ByteReader r(rsp->params);
+    EXPECT_EQ(r.read_u16(), server.mtu());
+}
+
+TEST(AttServerTest, UnsupportedRequestErrors) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(AttPdu{Opcode::kReadBlobReq, Bytes{1, 0, 0, 0}});
+    ASSERT_TRUE(rsp.has_value());
+    const auto err = ErrorRsp::parse(*rsp);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->error, ErrorCode::kRequestNotSupported);
+}
+
+TEST(AttServerTest, FindInformationListsTypes) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_find_information_req(1, 0xFFFF));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kFindInformationRsp);
+    EXPECT_EQ(rsp->params[0], 0x01);  // 16-bit format
+    // 3 attributes * (2 handle + 2 uuid) = 12 bytes + format byte.
+    EXPECT_EQ(rsp->params.size(), 13u);
+}
+
+TEST(AttServerTest, FindInformationEmptyRangeErrors) {
+    AttServer server = make_simple_server();
+    const auto rsp = server.handle_pdu(make_find_information_req(10, 20));
+    const auto err = ErrorRsp::parse(*rsp);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->error, ErrorCode::kAttributeNotFound);
+}
+
+TEST(AttServerTest, ReadByTypeFindsMatch) {
+    AttServer server = make_simple_server();
+    const auto rsp =
+        server.handle_pdu(make_read_by_type_req(1, 0xFFFF, Uuid::from16(0x2A00)));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, Opcode::kReadByTypeRsp);
+    // length byte | handle u16 | "bulb".
+    EXPECT_EQ(rsp->params, (Bytes{0x06, 0x01, 0x00, 'b', 'u', 'l', 'b'}));
+}
+
+TEST(AttServerTest, FindByTypeHelper) {
+    AttServer server = make_simple_server();
+    const auto* attr = server.find_by_type(1, 0xFFFF, Uuid::from16(0xFF02));
+    ASSERT_NE(attr, nullptr);
+    EXPECT_EQ(attr->handle, 3);
+    EXPECT_EQ(server.find_by_type(1, 2, Uuid::from16(0xFF02)), nullptr);
+}
+
+}  // namespace
+}  // namespace ble::att

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "att/uuid.hpp"
+
+namespace ble::att {
+namespace {
+
+TEST(UuidTest, From16RoundTrip) {
+    const Uuid uuid = Uuid::from16(0x2A00);
+    EXPECT_TRUE(uuid.is16());
+    EXPECT_EQ(uuid.as16(), 0x2A00);
+}
+
+TEST(UuidTest, Vendor128IsNot16) {
+    std::array<std::uint8_t, 16> raw{};
+    raw[0] = 0x42;
+    raw[15] = 0x24;
+    const Uuid uuid = Uuid::from128(raw);
+    EXPECT_FALSE(uuid.is16());
+    EXPECT_EQ(uuid.bytes(), raw);
+}
+
+TEST(UuidTest, Serializes16As2Bytes) {
+    ByteWriter w;
+    Uuid::from16(0x1800).write_to(w);
+    EXPECT_EQ(w.bytes(), (Bytes{0x00, 0x18}));
+}
+
+TEST(UuidTest, Serializes128As16Bytes) {
+    std::array<std::uint8_t, 16> raw{};
+    raw[3] = 0x07;
+    ByteWriter w;
+    Uuid::from128(raw).write_to(w);
+    EXPECT_EQ(w.size(), 16u);
+}
+
+TEST(UuidTest, ReadBothWidths) {
+    ByteWriter w;
+    w.write_u16(0x2902);
+    ByteReader r(w.bytes());
+    const auto u = Uuid::read_from(r, 2);
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(u->as16(), 0x2902);
+
+    std::array<std::uint8_t, 16> raw{};
+    raw[9] = 0xAA;
+    ByteWriter w2;
+    Uuid::from128(raw).write_to(w2);
+    ByteReader r2(w2.bytes());
+    const auto u2 = Uuid::read_from(r2, 16);
+    ASSERT_TRUE(u2.has_value());
+    EXPECT_EQ(u2->bytes(), raw);
+}
+
+TEST(UuidTest, ReadRejectsOddWidths) {
+    const Bytes data(16, 0);
+    ByteReader r(data);
+    EXPECT_EQ(Uuid::read_from(r, 4), std::nullopt);
+}
+
+TEST(UuidTest, Equality) {
+    EXPECT_EQ(Uuid::from16(0x1800), Uuid::from16(0x1800));
+    EXPECT_FALSE(Uuid::from16(0x1800) == Uuid::from16(0x1801));
+}
+
+TEST(UuidTest, ToString) {
+    EXPECT_EQ(Uuid::from16(0x2A00).to_string(), "0x2a00");
+    std::array<std::uint8_t, 16> raw{};
+    EXPECT_EQ(Uuid::from128(raw).to_string().size(), 36u);
+}
+
+}  // namespace
+}  // namespace ble::att

@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace ble {
+namespace {
+
+TEST(HexTest, EncodesLowercase) {
+    EXPECT_EQ(to_hex(Bytes{0x0A, 0xFF, 0x00}), "0aff00");
+    EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(HexTest, DecodesBothCases) {
+    EXPECT_EQ(from_hex("0aFF00"), (Bytes{0x0A, 0xFF, 0x00}));
+}
+
+TEST(HexTest, RejectsOddLength) { EXPECT_EQ(from_hex("abc"), std::nullopt); }
+
+TEST(HexTest, RejectsNonHex) { EXPECT_EQ(from_hex("zz"), std::nullopt); }
+
+TEST(HexTest, RoundTrip) {
+    Bytes data;
+    for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+    EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+}  // namespace
+}  // namespace ble

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ble {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+    Rng rng(9);
+    for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.next_below(37), 37u);
+    EXPECT_EQ(rng.next_below(0), 0u);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, UniformMeanApproximatelyCentred) {
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kN = 100'000;
+    for (int i = 0; i < kN; ++i) sum += rng.uniform(-20.0, 20.0);
+    EXPECT_NEAR(sum / kN, 0.0, 0.2);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+    Rng rng(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int kN = 100'000;
+    for (int i = 0; i < kN; ++i) {
+        const double v = rng.normal(5.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / kN;
+    const double var = sq / kN - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+    Rng parent(17);
+    Rng child = parent.fork();
+    // Child stream differs from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ChanceExtremes) {
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+}  // namespace
+}  // namespace ble

@@ -1,0 +1,109 @@
+// InjectaBLE against BLE 5 connections using Channel Selection Algorithm #2
+// (paper §III-B.3: "the proposed approach can be easily adapted to the second
+// algorithm" — CSA#2 is a pure function of the sniffable access address).
+#include <gtest/gtest.h>
+
+#include "attack_world.hpp"
+#include "core/forge.hpp"
+#include "link/channel_selection.hpp"
+
+namespace injectable {
+namespace {
+
+using namespace ble;
+using test::AttackWorld;
+
+AttackWorld::Options csa2_options() {
+    AttackWorld::Options options;
+    options.use_csa2 = true;
+    return options;
+}
+
+template <typename Pred>
+bool run_until(AttackWorld& world, Duration budget, Pred pred) {
+    const TimePoint deadline = world.scheduler.now() + budget;
+    while (world.scheduler.now() < deadline && !pred()) {
+        if (!world.scheduler.run_one()) break;
+    }
+    return pred();
+}
+
+TEST(Csa2ConnectionTest, NegotiatedThroughChSelBits) {
+    AttackWorld world(csa2_options());
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    EXPECT_TRUE(sniffed->params.use_csa2);
+    EXPECT_TRUE(world.central->connection()->params().use_csa2);
+}
+
+TEST(Csa2ConnectionTest, NotNegotiatedWhenOnlyOneSideSupports) {
+    AttackWorld::Options options;
+    options.use_csa2 = false;
+    AttackWorld world(options);
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    EXPECT_FALSE(sniffed->params.use_csa2);
+}
+
+TEST(Csa2ConnectionTest, ChannelsFollowCsa2Sequence) {
+    AttackWorld world(csa2_options());
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+
+    // Record the channels the victim pair actually uses, then replay the
+    // CSA#2 PRN from the sniffed access address.
+    std::vector<std::pair<std::uint16_t, std::uint8_t>> observed;
+    world.peripheral->on_event_closed = [&](const link::ConnectionEventReport& r) {
+        if (r.anchor_observed) observed.push_back({r.event_counter, r.channel});
+    };
+    world.run_for(1_s);
+    ASSERT_GT(observed.size(), 10u);
+
+    link::Csa2 reference(sniffed->params.access_address, sniffed->params.channel_map);
+    for (const auto& [counter, channel] : observed) {
+        EXPECT_EQ(channel, reference.channel_for_event(counter)) << "event " << counter;
+    }
+}
+
+TEST(Csa2ConnectionTest, InjectionWorksOverCsa2) {
+    AttackWorld world(csa2_options());
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+    ASSERT_FALSE(session.lost()) << "attacker failed to follow the CSA#2 hopping";
+
+    std::optional<bool> outcome;
+    AttackSession::InjectionRequest request;
+    request.payload = att_over_l2cap(att::make_write_req(
+        world.bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false)));
+    request.max_attempts = 60;
+    request.done = [&](bool ok, int) { outcome = ok; };
+    session.inject(std::move(request));
+    ASSERT_TRUE(run_until(world, 30_s, [&] { return outcome.has_value(); }));
+    EXPECT_TRUE(*outcome);
+    EXPECT_FALSE(world.bulb.state().powered);
+    world.run_for(500_ms);
+    EXPECT_TRUE(world.central->connected());
+    EXPECT_TRUE(world.peripheral->connected());
+}
+
+TEST(Csa2ConnectionTest, SessionFollowsThroughChannelMapUpdateUnderCsa2) {
+    AttackWorld world(csa2_options());
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+
+    link::ChannelMap narrow{0x00000FFFFFULL};
+    ASSERT_TRUE(world.central->connection()->start_channel_map_update(narrow));
+    world.run_for(2_s);
+    EXPECT_FALSE(session.lost());
+    EXPECT_TRUE(world.central->connected());
+}
+
+}  // namespace
+}  // namespace injectable

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/forge.hpp"
+
+namespace injectable {
+namespace {
+
+using namespace ble;
+
+TEST(ForgeTest, Equation6AllCases) {
+    // SN_a = NESN_s ; NESN_a = SN_s + 1 (mod 2).
+    EXPECT_EQ(forged_sequence_bits(false, false), (std::pair{false, true}));
+    EXPECT_EQ(forged_sequence_bits(false, true), (std::pair{true, true}));
+    EXPECT_EQ(forged_sequence_bits(true, false), (std::pair{false, false}));
+    EXPECT_EQ(forged_sequence_bits(true, true), (std::pair{true, false}));
+}
+
+TEST(ForgeTest, DataPduCarriesForgedBits) {
+    const auto pdu = forge_data_pdu(link::Llid::kDataStart, Bytes{1, 2, 3},
+                                    /*slave_sn=*/true, /*slave_nesn=*/false);
+    EXPECT_EQ(pdu.sn, false);
+    EXPECT_EQ(pdu.nesn, false);
+    EXPECT_EQ(pdu.payload, (Bytes{1, 2, 3}));
+    EXPECT_FALSE(pdu.md);
+}
+
+TEST(ForgeTest, AttOverL2capLayout) {
+    // Write Request, handle 0x0007, value {0x01, 0x00}:
+    //   L2CAP: len=5, cid=4 | ATT: 0x12 07 00 01 00.
+    const Bytes wire = att_over_l2cap(att::make_write_req(0x0007, Bytes{0x01, 0x00}));
+    EXPECT_EQ(wire, (Bytes{0x05, 0x00, 0x04, 0x00, 0x12, 0x07, 0x00, 0x01, 0x00}));
+}
+
+TEST(ForgeTest, PaperFrameArithmetic) {
+    // §VII-A: a 14-byte ATT-level payload makes a 22-byte over-the-air frame
+    // in the paper's accounting. Our Write Request with a 9-byte value gives
+    // an LL payload of 4 (L2CAP) + 3 (ATT header) + 9 = 16 bytes; the frame
+    // is AA(4) + header(2) + 16 + CRC(3) + preamble = 26 bytes of airtime.
+    const Bytes payload =
+        att_over_l2cap(att::make_write_req(0x0007, Bytes(9, 0x00)));
+    EXPECT_EQ(payload.size(), 16u);
+    const auto pdu = forge_data_pdu(link::Llid::kDataStart, payload, false, false);
+    EXPECT_EQ(pdu.serialize().size(), 18u);  // + 2-byte LL header
+}
+
+TEST(ForgeTest, ControlForgery) {
+    const auto pdu =
+        forge_ll_control(link::TerminateInd{0x13}.to_control(), false, false);
+    EXPECT_EQ(pdu.llid, link::Llid::kControl);
+    EXPECT_EQ(pdu.payload, (Bytes{0x02, 0x13}));
+}
+
+TEST(ForgeTest, AttRequestHelper) {
+    const auto pdu = forge_att_request(att::make_read_req(0x0003), true, true);
+    EXPECT_EQ(pdu.llid, link::Llid::kDataStart);
+    EXPECT_EQ(pdu.sn, true);
+    EXPECT_EQ(pdu.nesn, false);
+    EXPECT_EQ(pdu.payload.size(), 4u + 3u);
+}
+
+}  // namespace
+}  // namespace injectable

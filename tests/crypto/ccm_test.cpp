@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/ccm.hpp"
+
+namespace ble::crypto {
+namespace {
+
+Aes128Key test_key() {
+    Aes128Key key{};
+    for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+    return key;
+}
+
+CcmNonce test_nonce(std::uint8_t seed = 0) {
+    CcmNonce nonce{};
+    for (std::size_t i = 0; i < nonce.size(); ++i) {
+        nonce[i] = static_cast<std::uint8_t>(seed + i);
+    }
+    return nonce;
+}
+
+TEST(CcmTest, SealAppendsFourByteMic) {
+    AesCcm ccm(test_key());
+    const Bytes payload{1, 2, 3, 4, 5};
+    const Bytes sealed = ccm.seal(test_nonce(), Bytes{0x02}, payload);
+    EXPECT_EQ(sealed.size(), payload.size() + kMicSize);
+}
+
+TEST(CcmTest, RoundTrip) {
+    AesCcm ccm(test_key());
+    const Bytes payload{0xDE, 0xAD, 0xBE, 0xEF};
+    const Bytes aad{0x03};
+    const auto opened = ccm.open(test_nonce(), aad, ccm.seal(test_nonce(), aad, payload));
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, payload);
+}
+
+TEST(CcmTest, RoundTripManySizes) {
+    AesCcm ccm(test_key());
+    Rng rng(3);
+    for (std::size_t n = 0; n <= 48; ++n) {
+        Bytes payload(n);
+        for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_below(256));
+        const auto opened =
+            ccm.open(test_nonce(), Bytes{0x01}, ccm.seal(test_nonce(), Bytes{0x01}, payload));
+        ASSERT_TRUE(opened.has_value()) << "size " << n;
+        EXPECT_EQ(*opened, payload) << "size " << n;
+    }
+}
+
+TEST(CcmTest, TamperedCiphertextRejected) {
+    AesCcm ccm(test_key());
+    const Bytes payload{1, 2, 3, 4, 5, 6, 7, 8};
+    Bytes sealed = ccm.seal(test_nonce(), Bytes{0x02}, payload);
+    for (std::size_t i = 0; i < sealed.size(); ++i) {
+        Bytes mutated = sealed;
+        mutated[i] ^= 0x01;
+        EXPECT_EQ(ccm.open(test_nonce(), Bytes{0x02}, mutated), std::nullopt)
+            << "byte " << i;
+    }
+}
+
+TEST(CcmTest, WrongNonceRejected) {
+    AesCcm ccm(test_key());
+    const Bytes sealed = ccm.seal(test_nonce(1), Bytes{0x02}, Bytes{1, 2, 3});
+    EXPECT_EQ(ccm.open(test_nonce(2), Bytes{0x02}, sealed), std::nullopt);
+}
+
+TEST(CcmTest, WrongAadRejected) {
+    AesCcm ccm(test_key());
+    const Bytes sealed = ccm.seal(test_nonce(), Bytes{0x02}, Bytes{1, 2, 3});
+    EXPECT_EQ(ccm.open(test_nonce(), Bytes{0x03}, sealed), std::nullopt);
+}
+
+TEST(CcmTest, WrongKeyRejected) {
+    AesCcm good(test_key());
+    Aes128Key other = test_key();
+    other[7] ^= 0x80;
+    AesCcm bad(other);
+    const Bytes sealed = good.seal(test_nonce(), Bytes{0x02}, Bytes{1, 2, 3});
+    EXPECT_EQ(bad.open(test_nonce(), Bytes{0x02}, sealed), std::nullopt);
+}
+
+TEST(CcmTest, TooShortInputRejected) {
+    AesCcm ccm(test_key());
+    EXPECT_EQ(ccm.open(test_nonce(), Bytes{0x02}, Bytes{1, 2, 3}), std::nullopt);
+}
+
+TEST(CcmTest, EmptyPayloadMicOnly) {
+    AesCcm ccm(test_key());
+    const Bytes sealed = ccm.seal(test_nonce(), Bytes{0x02}, Bytes{});
+    EXPECT_EQ(sealed.size(), kMicSize);
+    const auto opened = ccm.open(test_nonce(), Bytes{0x02}, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_TRUE(opened->empty());
+}
+
+TEST(CcmTest, CiphertextDiffersFromPlaintext) {
+    AesCcm ccm(test_key());
+    const Bytes payload(16, 0x41);
+    const Bytes sealed = ccm.seal(test_nonce(), {}, payload);
+    EXPECT_NE(Bytes(sealed.begin(), sealed.begin() + 16), payload);
+}
+
+}  // namespace
+}  // namespace ble::crypto

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "dongle/protocol.hpp"
+
+namespace injectable::dongle {
+namespace {
+
+using ble::ByteReader;
+using ble::Bytes;
+using ble::ByteWriter;
+
+TEST(ProtocolTest, CommandWireFormat) {
+    Command cmd{CommandType::kInject, Bytes{0x02, 0x32, 0x00, 0xAA}};
+    const Bytes wire = cmd.serialize();
+    // type | length u16 | payload
+    EXPECT_EQ(wire[0], 0x05);
+    EXPECT_EQ(wire[1], 0x04);
+    EXPECT_EQ(wire[2], 0x00);
+    EXPECT_EQ(wire.size(), 7u);
+    const auto parsed = Command::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, CommandType::kInject);
+    EXPECT_EQ(parsed->payload, cmd.payload);
+}
+
+TEST(ProtocolTest, NotificationRoundTrip) {
+    Notification n{NotificationType::kInjectionDone, Bytes{0x01, 0x05, 0x00}};
+    const auto parsed = Notification::parse(n.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, NotificationType::kInjectionDone);
+    EXPECT_EQ(parsed->payload, n.payload);
+}
+
+TEST(ProtocolTest, RejectsTruncatedFrames) {
+    EXPECT_EQ(Command::parse(Bytes{0x05}), std::nullopt);
+    EXPECT_EQ(Command::parse(Bytes{0x05, 0x04, 0x00, 0xAA}), std::nullopt);  // short
+    Notification n{NotificationType::kPacket, Bytes(10, 0)};
+    Bytes wire = n.serialize();
+    wire.push_back(0xFF);  // trailing garbage
+    EXPECT_EQ(Notification::parse(wire), std::nullopt);
+}
+
+TEST(ProtocolTest, SniffedConnectionRoundTrip) {
+    SniffedConnection conn;
+    conn.params.access_address = 0xAF9A9CD4;
+    conn.params.crc_init = 0x17B0C3;
+    conn.params.win_size = 2;
+    conn.params.win_offset = 3;
+    conn.params.hop_interval = 75;
+    conn.params.latency = 1;
+    conn.params.timeout = 400;
+    conn.params.channel_map = ble::link::ChannelMap{0x1F00FF00FFULL};
+    conn.params.hop_increment = 11;
+    conn.params.master_sca = 4;
+    conn.time_reference = 123'456'789;
+    conn.from_connect_req = false;
+    conn.recovered_unmapped_channel = 7;
+
+    ByteWriter w;
+    write_sniffed_connection(w, conn);
+    ByteReader r(w.bytes());
+    const auto back = read_sniffed_connection(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->params.access_address, conn.params.access_address);
+    EXPECT_EQ(back->params.crc_init, conn.params.crc_init);
+    EXPECT_EQ(back->params.hop_interval, conn.params.hop_interval);
+    EXPECT_EQ(back->params.channel_map, conn.params.channel_map);
+    EXPECT_EQ(back->params.hop_increment, conn.params.hop_increment);
+    EXPECT_EQ(back->time_reference, conn.time_reference);
+    EXPECT_EQ(back->from_connect_req, false);
+    EXPECT_EQ(back->recovered_unmapped_channel, 7);
+}
+
+TEST(ProtocolTest, SniffedPacketRoundTrip) {
+    SniffedPacket packet;
+    packet.event_counter = 42;
+    packet.sender = SniffedPacket::Sender::kSlave;
+    packet.crc_ok = true;
+    packet.start = 1'000'000;
+    packet.end = 1'080'000;
+    packet.channel = 17;
+    packet.pdu.llid = ble::link::Llid::kControl;
+    packet.pdu.sn = true;
+    packet.pdu.payload = {0x02, 0x13};
+
+    ByteWriter w;
+    write_sniffed_packet(w, packet);
+    ByteReader r(w.bytes());
+    const auto back = read_sniffed_packet(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->event_counter, 42);
+    EXPECT_EQ(back->sender, SniffedPacket::Sender::kSlave);
+    EXPECT_EQ(back->start, 1'000'000);
+    EXPECT_EQ(back->channel, 17);
+    EXPECT_EQ(back->pdu.llid, ble::link::Llid::kControl);
+    EXPECT_TRUE(back->pdu.sn);
+    EXPECT_EQ(back->pdu.payload, (ble::Bytes{0x02, 0x13}));
+}
+
+TEST(ProtocolTest, TruncatedConnectionRejected) {
+    ByteWriter w;
+    w.write_u32(0xAF9A9CD4);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(read_sniffed_connection(r), std::nullopt);
+}
+
+}  // namespace
+}  // namespace injectable::dongle

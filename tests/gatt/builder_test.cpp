@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "gatt/builder.hpp"
+
+namespace ble::gatt {
+namespace {
+
+TEST(GattBuilderTest, ServiceDeclarationLayout) {
+    att::AttServer server;
+    GattBuilder builder(server);
+    const auto handle = builder.begin_service(kGapService);
+    EXPECT_EQ(handle, 1);
+    const auto* attr = server.find(handle);
+    ASSERT_NE(attr, nullptr);
+    EXPECT_EQ(attr->type, att::Uuid::from16(kPrimaryService));
+    EXPECT_EQ(attr->value, (Bytes{0x00, 0x18}));
+}
+
+TEST(GattBuilderTest, CharacteristicTriplet) {
+    att::AttServer server;
+    GattBuilder builder(server);
+    builder.begin_service(kGapService);
+    GattBuilder::CharacteristicSpec spec;
+    spec.uuid = att::Uuid::from16(kDeviceName);
+    spec.properties = props::kRead | props::kWrite;
+    spec.initial_value = {'x'};
+    const auto handles = builder.add_characteristic(std::move(spec));
+    EXPECT_EQ(handles.declaration, 2);
+    EXPECT_EQ(handles.value, 3);
+    EXPECT_EQ(handles.cccd, 0);
+
+    // Declaration value: props | value handle | uuid.
+    const auto* decl = server.find(handles.declaration);
+    ASSERT_NE(decl, nullptr);
+    EXPECT_EQ(decl->value,
+              (Bytes{props::kRead | props::kWrite, 0x03, 0x00, 0x00, 0x2A}));
+
+    const auto* value = server.find(handles.value);
+    ASSERT_NE(value, nullptr);
+    EXPECT_TRUE(value->readable);
+    EXPECT_TRUE(value->writable);
+}
+
+TEST(GattBuilderTest, NotifyAddsCccd) {
+    att::AttServer server;
+    GattBuilder builder(server);
+    builder.begin_service(kBatteryService);
+    GattBuilder::CharacteristicSpec spec;
+    spec.uuid = att::Uuid::from16(kBatteryLevel);
+    spec.properties = props::kRead | props::kNotify;
+    const auto handles = builder.add_characteristic(std::move(spec));
+    ASSERT_NE(handles.cccd, 0);
+    const auto* cccd = server.find(handles.cccd);
+    ASSERT_NE(cccd, nullptr);
+    EXPECT_EQ(cccd->type, att::Uuid::from16(kCccd));
+    EXPECT_TRUE(cccd->writable);
+}
+
+TEST(GattBuilderTest, GapServiceExposesName) {
+    att::AttServer server;
+    GattBuilder builder(server);
+    const auto name_handle = add_gap_service(builder, "MyDevice");
+    const auto rsp = server.handle_pdu(att::make_read_req(name_handle));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(std::string(rsp->params.begin(), rsp->params.end()), "MyDevice");
+}
+
+TEST(GattBuilderTest, ServiceDiscoveryByGroupType) {
+    att::AttServer server;
+    GattBuilder builder(server);
+    add_gap_service(builder, "dev");
+    builder.begin_service(kBatteryService);
+    const auto rsp = server.handle_pdu(
+        att::make_read_by_group_type_req(1, 0xFFFF, att::Uuid::from16(kPrimaryService)));
+    ASSERT_TRUE(rsp.has_value());
+    EXPECT_EQ(rsp->opcode, att::Opcode::kReadByGroupTypeRsp);
+    // Two 16-bit services -> entry length 6, 2 entries.
+    EXPECT_EQ(rsp->params[0], 6);
+    EXPECT_EQ(rsp->params.size(), 1u + 2 * 6u);
+}
+
+}  // namespace
+}  // namespace ble::gatt

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "gatt/profiles.hpp"
+
+namespace ble::gatt {
+namespace {
+
+TEST(HidKeyboardTest, InstallsHidService) {
+    att::AttServer server;
+    HidKeyboardProfile keyboard;
+    keyboard.install(server, "TestKbd");
+    EXPECT_NE(keyboard.report_handle(), 0);
+    EXPECT_NE(keyboard.report_map_handle(), 0);
+
+    // The report map is readable and starts with a keyboard usage descriptor.
+    const auto rsp = server.handle_pdu(att::make_read_req(keyboard.report_map_handle()));
+    ASSERT_TRUE(rsp.has_value());
+    ASSERT_EQ(rsp->opcode, att::Opcode::kReadRsp);
+    ASSERT_GE(rsp->params.size(), 4u);
+    EXPECT_EQ(rsp->params[0], 0x05);  // Usage Page
+    EXPECT_EQ(rsp->params[1], 0x01);  // Generic Desktop
+}
+
+TEST(HidKeyboardTest, ReportsAreEightBytes) {
+    EXPECT_EQ(HidKeyboardProfile::key_press_report('a').size(), 8u);
+    EXPECT_EQ(HidKeyboardProfile::key_release_report().size(), 8u);
+    EXPECT_EQ(HidKeyboardProfile::key_release_report(), Bytes(8, 0x00));
+}
+
+TEST(HidKeyboardTest, RoundTripsPrintableCharacters) {
+    const std::string chars = "abcxyzABCXYZ0123456789 -./\\|\n";
+    for (char c : chars) {
+        const Bytes report = HidKeyboardProfile::key_press_report(c);
+        EXPECT_EQ(HidKeyboardProfile::decode_report(report), c) << "char " << c;
+    }
+}
+
+TEST(HidKeyboardTest, ShiftModifierEncoding) {
+    const Bytes lower = HidKeyboardProfile::key_press_report('a');
+    const Bytes upper = HidKeyboardProfile::key_press_report('A');
+    EXPECT_EQ(lower[2], upper[2]);  // same usage id
+    EXPECT_EQ(lower[0], 0x00);
+    EXPECT_EQ(upper[0], 0x02);  // left shift
+}
+
+TEST(HidKeyboardTest, UnsupportedCharactersYieldEmptyReport) {
+    const Bytes report = HidKeyboardProfile::key_press_report('\t');
+    EXPECT_EQ(HidKeyboardProfile::decode_report(report), 0);
+}
+
+TEST(HidKeyboardTest, DecodeRejectsWrongSize) {
+    EXPECT_EQ(HidKeyboardProfile::decode_report(Bytes{1, 2, 3}), 0);
+    EXPECT_EQ(HidKeyboardProfile::decode_report(Bytes(8, 0)), 0);
+}
+
+TEST(HidKeyboardTest, ReportCharacteristicNotifiable) {
+    att::AttServer server;
+    HidKeyboardProfile keyboard;
+    keyboard.install(server);
+    // The CCCD right after the report value is writable (subscriptions).
+    const auto* cccd = server.find(static_cast<std::uint16_t>(keyboard.report_handle() + 1));
+    ASSERT_NE(cccd, nullptr);
+    EXPECT_EQ(cccd->type, att::Uuid::from16(kCccd));
+    EXPECT_TRUE(cccd->writable);
+}
+
+}  // namespace
+}  // namespace ble::gatt

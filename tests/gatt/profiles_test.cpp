@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "gatt/profiles.hpp"
+
+namespace ble::gatt {
+namespace {
+
+TEST(LightbulbTest, PowerCommand) {
+    att::AttServer server;
+    LightbulbProfile bulb;
+    bulb.install(server);
+    EXPECT_TRUE(bulb.state().powered);
+    const auto rsp = server.handle_pdu(
+        att::make_write_req(bulb.control_handle(), LightbulbProfile::cmd_set_power(false)));
+    EXPECT_EQ(rsp->opcode, att::Opcode::kWriteRsp);
+    EXPECT_FALSE(bulb.state().powered);
+}
+
+TEST(LightbulbTest, ColorAndBrightness) {
+    att::AttServer server;
+    LightbulbProfile bulb;
+    bulb.install(server);
+    server.handle_pdu(att::make_write_req(bulb.control_handle(),
+                                          LightbulbProfile::cmd_set_color(1, 2, 3)));
+    server.handle_pdu(att::make_write_req(bulb.control_handle(),
+                                          LightbulbProfile::cmd_set_brightness(55)));
+    EXPECT_EQ(bulb.state().r, 1);
+    EXPECT_EQ(bulb.state().g, 2);
+    EXPECT_EQ(bulb.state().b, 3);
+    EXPECT_EQ(bulb.state().brightness, 55);
+    EXPECT_EQ(bulb.state().commands_received, 2);
+}
+
+TEST(LightbulbTest, PaddingIgnored) {
+    // The sensitivity experiments pad commands to hit exact payload sizes
+    // (paper §VII-B uses 4/9/14/16-byte payloads with visible effects).
+    att::AttServer server;
+    LightbulbProfile bulb;
+    bulb.install(server);
+    const Bytes padded = LightbulbProfile::cmd_set_power(false, /*pad=*/12);
+    EXPECT_EQ(padded.size(), 14u);
+    const auto rsp = server.handle_pdu(att::make_write_req(bulb.control_handle(), padded));
+    EXPECT_EQ(rsp->opcode, att::Opcode::kWriteRsp);
+    EXPECT_FALSE(bulb.state().powered);
+}
+
+TEST(LightbulbTest, MalformedCommandRejected) {
+    att::AttServer server;
+    LightbulbProfile bulb;
+    bulb.install(server);
+    const auto rsp =
+        server.handle_pdu(att::make_write_req(bulb.control_handle(), Bytes{0x99}));
+    ASSERT_TRUE(att::ErrorRsp::parse(*rsp).has_value());
+    EXPECT_EQ(bulb.state().commands_received, 0);
+}
+
+TEST(LightbulbTest, ChangeCallbackFires) {
+    att::AttServer server;
+    LightbulbProfile bulb;
+    bulb.install(server);
+    int fired = 0;
+    bulb.on_change = [&](const LightbulbProfile::State&) { ++fired; };
+    server.handle_pdu(att::make_write_req(bulb.control_handle(),
+                                          LightbulbProfile::cmd_set_power(false)));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(LightbulbTest, DeviceNameReadable) {
+    att::AttServer server;
+    LightbulbProfile bulb;
+    bulb.install(server, "LivingRoom");
+    const auto rsp = server.handle_pdu(att::make_read_req(bulb.name_handle()));
+    EXPECT_EQ(std::string(rsp->params.begin(), rsp->params.end()), "LivingRoom");
+}
+
+TEST(KeyfobTest, AlertLevelRings) {
+    att::AttServer server;
+    KeyfobProfile fob;
+    fob.install(server);
+    EXPECT_FALSE(fob.ringing());
+    std::uint8_t seen = 0xFF;
+    fob.on_alert = [&](std::uint8_t level) { seen = level; };
+    server.handle_pdu(att::make_write_req(fob.alert_handle(), Bytes{0x02}));
+    EXPECT_TRUE(fob.ringing());
+    EXPECT_EQ(fob.alert_level(), 2);
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(KeyfobTest, InvalidAlertRejected) {
+    att::AttServer server;
+    KeyfobProfile fob;
+    fob.install(server);
+    const auto rsp = server.handle_pdu(att::make_write_req(fob.alert_handle(), Bytes{0x05}));
+    ASSERT_TRUE(att::ErrorRsp::parse(*rsp).has_value());
+    EXPECT_FALSE(fob.ringing());
+    const auto rsp2 =
+        server.handle_pdu(att::make_write_req(fob.alert_handle(), Bytes{0x01, 0x00}));
+    ASSERT_TRUE(att::ErrorRsp::parse(*rsp2).has_value());
+}
+
+TEST(SmartwatchTest, SmsDelivery) {
+    att::AttServer server;
+    SmartwatchProfile watch;
+    watch.install(server);
+    std::optional<SmartwatchProfile::Sms> seen;
+    watch.on_sms = [&](const SmartwatchProfile::Sms& sms) { seen = sms; };
+    server.handle_pdu(att::make_write_req(
+        watch.sms_handle(), SmartwatchProfile::encode_sms("Bob", "see you at 6")));
+    ASSERT_EQ(watch.messages().size(), 1u);
+    EXPECT_EQ(watch.messages()[0].sender, "Bob");
+    EXPECT_EQ(watch.messages()[0].body, "see you at 6");
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_EQ(seen->body, "see you at 6");
+}
+
+TEST(SmartwatchTest, SmsCodecRoundTrip) {
+    const Bytes encoded = SmartwatchProfile::encode_sms("Alice", "hi");
+    const auto decoded = SmartwatchProfile::decode_sms(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sender, "Alice");
+    EXPECT_EQ(decoded->body, "hi");
+}
+
+TEST(SmartwatchTest, MalformedSmsRejected) {
+    att::AttServer server;
+    SmartwatchProfile watch;
+    watch.install(server);
+    const auto rsp = server.handle_pdu(
+        att::make_write_req(watch.sms_handle(), Bytes{'n', 'o', 's', 'e', 'p'}));
+    ASSERT_TRUE(att::ErrorRsp::parse(*rsp).has_value());
+    EXPECT_TRUE(watch.messages().empty());
+}
+
+TEST(SmartwatchTest, BatteryReadable) {
+    att::AttServer server;
+    SmartwatchProfile watch;
+    watch.install(server);
+    const auto rsp = server.handle_pdu(att::make_read_req(watch.battery_handle()));
+    EXPECT_EQ(rsp->params, Bytes{100});
+}
+
+TEST(ProfilesTest, AllThreeExposeGapName) {
+    // Scenario B's hijacker serves a forged Device Name for each target; the
+    // handle must exist on all three profiles.
+    att::AttServer s1, s2, s3;
+    LightbulbProfile bulb;
+    bulb.install(s1);
+    KeyfobProfile fob;
+    fob.install(s2);
+    SmartwatchProfile watch;
+    watch.install(s3);
+    EXPECT_NE(bulb.name_handle(), 0);
+    EXPECT_NE(fob.name_handle(), 0);
+    EXPECT_NE(watch.name_handle(), 0);
+}
+
+}  // namespace
+}  // namespace ble::gatt

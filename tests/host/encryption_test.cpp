@@ -1,0 +1,121 @@
+// LL encryption end-to-end: the paper's counter-measure 2 — once the link is
+// encrypted, data still flows for the legitimate pair, while an injected
+// plaintext frame can at most cause a MIC-failure disconnect (tested in the
+// scenario suite).
+#include <gtest/gtest.h>
+
+#include "gatt/profiles.hpp"
+#include "host/central.hpp"
+#include "host/peripheral.hpp"
+
+namespace ble::host {
+namespace {
+
+crypto::Aes128Key test_ltk() {
+    crypto::Aes128Key key{};
+    for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i * 7);
+    return key;
+}
+
+struct EncWorld {
+    EncWorld() : rng(11), medium(scheduler, rng.fork(), quiet()) {
+        PeripheralConfig p_cfg;
+        p_cfg.name = "watch";
+        peripheral = std::make_unique<Peripheral>(scheduler, medium, rng.fork(), p_cfg);
+        watch.install(peripheral->att_server());
+        CentralConfig c_cfg;
+        c_cfg.name = "phone";
+        c_cfg.radio.position = {1.0, 0.0};
+        central = std::make_unique<Central>(scheduler, medium, rng.fork(), c_cfg);
+    }
+
+    static sim::PathLossModel quiet() {
+        sim::PathLossParams p;
+        p.fading_sigma_db = 0.0;
+        return sim::PathLossModel{p};
+    }
+
+    bool establish() {
+        peripheral->start();
+        link::ConnectionParams params;
+        params.hop_interval = 24;
+        central->connect(peripheral->address(), params);
+        const TimePoint deadline = scheduler.now() + 2_s;
+        while (scheduler.now() < deadline &&
+               !(central->connected() && peripheral->connected())) {
+            if (!scheduler.run_one()) break;
+        }
+        return central->connected() && peripheral->connected();
+    }
+
+    void run_for(Duration d) { scheduler.run_until(scheduler.now() + d); }
+
+    Rng rng;
+    sim::Scheduler scheduler;
+    sim::RadioMedium medium;
+    std::unique_ptr<Peripheral> peripheral;
+    std::unique_ptr<Central> central;
+    gatt::SmartwatchProfile watch;
+};
+
+TEST(EncryptionTest, ProcedureCompletesAndLinkSurvives) {
+    EncWorld world;
+    ASSERT_TRUE(world.establish());
+    world.peripheral->set_ltk(test_ltk());
+    world.central->start_encryption(test_ltk());
+    world.run_for(1_s);
+    EXPECT_TRUE(world.central->connected());
+    EXPECT_TRUE(world.peripheral->connected());
+    EXPECT_TRUE(world.central->encrypted());
+    ASSERT_NE(world.peripheral->connection(), nullptr);
+    EXPECT_TRUE(world.peripheral->connection()->encryption_enabled());
+}
+
+TEST(EncryptionTest, GattStillWorksOverEncryptedLink) {
+    EncWorld world;
+    ASSERT_TRUE(world.establish());
+    world.peripheral->set_ltk(test_ltk());
+    world.central->start_encryption(test_ltk());
+    world.run_for(500_ms);
+    ASSERT_TRUE(world.central->encrypted());
+
+    world.central->gatt().write_command(
+        world.watch.sms_handle(),
+        gatt::SmartwatchProfile::encode_sms("Alice", "hello"));
+    world.run_for(500_ms);
+    ASSERT_EQ(world.watch.messages().size(), 1u);
+    EXPECT_EQ(world.watch.messages()[0].sender, "Alice");
+    EXPECT_EQ(world.watch.messages()[0].body, "hello");
+}
+
+TEST(EncryptionTest, MismatchedLtkKillsConnection) {
+    EncWorld world;
+    ASSERT_TRUE(world.establish());
+    crypto::Aes128Key wrong = test_ltk();
+    wrong[0] ^= 0xFF;
+    world.peripheral->set_ltk(test_ltk());
+
+    std::optional<link::DisconnectReason> p_down, c_down;
+    world.peripheral->on_disconnected = [&](link::DisconnectReason r) { p_down = r; };
+    world.central->on_disconnected = [&](link::DisconnectReason r) { c_down = r; };
+    world.central->start_encryption(wrong);
+    world.run_for(5_s);
+    // The two sides derive different session keys: the first encrypted PDU
+    // fails its MIC at the master, which drops; the slave then times out.
+    ASSERT_TRUE(c_down.has_value());
+    ASSERT_TRUE(p_down.has_value());
+    EXPECT_EQ(*c_down, link::DisconnectReason::kMicFailure);
+    EXPECT_EQ(*p_down, link::DisconnectReason::kSupervisionTimeout);
+}
+
+TEST(EncryptionTest, PeripheralWithoutLtkRejects) {
+    EncWorld world;
+    ASSERT_TRUE(world.establish());
+    world.central->start_encryption(test_ltk());  // peripheral has no key
+    world.run_for(1_s);
+    EXPECT_TRUE(world.central->connected());
+    EXPECT_FALSE(world.central->encrypted());
+}
+
+}  // namespace
+}  // namespace ble::host

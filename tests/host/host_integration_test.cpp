@@ -1,0 +1,156 @@
+// End-to-end host tests: a Central driving a Peripheral's GATT server over
+// the simulated radio — the benign path every attack scenario perturbs.
+#include <gtest/gtest.h>
+
+#include "gatt/profiles.hpp"
+#include "host/central.hpp"
+#include "host/peripheral.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ble::host {
+namespace {
+
+struct HostWorld {
+    HostWorld() : rng(7), medium(scheduler, rng.fork(), quiet_path_loss()) {
+        PeripheralConfig p_cfg;
+        p_cfg.name = "bulb";
+        p_cfg.radio.position = {0.0, 0.0};
+        peripheral = std::make_unique<Peripheral>(scheduler, medium, rng.fork(), p_cfg);
+        bulb.install(peripheral->att_server());
+
+        CentralConfig c_cfg;
+        c_cfg.name = "phone";
+        c_cfg.radio.position = {1.5, 0.0};
+        central = std::make_unique<Central>(scheduler, medium, rng.fork(), c_cfg);
+    }
+
+    static sim::PathLossModel quiet_path_loss() {
+        sim::PathLossParams p;
+        p.fading_sigma_db = 0.0;
+        return sim::PathLossModel{p};
+    }
+
+    bool establish(Duration budget = 2_s) {
+        peripheral->start();
+        link::ConnectionParams params;
+        params.hop_interval = 24;
+        central->connect(peripheral->address(), params);
+        const TimePoint deadline = scheduler.now() + budget;
+        while (scheduler.now() < deadline &&
+               !(central->connected() && peripheral->connected())) {
+            if (!scheduler.run_one()) break;
+        }
+        return central->connected() && peripheral->connected();
+    }
+
+    void run_for(Duration d) { scheduler.run_until(scheduler.now() + d); }
+
+    Rng rng;
+    sim::Scheduler scheduler;
+    sim::RadioMedium medium;
+    std::unique_ptr<Peripheral> peripheral;
+    std::unique_ptr<Central> central;
+    gatt::LightbulbProfile bulb;
+};
+
+TEST(HostIntegrationTest, ConnectsAndStaysUp) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    world.run_for(1_s);
+    EXPECT_TRUE(world.central->connected());
+    EXPECT_TRUE(world.peripheral->connected());
+}
+
+TEST(HostIntegrationTest, GattWriteTurnsBulbOff) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    ASSERT_TRUE(world.bulb.state().powered);
+
+    bool write_ok = false;
+    world.central->gatt().write(world.bulb.control_handle(),
+                                gatt::LightbulbProfile::cmd_set_power(false),
+                                [&](bool ok) { write_ok = ok; });
+    world.run_for(500_ms);
+    EXPECT_TRUE(write_ok);
+    EXPECT_FALSE(world.bulb.state().powered);
+}
+
+TEST(HostIntegrationTest, GattReadDeviceName) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    std::optional<Bytes> value;
+    world.central->gatt().read(world.bulb.name_handle(),
+                               [&](std::optional<Bytes> v) { value = std::move(v); });
+    world.run_for(500_ms);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(std::string(value->begin(), value->end()), "SmartBulb");
+}
+
+TEST(HostIntegrationTest, WriteCommandAlsoWorks) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    world.central->gatt().write_command(world.bulb.control_handle(),
+                                        gatt::LightbulbProfile::cmd_set_color(10, 20, 30));
+    world.run_for(500_ms);
+    EXPECT_EQ(world.bulb.state().r, 10);
+    EXPECT_EQ(world.bulb.state().g, 20);
+    EXPECT_EQ(world.bulb.state().b, 30);
+}
+
+TEST(HostIntegrationTest, ReadOfUnknownHandleFails) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    std::optional<Bytes> value{Bytes{1}};
+    world.central->gatt().read(0x0FFF, [&](std::optional<Bytes> v) { value = std::move(v); });
+    world.run_for(500_ms);
+    EXPECT_FALSE(value.has_value());
+}
+
+TEST(HostIntegrationTest, NotificationReachesCentral) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    std::optional<std::uint16_t> notified_handle;
+    Bytes notified_value;
+    world.central->gatt().on_notification = [&](std::uint16_t handle, const Bytes& value) {
+        notified_handle = handle;
+        notified_value = value;
+    };
+    world.run_for(50_ms);
+    world.peripheral->notify(world.bulb.control_handle(), Bytes{0xAB, 0xCD});
+    world.run_for(500_ms);
+    ASSERT_TRUE(notified_handle.has_value());
+    EXPECT_EQ(*notified_handle, world.bulb.control_handle());
+    EXPECT_EQ(notified_value, (Bytes{0xAB, 0xCD}));
+}
+
+TEST(HostIntegrationTest, LargeAttValueIsFragmented) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    // A write whose L2CAP frame exceeds one LL payload (27 bytes).
+    Bytes big = gatt::LightbulbProfile::cmd_set_brightness(42, /*pad=*/40);
+    bool write_ok = false;
+    world.central->gatt().write(world.bulb.control_handle(), big,
+                                [&](bool ok) { write_ok = ok; });
+    world.run_for(1_s);
+    EXPECT_TRUE(write_ok);
+    EXPECT_EQ(world.bulb.state().brightness, 42);
+}
+
+TEST(HostIntegrationTest, MultipleSequentialRequests) {
+    HostWorld world;
+    ASSERT_TRUE(world.establish());
+    int completions = 0;
+    for (int i = 0; i < 5; ++i) {
+        world.central->gatt().write(
+            world.bulb.control_handle(),
+            gatt::LightbulbProfile::cmd_set_brightness(static_cast<std::uint8_t>(i * 10)),
+            [&](bool ok) { completions += ok ? 1 : 0; });
+    }
+    world.run_for(2_s);
+    EXPECT_EQ(completions, 5);
+    EXPECT_EQ(world.bulb.state().brightness, 40);
+    EXPECT_EQ(world.bulb.state().commands_received, 5);
+}
+
+}  // namespace
+}  // namespace ble::host

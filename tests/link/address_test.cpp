@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "link/address.hpp"
+
+namespace ble::link {
+namespace {
+
+TEST(DeviceAddressTest, ParseAndFormat) {
+    const auto addr = DeviceAddress::from_string("aa:bb:cc:dd:ee:ff");
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(addr->to_string(), "aa:bb:cc:dd:ee:ff");
+    EXPECT_EQ(addr->type(), AddressType::kPublic);
+}
+
+TEST(DeviceAddressTest, StorageIsLsbFirst) {
+    const auto addr = DeviceAddress::from_string("01:02:03:04:05:06");
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(addr->octets()[0], 0x06);
+    EXPECT_EQ(addr->octets()[5], 0x01);
+}
+
+TEST(DeviceAddressTest, RejectsMalformed) {
+    EXPECT_FALSE(DeviceAddress::from_string("nonsense").has_value());
+    EXPECT_FALSE(DeviceAddress::from_string("").has_value());
+}
+
+TEST(DeviceAddressTest, WireRoundTrip) {
+    const auto addr = DeviceAddress::from_string("12:34:56:78:9a:bc", AddressType::kRandom);
+    ASSERT_TRUE(addr.has_value());
+    ByteWriter w;
+    addr->write_to(w);
+    EXPECT_EQ(w.size(), 6u);
+    ByteReader r(w.bytes());
+    const auto back = DeviceAddress::read_from(r, AddressType::kRandom);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, *addr);
+}
+
+TEST(DeviceAddressTest, RandomStaticHasTopBitsSet) {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        const auto addr = DeviceAddress::random_static(rng);
+        EXPECT_EQ(addr.octets()[5] & 0xC0, 0xC0);
+        EXPECT_EQ(addr.type(), AddressType::kRandom);
+    }
+}
+
+TEST(DeviceAddressTest, EqualityIncludesType) {
+    const auto pub = DeviceAddress::from_string("aa:bb:cc:dd:ee:ff", AddressType::kPublic);
+    const auto rnd = DeviceAddress::from_string("aa:bb:cc:dd:ee:ff", AddressType::kRandom);
+    EXPECT_FALSE(*pub == *rnd);
+}
+
+}  // namespace
+}  // namespace ble::link

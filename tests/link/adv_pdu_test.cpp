@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "link/adv_pdu.hpp"
+
+namespace ble::link {
+namespace {
+
+DeviceAddress addr(const std::string& s, AddressType t = AddressType::kPublic) {
+    return *DeviceAddress::from_string(s, t);
+}
+
+TEST(ConnectReqTest, TableIILayoutIs34Bytes) {
+    ConnectReqPdu req;
+    req.initiator = addr("11:22:33:44:55:66");
+    req.advertiser = addr("aa:bb:cc:dd:ee:ff");
+    const AdvPdu pdu = req.to_adv_pdu();
+    // Table II: 6+6+4+3+1+2+2+2+2+5+1 = 34 bytes.
+    EXPECT_EQ(pdu.payload.size(), 34u);
+    EXPECT_EQ(pdu.type, AdvPduType::kConnectReq);
+}
+
+TEST(ConnectReqTest, RoundTripAllFields) {
+    ConnectReqPdu req;
+    req.initiator = addr("11:22:33:44:55:66", AddressType::kRandom);
+    req.advertiser = addr("aa:bb:cc:dd:ee:ff");
+    req.params.access_address = 0xAF9A9CD4;
+    req.params.crc_init = 0x17B0C3;
+    req.params.win_size = 2;
+    req.params.win_offset = 9;
+    req.params.hop_interval = 75;
+    req.params.latency = 3;
+    req.params.timeout = 500;
+    req.params.channel_map = ChannelMap{0x1F00FF00FFULL};
+    req.params.hop_increment = 13;
+    req.params.master_sca = 5;
+
+    const auto parsed = ConnectReqPdu::parse(req.to_adv_pdu());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->initiator, req.initiator);
+    EXPECT_EQ(parsed->advertiser, req.advertiser);
+    EXPECT_EQ(parsed->params.access_address, req.params.access_address);
+    EXPECT_EQ(parsed->params.crc_init, req.params.crc_init);
+    EXPECT_EQ(parsed->params.win_size, req.params.win_size);
+    EXPECT_EQ(parsed->params.win_offset, req.params.win_offset);
+    EXPECT_EQ(parsed->params.hop_interval, req.params.hop_interval);
+    EXPECT_EQ(parsed->params.latency, req.params.latency);
+    EXPECT_EQ(parsed->params.timeout, req.params.timeout);
+    EXPECT_EQ(parsed->params.channel_map, req.params.channel_map);
+    EXPECT_EQ(parsed->params.hop_increment, req.params.hop_increment);
+    EXPECT_EQ(parsed->params.master_sca, req.params.master_sca);
+}
+
+TEST(ConnectReqTest, HopAndScaSharePackedByte) {
+    ConnectReqPdu req;
+    req.params.hop_increment = 0x1F;  // all 5 bits
+    req.params.master_sca = 0x07;     // all 3 bits
+    const AdvPdu pdu = req.to_adv_pdu();
+    EXPECT_EQ(pdu.payload.back(), 0xFF);
+    const auto parsed = ConnectReqPdu::parse(pdu);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->params.hop_increment, 0x1F);
+    EXPECT_EQ(parsed->params.master_sca, 0x07);
+}
+
+TEST(ConnectReqTest, RejectsWrongSize) {
+    AdvPdu pdu;
+    pdu.type = AdvPduType::kConnectReq;
+    pdu.payload = Bytes(33, 0);
+    EXPECT_EQ(ConnectReqPdu::parse(pdu), std::nullopt);
+}
+
+TEST(ConnectReqTest, RejectsWrongType) {
+    AdvPdu pdu;
+    pdu.type = AdvPduType::kAdvInd;
+    pdu.payload = Bytes(34, 0);
+    EXPECT_EQ(ConnectReqPdu::parse(pdu), std::nullopt);
+}
+
+TEST(ScaFieldTest, EncodingTable) {
+    EXPECT_EQ(sca_field_to_ppm(0), 500.0);
+    EXPECT_EQ(sca_field_to_ppm(5), 50.0);
+    EXPECT_EQ(sca_field_to_ppm(7), 20.0);
+}
+
+TEST(ScaFieldTest, PpmToFieldPicksCoveringRange) {
+    EXPECT_EQ(ppm_to_sca_field(20.0), 7);
+    EXPECT_EQ(ppm_to_sca_field(35.0), 5);   // 31-50 ppm bucket
+    EXPECT_EQ(ppm_to_sca_field(50.0), 5);
+    EXPECT_EQ(ppm_to_sca_field(400.0), 0);
+    EXPECT_EQ(ppm_to_sca_field(1000.0), 0);  // clamps at the top bucket
+}
+
+TEST(ScaFieldTest, RoundTripCoversPpm) {
+    for (double ppm : {1.0, 19.0, 25.0, 49.0, 74.0, 99.0, 149.0, 249.0, 499.0}) {
+        EXPECT_GE(sca_field_to_ppm(ppm_to_sca_field(ppm)), ppm);
+    }
+}
+
+TEST(AdvDataTest, RoundTrip) {
+    AdvDataPdu adv;
+    adv.type = AdvPduType::kAdvInd;
+    adv.advertiser = addr("01:02:03:04:05:06");
+    adv.data = make_adv_name("SmartBulb");
+    const auto parsed = AdvDataPdu::parse(adv.to_adv_pdu());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->advertiser, adv.advertiser);
+    EXPECT_EQ(parse_adv_name(parsed->data), "SmartBulb");
+}
+
+TEST(AdvDataTest, NameHelperFormatsAdStructure) {
+    const Bytes ad = make_adv_name("ab");
+    EXPECT_EQ(ad, (Bytes{0x03, 0x09, 'a', 'b'}));
+}
+
+TEST(AdvDataTest, ParseNameSkipsOtherStructures) {
+    // Flags AD structure first, then the name.
+    Bytes ad{0x02, 0x01, 0x06, 0x05, 0x09, 't', 'e', 's', 't'};
+    EXPECT_EQ(parse_adv_name(ad), "test");
+}
+
+TEST(AdvDataTest, ParseNameHandlesMissingName) {
+    Bytes ad{0x02, 0x01, 0x06};
+    EXPECT_EQ(parse_adv_name(ad), std::nullopt);
+    EXPECT_EQ(parse_adv_name(Bytes{}), std::nullopt);
+}
+
+TEST(AdvDataTest, ParseNameRejectsMalformedLength) {
+    Bytes ad{0x10, 0x09, 'x'};  // claims 15 bytes follow, only 2 do
+    EXPECT_EQ(parse_adv_name(ad), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ble::link

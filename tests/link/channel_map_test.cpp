@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "link/channel_map.hpp"
+
+namespace ble::link {
+namespace {
+
+TEST(ChannelMapTest, DefaultUsesAll37) {
+    const ChannelMap map;
+    EXPECT_EQ(map.used_count(), 37);
+    for (std::uint8_t ch = 0; ch < 37; ++ch) EXPECT_TRUE(map.is_used(ch));
+    EXPECT_FALSE(map.is_used(37));  // advertising channels never "used"
+    EXPECT_FALSE(map.is_used(39));
+}
+
+TEST(ChannelMapTest, SetUnused) {
+    ChannelMap map;
+    map.set_used(5, false);
+    map.set_used(36, false);
+    EXPECT_FALSE(map.is_used(5));
+    EXPECT_FALSE(map.is_used(36));
+    EXPECT_EQ(map.used_count(), 35);
+}
+
+TEST(ChannelMapTest, SetOutOfRangeIgnored) {
+    ChannelMap map;
+    map.set_used(37, true);
+    map.set_used(40, true);
+    EXPECT_EQ(map.used_count(), 37);
+    EXPECT_EQ(map.bits(), 0x1FFFFFFFFFULL);
+}
+
+TEST(ChannelMapTest, MaskedTo37Bits) {
+    const ChannelMap map{0xFFFFFFFFFFFFFFFFULL};
+    EXPECT_EQ(map.bits(), 0x1FFFFFFFFFULL);
+}
+
+TEST(ChannelMapTest, UsedChannelsAscending) {
+    ChannelMap map{0};
+    map.set_used(9, true);
+    map.set_used(2, true);
+    map.set_used(30, true);
+    EXPECT_EQ(map.used_channels(), (std::vector<std::uint8_t>{2, 9, 30}));
+}
+
+TEST(ChannelMapTest, WireFormatFiveBytes) {
+    ChannelMap map{0x1F00FF00FFULL};
+    ByteWriter w;
+    map.write_to(w);
+    EXPECT_EQ(w.bytes(), (Bytes{0xFF, 0x00, 0xFF, 0x00, 0x1F}));
+    ByteReader r(w.bytes());
+    EXPECT_EQ(ChannelMap::read_from(r), map);
+}
+
+TEST(ChannelMapTest, RoundTripArbitraryMask) {
+    const ChannelMap map{0x0A5A5A5A5AULL & 0x1FFFFFFFFFULL};
+    ByteWriter w;
+    map.write_to(w);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(ChannelMap::read_from(r), map);
+}
+
+}  // namespace
+}  // namespace ble::link

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "link/control_pdu.hpp"
+
+namespace ble::link {
+namespace {
+
+TEST(ControlPduTest, SerializePrependsOpcode) {
+    const ControlPdu pdu{ControlOpcode::kTerminateInd, Bytes{0x13}};
+    EXPECT_EQ(pdu.serialize(), (Bytes{0x02, 0x13}));
+}
+
+TEST(ControlPduTest, ParseSplitsOpcode) {
+    const auto pdu = ControlPdu::parse(Bytes{0x0C, 0x09, 0x59, 0x00, 0x00, 0x00});
+    ASSERT_TRUE(pdu.has_value());
+    EXPECT_EQ(pdu->opcode, ControlOpcode::kVersionInd);
+    EXPECT_EQ(pdu->ctr_data.size(), 5u);
+}
+
+TEST(ControlPduTest, ParseRejectsEmpty) {
+    EXPECT_EQ(ControlPdu::parse(Bytes{}), std::nullopt);
+}
+
+TEST(ConnectionUpdateIndTest, RoundTrip) {
+    ConnectionUpdateInd update;
+    update.win_size = 2;
+    update.win_offset = 5;
+    update.interval = 160;
+    update.latency = 1;
+    update.timeout = 300;
+    update.instant = 0x1234;
+    const auto parsed = ConnectionUpdateInd::parse(update.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->win_size, 2);
+    EXPECT_EQ(parsed->win_offset, 5);
+    EXPECT_EQ(parsed->interval, 160);
+    EXPECT_EQ(parsed->latency, 1);
+    EXPECT_EQ(parsed->timeout, 300);
+    EXPECT_EQ(parsed->instant, 0x1234);
+}
+
+TEST(ConnectionUpdateIndTest, WireSizeMatchesSpec) {
+    // Opcode (1) + CtrData (11).
+    EXPECT_EQ(ConnectionUpdateInd{}.to_control().serialize().size(), 12u);
+}
+
+TEST(ConnectionUpdateIndTest, RejectsWrongOpcode) {
+    ControlPdu pdu{ControlOpcode::kChannelMapInd, Bytes(11, 0)};
+    EXPECT_EQ(ConnectionUpdateInd::parse(pdu), std::nullopt);
+}
+
+TEST(ChannelMapIndTest, RoundTrip) {
+    ChannelMapInd ind;
+    ind.map = ChannelMap{0x0000001FFFULL};
+    ind.instant = 77;
+    const auto parsed = ChannelMapInd::parse(ind.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->map, ind.map);
+    EXPECT_EQ(parsed->instant, 77);
+}
+
+TEST(TerminateIndTest, RoundTrip) {
+    const auto parsed = TerminateInd::parse(TerminateInd{0x16}.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->error_code, 0x16);
+}
+
+TEST(TerminateIndTest, RejectsOversizedPayload) {
+    ControlPdu pdu{ControlOpcode::kTerminateInd, Bytes{0x13, 0x00}};
+    EXPECT_EQ(TerminateInd::parse(pdu), std::nullopt);
+}
+
+TEST(EncReqTest, RoundTrip) {
+    EncReq req;
+    req.rand = 0x0102030405060708ULL;
+    req.ediv = 0xBEEF;
+    for (int i = 0; i < 8; ++i) req.skd_m[static_cast<std::size_t>(i)] = std::uint8_t(i);
+    for (int i = 0; i < 4; ++i) req.iv_m[static_cast<std::size_t>(i)] = std::uint8_t(0xA0 + i);
+    const auto parsed = EncReq::parse(req.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->rand, req.rand);
+    EXPECT_EQ(parsed->ediv, req.ediv);
+    EXPECT_EQ(parsed->skd_m, req.skd_m);
+    EXPECT_EQ(parsed->iv_m, req.iv_m);
+}
+
+TEST(EncRspTest, RoundTrip) {
+    EncRsp rsp;
+    for (int i = 0; i < 8; ++i) rsp.skd_s[static_cast<std::size_t>(i)] = std::uint8_t(0x10 + i);
+    for (int i = 0; i < 4; ++i) rsp.iv_s[static_cast<std::size_t>(i)] = std::uint8_t(0xB0 + i);
+    const auto parsed = EncRsp::parse(rsp.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->skd_s, rsp.skd_s);
+    EXPECT_EQ(parsed->iv_s, rsp.iv_s);
+}
+
+TEST(FeatureSetTest, RoundTripBothOpcodes) {
+    const FeatureSet features{0x00000000000000FFULL};
+    for (auto opcode : {ControlOpcode::kFeatureReq, ControlOpcode::kFeatureRsp}) {
+        const ControlPdu pdu = features.to_control(opcode);
+        EXPECT_EQ(pdu.opcode, opcode);
+        const auto parsed = FeatureSet::parse(pdu);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->bits, features.bits);
+    }
+}
+
+TEST(VersionIndTest, DefaultsTo50Nordic) {
+    const VersionInd v;
+    EXPECT_EQ(v.version, 0x09);     // Bluetooth 5.0
+    EXPECT_EQ(v.company_id, 0x0059);  // Nordic Semiconductor
+    const auto parsed = VersionInd::parse(v.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->version, 0x09);
+}
+
+TEST(ClockAccuracyTest, RoundTrip) {
+    const ClockAccuracy ca{7};
+    const auto pdu = ca.to_control(ControlOpcode::kClockAccuracyRsp);
+    EXPECT_EQ(pdu.opcode, ControlOpcode::kClockAccuracyRsp);
+    const auto parsed = ClockAccuracy::parse(pdu);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->sca, 7);
+}
+
+TEST(UnknownRspTest, EchoesUnknownOpcode) {
+    const auto parsed = UnknownRsp::parse(UnknownRsp{0x42}.to_control());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->unknown_type, 0x42);
+}
+
+TEST(OpcodeNamesTest, AttackPayloadNames) {
+    EXPECT_STREQ(control_opcode_name(ControlOpcode::kTerminateInd), "LL_TERMINATE_IND");
+    EXPECT_STREQ(control_opcode_name(ControlOpcode::kConnectionUpdateInd),
+                 "LL_CONNECTION_UPDATE_IND");
+    EXPECT_STREQ(control_opcode_name(static_cast<ControlOpcode>(0xFF)), "LL_UNKNOWN");
+}
+
+}  // namespace
+}  // namespace ble::link

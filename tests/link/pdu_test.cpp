@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "link/pdu.hpp"
+
+namespace ble::link {
+namespace {
+
+TEST(DataPduTest, HeaderBitLayout) {
+    DataPdu pdu;
+    pdu.llid = Llid::kDataStart;
+    pdu.nesn = true;
+    pdu.sn = false;
+    pdu.md = true;
+    pdu.payload = {0xAB};
+    const Bytes wire = pdu.serialize();
+    ASSERT_EQ(wire.size(), 3u);
+    // LLID=10, NESN bit2=1, SN bit3=0, MD bit4=1 -> 0b0001'0110 = 0x16.
+    EXPECT_EQ(wire[0], 0x16);
+    EXPECT_EQ(wire[1], 0x01);  // length
+    EXPECT_EQ(wire[2], 0xAB);
+}
+
+TEST(DataPduTest, RoundTripAllFlagCombinations) {
+    for (int flags = 0; flags < 8; ++flags) {
+        DataPdu pdu;
+        pdu.llid = Llid::kControl;
+        pdu.nesn = (flags & 1) != 0;
+        pdu.sn = (flags & 2) != 0;
+        pdu.md = (flags & 4) != 0;
+        pdu.payload = {0x02, 0x13};
+        const auto parsed = DataPdu::parse(pdu.serialize());
+        ASSERT_TRUE(parsed.has_value()) << flags;
+        EXPECT_EQ(parsed->nesn, pdu.nesn);
+        EXPECT_EQ(parsed->sn, pdu.sn);
+        EXPECT_EQ(parsed->md, pdu.md);
+        EXPECT_EQ(parsed->llid, pdu.llid);
+        EXPECT_EQ(parsed->payload, pdu.payload);
+    }
+}
+
+TEST(DataPduTest, EmptyPdu) {
+    const DataPdu pdu = DataPdu::empty(true, false);
+    EXPECT_TRUE(pdu.is_empty());
+    const Bytes wire = pdu.serialize();
+    ASSERT_EQ(wire.size(), 2u);
+    EXPECT_EQ(wire[1], 0x00);
+    const auto parsed = DataPdu::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->is_empty());
+    EXPECT_TRUE(parsed->nesn);
+    EXPECT_FALSE(parsed->sn);
+}
+
+TEST(DataPduTest, RejectsLengthMismatch) {
+    EXPECT_EQ(DataPdu::parse(Bytes{0x01, 0x05, 0xAA}), std::nullopt);
+    EXPECT_EQ(DataPdu::parse(Bytes{0x01, 0x00, 0xAA}), std::nullopt);
+    EXPECT_EQ(DataPdu::parse(Bytes{0x01}), std::nullopt);
+}
+
+TEST(DataPduTest, RejectsReservedLlid) {
+    EXPECT_EQ(DataPdu::parse(Bytes{0x00, 0x00}), std::nullopt);
+}
+
+TEST(DataPduTest, ControlDetection) {
+    DataPdu pdu;
+    pdu.llid = Llid::kControl;
+    pdu.payload = {0x02, 0x13};
+    EXPECT_TRUE(pdu.is_control());
+    EXPECT_FALSE(pdu.is_empty());
+}
+
+TEST(AdvPduTest, HeaderLayout) {
+    AdvPdu pdu;
+    pdu.type = AdvPduType::kConnectReq;
+    pdu.tx_add = true;
+    pdu.rx_add = false;
+    pdu.payload = Bytes(34, 0x00);
+    const Bytes wire = pdu.serialize();
+    EXPECT_EQ(wire[0], 0x45);  // type 0101 + TxAdd bit6
+    EXPECT_EQ(wire[1], 34);
+}
+
+TEST(AdvPduTest, RoundTrip) {
+    AdvPdu pdu;
+    pdu.type = AdvPduType::kScanRsp;
+    pdu.rx_add = true;
+    pdu.payload = {1, 2, 3, 4, 5, 6, 7};
+    const auto parsed = AdvPdu::parse(pdu.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, AdvPduType::kScanRsp);
+    EXPECT_TRUE(parsed->rx_add);
+    EXPECT_FALSE(parsed->tx_add);
+    EXPECT_EQ(parsed->payload, pdu.payload);
+}
+
+TEST(AdvPduTest, RejectsTruncation) {
+    EXPECT_EQ(AdvPdu::parse(Bytes{0x00}), std::nullopt);
+    EXPECT_EQ(AdvPdu::parse(Bytes{0x00, 0x05, 0x01}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ble::link

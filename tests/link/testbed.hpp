@@ -1,0 +1,45 @@
+// Shared fixture: a deterministic two-device world for link-layer tests.
+// Fading is disabled and devices are close, so radio delivery is reliable and
+// every failure a test sees is a protocol failure, not an RF artefact.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "link/device.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ble::test {
+
+struct Testbed {
+    explicit Testbed(std::uint64_t seed = 42)
+        : rng(seed),
+          medium(scheduler, rng.fork(), make_path_loss(), sim::CaptureModel{}) {}
+
+    static sim::PathLossModel make_path_loss() {
+        sim::PathLossParams p;
+        p.fading_sigma_db = 0.0;  // deterministic RF for protocol tests
+        return sim::PathLossModel{p};
+    }
+
+    std::unique_ptr<link::LinkLayerDevice> make_device(const std::string& name,
+                                                       sim::Position pos,
+                                                       double sca_ppm = 20.0) {
+        link::LinkLayerDeviceConfig cfg;
+        cfg.radio.name = name;
+        cfg.radio.position = pos;
+        cfg.radio.clock.sca_ppm = sca_ppm;
+        cfg.address = link::DeviceAddress::random_static(rng);
+        return std::make_unique<link::LinkLayerDevice>(scheduler, medium, rng.fork(),
+                                                       std::move(cfg));
+    }
+
+    void run_for(Duration d) { scheduler.run_until(scheduler.now() + d); }
+
+    sim::Scheduler scheduler;
+    Rng rng;
+    sim::RadioMedium medium;
+};
+
+}  // namespace ble::test

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "link/trace.hpp"
+#include "phy/access_address.hpp"
+#include "phy/frame.hpp"
+#include "testbed.hpp"
+
+namespace ble::link {
+namespace {
+
+using test::Testbed;
+
+TEST(DescribeFrameTest, AdvertisingFrames) {
+    AdvDataPdu adv;
+    adv.type = AdvPduType::kAdvInd;
+    adv.advertiser = DeviceAddress{};
+    adv.data = make_adv_name("x");
+    const auto frame = phy::make_air_frame(phy::kAdvertisingAccessAddress,
+                                           adv.to_adv_pdu().serialize(), 0x555555);
+    EXPECT_EQ(describe_frame(frame.bytes), "ADV_IND (9B)");
+}
+
+TEST(DescribeFrameTest, ChSelBitShown) {
+    AdvPdu pdu;
+    pdu.type = AdvPduType::kConnectReq;
+    pdu.ch_sel = true;
+    pdu.payload = Bytes(34, 0);
+    const auto frame = phy::make_air_frame(phy::kAdvertisingAccessAddress,
+                                           pdu.serialize(), 0x555555);
+    EXPECT_EQ(describe_frame(frame.bytes), "CONNECT_REQ (34B) ChSel");
+}
+
+TEST(DescribeFrameTest, DataAndControlFrames) {
+    DataPdu empty = DataPdu::empty(true, false);
+    auto frame = phy::make_air_frame(0xAF9A9CD4, empty.serialize(), 0x123456);
+    EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=0 nesn=1 empty PDU");
+
+    DataPdu ctl;
+    ctl.llid = Llid::kControl;
+    ctl.sn = true;
+    ctl.payload = TerminateInd{0x13}.to_control().serialize();
+    frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
+    EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=1 nesn=0 LL_TERMINATE_IND");
+
+    DataPdu l2cap;
+    l2cap.llid = Llid::kDataStart;
+    l2cap.md = true;
+    l2cap.payload = Bytes(9, 0x00);
+    frame = phy::make_air_frame(0xAF9A9CD4, l2cap.serialize(), 0x123456);
+    EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=0 nesn=0 MD L2CAP start 9B");
+}
+
+TEST(DescribeFrameTest, MalformedBytes) {
+    EXPECT_NE(describe_frame(Bytes{1, 2, 3}).find("malformed"), std::string::npos);
+}
+
+TEST(PacketTraceTest, RecordsLiveConnection) {
+    Testbed bed(61);
+    link::PacketTrace trace(bed.medium);
+    auto peripheral = bed.make_device("peripheral", {0.0, 0.0});
+    auto central = bed.make_device("central", {1.0, 0.0});
+    Connection* master = nullptr;
+    central->on_connection_established = [&](Connection& c) { master = &c; };
+    peripheral->start_advertising(make_adv_name("dut"));
+    ConnectionParams params;
+    params.hop_interval = 24;
+    central->connect_to(peripheral->address(), params);
+    const TimePoint deadline = bed.scheduler.now() + 3_s;
+    while (bed.scheduler.now() < deadline && master == nullptr) {
+        if (!bed.scheduler.run_one()) break;
+    }
+    ASSERT_NE(master, nullptr);
+    bed.run_for(200_ms);
+
+    // The trace contains the whole story: advertising, the CONNECT_REQ and
+    // connection-event data frames, in time order.
+    int advs = 0, connect_reqs = 0, data = 0;
+    TimePoint last = -1;
+    for (const auto& record : trace.records()) {
+        EXPECT_GE(record.time, last);
+        last = record.time;
+        if (record.description.find("ADV_IND") == 0) ++advs;
+        if (record.description.find("CONNECT_REQ") == 0) ++connect_reqs;
+        if (record.description.find("DATA") == 0) ++data;
+        EXPECT_FALSE(PacketTrace::format(record).empty());
+    }
+    EXPECT_GE(advs, 1);
+    EXPECT_EQ(connect_reqs, 1);
+    EXPECT_GT(data, 10);
+}
+
+TEST(PacketTraceTest, LiveSinkAndCap) {
+    Testbed bed(62);
+    link::PacketTrace trace(bed.medium, /*max_records=*/3);
+    int sunk = 0;
+    trace.on_record = [&](const TraceRecord&) { ++sunk; };
+    auto device = bed.make_device("adv", {0.0, 0.0});
+    device->start_advertising(make_adv_name("x"));
+    bed.run_for(1_s);
+    EXPECT_EQ(trace.records().size(), 3u);  // capped
+    EXPECT_EQ(sunk, 3);
+    trace.clear();
+    EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace ble::link

@@ -1,0 +1,175 @@
+// Connection-update / channel-map procedure edge cases.
+#include <gtest/gtest.h>
+
+#include "crypto/link_encryption.hpp"
+#include "link/connection.hpp"
+#include "link/device.hpp"
+#include "testbed.hpp"
+
+namespace ble::link {
+namespace {
+
+using test::Testbed;
+
+struct UpdatePair {
+    explicit UpdatePair(std::uint16_t hop = 24, std::uint64_t seed = 77) : bed(seed) {
+        peripheral = bed.make_device("peripheral", {0.0, 0.0});
+        central = bed.make_device("central", {1.0, 0.0});
+        ConnectionHooks p_hooks;
+        p_hooks.on_event_closed = [this](const ConnectionEventReport& r) {
+            slave_events.push_back(r);
+        };
+        p_hooks.on_connection_updated = [this](const ConnectionUpdateInd& u) {
+            applied_updates.push_back(u);
+        };
+        p_hooks.on_disconnected = [this](DisconnectReason) { slave_down = true; };
+        peripheral->set_connection_hooks(std::move(p_hooks));
+        peripheral->on_connection_established = [this](Connection& c) { slave = &c; };
+        ConnectionHooks c_hooks;
+        c_hooks.on_disconnected = [this](DisconnectReason) { master_down = true; };
+        central->set_connection_hooks(std::move(c_hooks));
+        central->on_connection_established = [this](Connection& c) { master = &c; };
+
+        peripheral->start_advertising(make_adv_name("dut"));
+        ConnectionParams params;
+        params.hop_interval = hop;
+        params.timeout = 300;
+        central->connect_to(peripheral->address(), params);
+        const TimePoint deadline = bed.scheduler.now() + 3_s;
+        while (bed.scheduler.now() < deadline && (master == nullptr || slave == nullptr)) {
+            if (!bed.scheduler.run_one()) break;
+        }
+    }
+
+    Testbed bed;
+    std::unique_ptr<LinkLayerDevice> peripheral;
+    std::unique_ptr<LinkLayerDevice> central;
+    Connection* master = nullptr;
+    Connection* slave = nullptr;
+    std::vector<ConnectionEventReport> slave_events;
+    std::vector<ConnectionUpdateInd> applied_updates;
+    bool master_down = false;
+    bool slave_down = false;
+};
+
+TEST(UpdateEdgeTest, SlaveCannotInitiateUpdate) {
+    UpdatePair pair;
+    ASSERT_NE(pair.slave, nullptr);
+    ConnectionUpdateInd update;
+    update.interval = 80;
+    EXPECT_FALSE(pair.slave->start_connection_update(update));
+    EXPECT_FALSE(pair.slave->start_channel_map_update(ChannelMap{0x3FF}));
+}
+
+TEST(UpdateEdgeTest, SecondUpdateWhilePendingRefused) {
+    UpdatePair pair;
+    ASSERT_NE(pair.master, nullptr);
+    ConnectionUpdateInd update;
+    update.interval = 80;
+    update.timeout = 300;
+    EXPECT_TRUE(pair.master->start_connection_update(update));
+    EXPECT_FALSE(pair.master->start_connection_update(update));
+    pair.bed.run_for(2_s);
+    EXPECT_FALSE(pair.master_down);
+    // After the first completes, a new one is accepted again.
+    update.interval = 24;
+    EXPECT_TRUE(pair.master->start_connection_update(update));
+    pair.bed.run_for(2_s);
+    EXPECT_EQ(pair.applied_updates.size(), 2u);
+    EXPECT_FALSE(pair.slave_down);
+}
+
+TEST(UpdateEdgeTest, PastInstantIgnoredBySlave) {
+    UpdatePair pair;
+    ASSERT_NE(pair.master, nullptr);
+    // Forge an update whose instant is already in the past (wraparound-aware):
+    // the slave must ignore it entirely.
+    ConnectionUpdateInd update;
+    update.interval = 160;
+    update.timeout = 300;
+    update.instant = static_cast<std::uint16_t>(pair.master->event_counter() - 5);
+    pair.master->send_control(update.to_control());
+    pair.bed.run_for(2_s);
+    EXPECT_TRUE(pair.applied_updates.empty());
+    EXPECT_EQ(pair.slave->params().hop_interval, 24);
+    EXPECT_FALSE(pair.slave_down);
+    EXPECT_FALSE(pair.master_down);
+}
+
+TEST(UpdateEdgeTest, IntervalExtremes) {
+    // Shrink to the spec minimum (7.5 ms) and stretch to 500 ms.
+    UpdatePair pair;
+    ASSERT_NE(pair.master, nullptr);
+    ConnectionUpdateInd fast;
+    fast.interval = 6;  // 7.5 ms
+    fast.timeout = 100;
+    ASSERT_TRUE(pair.master->start_connection_update(fast));
+    pair.bed.run_for(2_s);
+    ASSERT_FALSE(pair.slave_down);
+    EXPECT_EQ(pair.slave->params().hop_interval, 6);
+
+    ConnectionUpdateInd slow;
+    slow.interval = 400;  // 500 ms
+    slow.timeout = 1600;
+    ASSERT_TRUE(pair.master->start_connection_update(slow));
+    pair.bed.run_for(10_s);
+    EXPECT_FALSE(pair.slave_down);
+    EXPECT_FALSE(pair.master_down);
+    EXPECT_EQ(pair.slave->params().hop_interval, 400);
+    // Anchors actually 500 ms apart now.
+    ASSERT_GE(pair.slave_events.size(), 2u);
+    const auto& last = pair.slave_events.back();
+    const auto& prev = pair.slave_events[pair.slave_events.size() - 2];
+    if (last.anchor_observed && prev.anchor_observed) {
+        EXPECT_NEAR(to_ms(last.anchor - prev.anchor), 500.0, 1.0);
+    }
+}
+
+TEST(UpdateEdgeTest, SimultaneousMapAndIntervalUpdate) {
+    UpdatePair pair;
+    ASSERT_NE(pair.master, nullptr);
+    ChannelMap narrow{0x00000000FFULL};  // channels 0-7
+    ASSERT_TRUE(pair.master->start_channel_map_update(narrow, 4));
+    ConnectionUpdateInd update;
+    update.interval = 40;
+    update.timeout = 300;
+    ASSERT_TRUE(pair.master->start_connection_update(update, 8));
+    pair.bed.run_for(3_s);
+    EXPECT_FALSE(pair.slave_down);
+    EXPECT_FALSE(pair.master_down);
+    EXPECT_EQ(pair.slave->params().hop_interval, 40);
+    EXPECT_EQ(pair.slave->params().channel_map, narrow);
+    for (std::size_t i = pair.slave_events.size() - 5; i < pair.slave_events.size(); ++i) {
+        EXPECT_LT(pair.slave_events[i].channel, 8);
+    }
+}
+
+TEST(UpdateEdgeTest, UpdateUnderEncryptionStaysUp) {
+    // Control PDUs are themselves encrypted; the procedure must still work.
+    UpdatePair pair;
+    ASSERT_NE(pair.master, nullptr);
+    auto make_crypto = [] {
+        crypto::SessionMaterial material;
+        for (std::size_t i = 0; i < 16; ++i) material.ltk[i] = std::uint8_t(i);
+        return std::make_shared<crypto::LinkEncryption>(material);
+    };
+    pair.master->set_crypto(make_crypto());
+    pair.slave->set_crypto(make_crypto());
+    pair.master->send_control(ControlPdu{ControlOpcode::kStartEncReq, {}});
+    pair.bed.run_for(500_ms);
+    ASSERT_TRUE(pair.master->encryption_enabled());
+    ASSERT_TRUE(pair.slave->encryption_enabled());
+
+    ConnectionUpdateInd update;
+    update.interval = 80;
+    update.timeout = 300;
+    ASSERT_TRUE(pair.master->start_connection_update(update));
+    pair.bed.run_for(3_s);
+    EXPECT_FALSE(pair.slave_down);
+    EXPECT_FALSE(pair.master_down);
+    EXPECT_EQ(pair.slave->params().hop_interval, 80);
+    ASSERT_EQ(pair.applied_updates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ble::link

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "phy/access_address.hpp"
+
+namespace ble::phy {
+namespace {
+
+TEST(AccessAddressTest, AdvertisingAaRejected) {
+    EXPECT_FALSE(is_valid_access_address(kAdvertisingAccessAddress));
+}
+
+TEST(AccessAddressTest, OneBitFromAdvertisingAaRejected) {
+    for (int bit = 0; bit < 32; ++bit) {
+        EXPECT_FALSE(is_valid_access_address(kAdvertisingAccessAddress ^ (1u << bit)))
+            << "bit " << bit;
+    }
+}
+
+TEST(AccessAddressTest, AllOctetsEqualRejected) {
+    EXPECT_FALSE(is_valid_access_address(0x00000000));
+    EXPECT_FALSE(is_valid_access_address(0xFFFFFFFF));
+    EXPECT_FALSE(is_valid_access_address(0x5A5A5A5A));
+}
+
+TEST(AccessAddressTest, LongRunsRejected) {
+    // 0x0000xxxx style values have > 6 consecutive zeros.
+    EXPECT_FALSE(is_valid_access_address(0x0000A5C3));
+    EXPECT_FALSE(is_valid_access_address(0xFF00FF00));  // 8-bit runs
+}
+
+TEST(AccessAddressTest, TooManyTransitionsRejected) {
+    EXPECT_FALSE(is_valid_access_address(0x55555556));  // ~31 transitions
+}
+
+TEST(AccessAddressTest, KnownGoodPatternAccepted) {
+    // A typical real-world AA: mixed runs, moderate transitions.
+    EXPECT_TRUE(is_valid_access_address(0xAF9A9CD4));
+}
+
+TEST(AccessAddressTest, RandomGeneratorProducesValidAddresses) {
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t aa = random_access_address(rng);
+        EXPECT_TRUE(is_valid_access_address(aa)) << std::hex << aa;
+    }
+}
+
+TEST(AccessAddressTest, GeneratorOutputVaries) {
+    Rng rng(22);
+    const std::uint32_t a = random_access_address(rng);
+    const std::uint32_t b = random_access_address(rng);
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ble::phy

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "phy/mode.hpp"
+
+namespace ble::phy {
+namespace {
+
+TEST(ModeTest, Le1mByteTiming) {
+    EXPECT_EQ(byte_time(Mode::kLe1M), 8_us);
+    EXPECT_EQ(preamble_time(Mode::kLe1M), 8_us);
+}
+
+TEST(ModeTest, PaperAirtimeArithmetic) {
+    // §VII-A: "22 bytes long over the air (i.e., 176 µs of transmission time
+    // using the LE 1M physical layer)" — 22 bytes * 8 µs.
+    EXPECT_EQ(static_cast<Duration>(22) * byte_time(Mode::kLe1M), 176_us);
+}
+
+TEST(ModeTest, Le1mFrameDuration) {
+    // preamble(1)+AA(4)+PDU(2+14)+CRC(3) = 24 bytes -> 192 µs.
+    EXPECT_EQ(frame_duration(Mode::kLe1M, 16), 192_us);
+    // Empty PDU (header only): 10 bytes -> 80 µs.
+    EXPECT_EQ(frame_duration(Mode::kLe1M, 2), 80_us);
+}
+
+TEST(ModeTest, Le2mIsTwiceAsFastPerByte) {
+    EXPECT_EQ(byte_time(Mode::kLe2M), byte_time(Mode::kLe1M) / 2);
+    EXPECT_LT(frame_duration(Mode::kLe2M, 16), frame_duration(Mode::kLe1M, 16));
+}
+
+TEST(ModeTest, CodedModesAreSlower) {
+    EXPECT_GT(frame_duration(Mode::kCodedS2, 16), frame_duration(Mode::kLe1M, 16));
+    EXPECT_GT(frame_duration(Mode::kCodedS8, 16), frame_duration(Mode::kCodedS2, 16));
+}
+
+TEST(ModeTest, NamesAreDistinct) {
+    EXPECT_STRNE(mode_name(Mode::kLe1M), mode_name(Mode::kLe2M));
+    EXPECT_STRNE(mode_name(Mode::kCodedS2), mode_name(Mode::kCodedS8));
+}
+
+}  // namespace
+}  // namespace ble::phy

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/capture.hpp"
+
+namespace ble::sim {
+namespace {
+
+TEST(CaptureModelTest, StrongSignalSurvives) {
+    CaptureModel model;
+    // +20 dB SIR: corruption negligible regardless of phase.
+    EXPECT_LT(model.byte_corruption_prob(20.0, 0.0), 0.01);
+    EXPECT_LT(model.byte_corruption_prob(20.0, 1.0), 0.01);
+}
+
+TEST(CaptureModelTest, BuriedSignalCorrupts) {
+    CaptureModel model;
+    EXPECT_GT(model.byte_corruption_prob(-40.0, 1.0), 0.98);
+    EXPECT_GT(model.byte_corruption_prob(-30.0, 0.5), 0.95);
+}
+
+TEST(CaptureModelTest, MonotoneInSir) {
+    CaptureModel model;
+    double prev = 1.0;
+    for (double sir = -30.0; sir <= 30.0; sir += 1.0) {
+        const double p = model.byte_corruption_prob(sir, 0.5);
+        EXPECT_LE(p, prev + 1e-12) << "at SIR " << sir;
+        prev = p;
+    }
+}
+
+TEST(CaptureModelTest, PhaseShiftsEffectiveSir) {
+    CaptureModel model;
+    // Neutral phase at the logistic midpoint -> 0.5.
+    const double mid = model.params().mid_sir_db;
+    EXPECT_NEAR(model.byte_corruption_prob(mid, 0.5), 0.5, 1e-9);
+    // Good phase helps, bad phase hurts.
+    EXPECT_LT(model.byte_corruption_prob(mid, 1.0), 0.5);
+    EXPECT_GT(model.byte_corruption_prob(mid, 0.0), 0.5);
+}
+
+TEST(CaptureModelTest, PhaseSpreadMatchesParameter) {
+    CaptureParams params;
+    params.phase_spread_db = 4.0;
+    CaptureModel model(params);
+    // phase 1.0 == SIR shifted by +4 dB.
+    EXPECT_NEAR(model.byte_corruption_prob(0.0, 1.0),
+                model.byte_corruption_prob(4.0, 0.5), 1e-9);
+    EXPECT_NEAR(model.byte_corruption_prob(0.0, 0.0),
+                model.byte_corruption_prob(-4.0, 0.5), 1e-9);
+}
+
+TEST(CaptureModelTest, PhaseQualityClamped) {
+    CaptureModel model;
+    EXPECT_NEAR(model.byte_corruption_prob(0.0, 2.0),
+                model.byte_corruption_prob(0.0, 1.0), 1e-9);
+    EXPECT_NEAR(model.byte_corruption_prob(0.0, -1.0),
+                model.byte_corruption_prob(0.0, 0.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace ble::sim

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace ble::sim {
+namespace {
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(300, [&] { order.push_back(3); });
+    s.schedule_at(100, [&] { order.push_back(1); });
+    s.schedule_at(200, [&] { order.push_back(2); });
+    s.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 300);
+}
+
+TEST(SchedulerTest, SameTimestampKeepsInsertionOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        s.schedule_at(42, [&order, i] { order.push_back(i); });
+    }
+    s.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+    Scheduler s;
+    bool fired = false;
+    const EventId id = s.schedule_at(10, [&] { fired = true; });
+    s.cancel(id);
+    s.run_all();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(s.now(), 0);  // cancelled events do not advance time
+}
+
+TEST(SchedulerTest, CancelUnknownIdIsNoop) {
+    Scheduler s;
+    s.cancel(9999);
+    s.cancel(kInvalidEvent);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockExactly) {
+    Scheduler s;
+    int fired = 0;
+    s.schedule_at(100, [&] { ++fired; });
+    s.schedule_at(500, [&] { ++fired; });
+    s.run_until(300);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.now(), 300);
+    s.run_until(600);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(s.now(), 600);
+}
+
+TEST(SchedulerTest, EventAtBoundaryIncludedByRunUntil) {
+    Scheduler s;
+    bool fired = false;
+    s.schedule_at(300, [&] { fired = true; });
+    s.run_until(300);
+    EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+    Scheduler s;
+    s.schedule_at(100, [] {});
+    s.run_all();
+    TimePoint seen = -1;
+    s.schedule_at(5, [&] { seen = s.now(); });  // in the past
+    s.run_all();
+    EXPECT_EQ(seen, 100);
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+    Scheduler s;
+    std::vector<TimePoint> times;
+    s.schedule_at(10, [&] {
+        times.push_back(s.now());
+        s.schedule_after(15, [&] { times.push_back(s.now()); });
+    });
+    s.run_all();
+    EXPECT_EQ(times, (std::vector<TimePoint>{10, 25}));
+}
+
+TEST(SchedulerTest, RunAllHonoursEventLimit) {
+    Scheduler s;
+    std::function<void()> self = [&] { s.schedule_after(1, self); };
+    s.schedule_after(1, self);
+    const std::size_t ran = s.run_all(1000);
+    EXPECT_EQ(ran, 1000u);
+}
+
+TEST(SchedulerTest, PendingCountsOnlyLiveEvents) {
+    Scheduler s;
+    const EventId a = s.schedule_at(1, [] {});
+    s.schedule_at(2, [] {});
+    EXPECT_EQ(s.pending(), 2u);
+    s.cancel(a);
+    EXPECT_EQ(s.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ble::sim
