@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ids.dir/bench_ablation_ids.cpp.o"
+  "CMakeFiles/bench_ablation_ids.dir/bench_ablation_ids.cpp.o.d"
+  "bench_ablation_ids"
+  "bench_ablation_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sca.dir/bench_ablation_sca.cpp.o"
+  "CMakeFiles/bench_ablation_sca.dir/bench_ablation_sca.cpp.o.d"
+  "bench_ablation_sca"
+  "bench_ablation_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

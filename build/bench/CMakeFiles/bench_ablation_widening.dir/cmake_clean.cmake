@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_widening.dir/bench_ablation_widening.cpp.o"
+  "CMakeFiles/bench_ablation_widening.dir/bench_ablation_widening.cpp.o.d"
+  "bench_ablation_widening"
+  "bench_ablation_widening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_widening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

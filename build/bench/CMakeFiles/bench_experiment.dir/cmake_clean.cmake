@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment.dir/experiment.cpp.o"
+  "CMakeFiles/bench_experiment.dir/experiment.cpp.o.d"
+  "libbench_experiment.a"
+  "libbench_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment1_hop_interval.dir/bench_experiment1_hop_interval.cpp.o"
+  "CMakeFiles/bench_experiment1_hop_interval.dir/bench_experiment1_hop_interval.cpp.o.d"
+  "bench_experiment1_hop_interval"
+  "bench_experiment1_hop_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment1_hop_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

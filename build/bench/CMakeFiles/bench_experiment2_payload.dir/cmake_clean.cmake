@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment2_payload.dir/bench_experiment2_payload.cpp.o"
+  "CMakeFiles/bench_experiment2_payload.dir/bench_experiment2_payload.cpp.o.d"
+  "bench_experiment2_payload"
+  "bench_experiment2_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment2_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment3_distance.dir/bench_experiment3_distance.cpp.o"
+  "CMakeFiles/bench_experiment3_distance.dir/bench_experiment3_distance.cpp.o.d"
+  "bench_experiment3_distance"
+  "bench_experiment3_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment3_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment3_wall.dir/bench_experiment3_wall.cpp.o"
+  "CMakeFiles/bench_experiment3_wall.dir/bench_experiment3_wall.cpp.o.d"
+  "bench_experiment3_wall"
+  "bench_experiment3_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment3_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

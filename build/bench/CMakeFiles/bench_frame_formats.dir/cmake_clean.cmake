@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frame_formats.dir/bench_frame_formats.cpp.o"
+  "CMakeFiles/bench_frame_formats.dir/bench_frame_formats.cpp.o.d"
+  "bench_frame_formats"
+  "bench_frame_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frame_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_injection_outcomes.cpp" "bench/CMakeFiles/bench_injection_outcomes.dir/bench_injection_outcomes.cpp.o" "gcc" "bench/CMakeFiles/bench_injection_outcomes.dir/bench_injection_outcomes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/injectable_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ble_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatt/CMakeFiles/ble_gatt.dir/DependInfo.cmake"
+  "/root/repo/build/src/att/CMakeFiles/ble_att.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ble_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/ble_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ble_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_injection_outcomes.dir/bench_injection_outcomes.cpp.o"
+  "CMakeFiles/bench_injection_outcomes.dir/bench_injection_outcomes.cpp.o.d"
+  "bench_injection_outcomes"
+  "bench_injection_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_injection_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_widening.dir/bench_window_widening.cpp.o"
+  "CMakeFiles/bench_window_widening.dir/bench_window_widening.cpp.o.d"
+  "bench_window_widening"
+  "bench_window_widening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_widening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

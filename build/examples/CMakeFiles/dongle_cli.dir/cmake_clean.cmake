@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dongle_cli.dir/dongle_cli.cpp.o"
+  "CMakeFiles/dongle_cli.dir/dongle_cli.cpp.o.d"
+  "dongle_cli"
+  "dongle_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dongle_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

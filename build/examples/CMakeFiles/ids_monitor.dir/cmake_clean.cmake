@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_monitor.dir/ids_monitor.cpp.o"
+  "CMakeFiles/ids_monitor.dir/ids_monitor.cpp.o.d"
+  "ids_monitor"
+  "ids_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

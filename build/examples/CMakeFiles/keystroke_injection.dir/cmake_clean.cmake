@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keystroke_injection.dir/keystroke_injection.cpp.o"
+  "CMakeFiles/keystroke_injection.dir/keystroke_injection.cpp.o.d"
+  "keystroke_injection"
+  "keystroke_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keystroke_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightbulb_attack.dir/lightbulb_attack.cpp.o"
+  "CMakeFiles/lightbulb_attack.dir/lightbulb_attack.cpp.o.d"
+  "lightbulb_attack"
+  "lightbulb_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightbulb_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

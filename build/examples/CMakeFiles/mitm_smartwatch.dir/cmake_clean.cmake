@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitm_smartwatch.dir/mitm_smartwatch.cpp.o"
+  "CMakeFiles/mitm_smartwatch.dir/mitm_smartwatch.cpp.o.d"
+  "mitm_smartwatch"
+  "mitm_smartwatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitm_smartwatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slave_hijack.dir/slave_hijack.cpp.o"
+  "CMakeFiles/slave_hijack.dir/slave_hijack.cpp.o.d"
+  "slave_hijack"
+  "slave_hijack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slave_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

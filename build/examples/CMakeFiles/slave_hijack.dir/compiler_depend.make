@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for slave_hijack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/att/att_pdu.cpp" "src/att/CMakeFiles/ble_att.dir/att_pdu.cpp.o" "gcc" "src/att/CMakeFiles/ble_att.dir/att_pdu.cpp.o.d"
+  "/root/repo/src/att/client.cpp" "src/att/CMakeFiles/ble_att.dir/client.cpp.o" "gcc" "src/att/CMakeFiles/ble_att.dir/client.cpp.o.d"
+  "/root/repo/src/att/server.cpp" "src/att/CMakeFiles/ble_att.dir/server.cpp.o" "gcc" "src/att/CMakeFiles/ble_att.dir/server.cpp.o.d"
+  "/root/repo/src/att/uuid.cpp" "src/att/CMakeFiles/ble_att.dir/uuid.cpp.o" "gcc" "src/att/CMakeFiles/ble_att.dir/uuid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_att.dir/att_pdu.cpp.o"
+  "CMakeFiles/ble_att.dir/att_pdu.cpp.o.d"
+  "CMakeFiles/ble_att.dir/client.cpp.o"
+  "CMakeFiles/ble_att.dir/client.cpp.o.d"
+  "CMakeFiles/ble_att.dir/server.cpp.o"
+  "CMakeFiles/ble_att.dir/server.cpp.o.d"
+  "CMakeFiles/ble_att.dir/uuid.cpp.o"
+  "CMakeFiles/ble_att.dir/uuid.cpp.o.d"
+  "libble_att.a"
+  "libble_att.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_att.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

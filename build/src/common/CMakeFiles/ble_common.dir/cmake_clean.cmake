@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_common.dir/bytes.cpp.o"
+  "CMakeFiles/ble_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/ble_common.dir/hex.cpp.o"
+  "CMakeFiles/ble_common.dir/hex.cpp.o.d"
+  "CMakeFiles/ble_common.dir/log.cpp.o"
+  "CMakeFiles/ble_common.dir/log.cpp.o.d"
+  "CMakeFiles/ble_common.dir/rng.cpp.o"
+  "CMakeFiles/ble_common.dir/rng.cpp.o.d"
+  "libble_common.a"
+  "libble_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

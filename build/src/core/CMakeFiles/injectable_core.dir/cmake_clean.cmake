@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injectable_core.dir/attacker_radio.cpp.o"
+  "CMakeFiles/injectable_core.dir/attacker_radio.cpp.o.d"
+  "CMakeFiles/injectable_core.dir/forge.cpp.o"
+  "CMakeFiles/injectable_core.dir/forge.cpp.o.d"
+  "CMakeFiles/injectable_core.dir/heuristic.cpp.o"
+  "CMakeFiles/injectable_core.dir/heuristic.cpp.o.d"
+  "CMakeFiles/injectable_core.dir/scenarios.cpp.o"
+  "CMakeFiles/injectable_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/injectable_core.dir/session.cpp.o"
+  "CMakeFiles/injectable_core.dir/session.cpp.o.d"
+  "CMakeFiles/injectable_core.dir/sniffer.cpp.o"
+  "CMakeFiles/injectable_core.dir/sniffer.cpp.o.d"
+  "libinjectable_core.a"
+  "libinjectable_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injectable_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

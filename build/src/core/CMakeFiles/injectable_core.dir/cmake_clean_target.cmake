@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinjectable_core.a"
+)

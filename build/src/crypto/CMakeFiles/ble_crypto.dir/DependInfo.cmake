@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/ble_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/ble_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/ccm.cpp" "src/crypto/CMakeFiles/ble_crypto.dir/ccm.cpp.o" "gcc" "src/crypto/CMakeFiles/ble_crypto.dir/ccm.cpp.o.d"
+  "/root/repo/src/crypto/link_encryption.cpp" "src/crypto/CMakeFiles/ble_crypto.dir/link_encryption.cpp.o" "gcc" "src/crypto/CMakeFiles/ble_crypto.dir/link_encryption.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/ble_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ble_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/ble_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/ble_crypto.dir/ccm.cpp.o"
+  "CMakeFiles/ble_crypto.dir/ccm.cpp.o.d"
+  "CMakeFiles/ble_crypto.dir/link_encryption.cpp.o"
+  "CMakeFiles/ble_crypto.dir/link_encryption.cpp.o.d"
+  "libble_crypto.a"
+  "libble_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injectable_dongle.dir/firmware.cpp.o"
+  "CMakeFiles/injectable_dongle.dir/firmware.cpp.o.d"
+  "CMakeFiles/injectable_dongle.dir/protocol.cpp.o"
+  "CMakeFiles/injectable_dongle.dir/protocol.cpp.o.d"
+  "libinjectable_dongle.a"
+  "libinjectable_dongle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injectable_dongle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for injectable_dongle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gatt/builder.cpp" "src/gatt/CMakeFiles/ble_gatt.dir/builder.cpp.o" "gcc" "src/gatt/CMakeFiles/ble_gatt.dir/builder.cpp.o.d"
+  "/root/repo/src/gatt/profiles.cpp" "src/gatt/CMakeFiles/ble_gatt.dir/profiles.cpp.o" "gcc" "src/gatt/CMakeFiles/ble_gatt.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/att/CMakeFiles/ble_att.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

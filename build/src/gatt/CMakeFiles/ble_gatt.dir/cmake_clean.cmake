@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_gatt.dir/builder.cpp.o"
+  "CMakeFiles/ble_gatt.dir/builder.cpp.o.d"
+  "CMakeFiles/ble_gatt.dir/profiles.cpp.o"
+  "CMakeFiles/ble_gatt.dir/profiles.cpp.o.d"
+  "libble_gatt.a"
+  "libble_gatt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_gatt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

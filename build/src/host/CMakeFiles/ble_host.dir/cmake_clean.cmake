@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_host.dir/central.cpp.o"
+  "CMakeFiles/ble_host.dir/central.cpp.o.d"
+  "CMakeFiles/ble_host.dir/l2cap.cpp.o"
+  "CMakeFiles/ble_host.dir/l2cap.cpp.o.d"
+  "CMakeFiles/ble_host.dir/peripheral.cpp.o"
+  "CMakeFiles/ble_host.dir/peripheral.cpp.o.d"
+  "libble_host.a"
+  "libble_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_ids.dir/detector.cpp.o"
+  "CMakeFiles/ble_ids.dir/detector.cpp.o.d"
+  "libble_ids.a"
+  "libble_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

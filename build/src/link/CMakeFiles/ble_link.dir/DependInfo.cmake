@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/address.cpp" "src/link/CMakeFiles/ble_link.dir/address.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/address.cpp.o.d"
+  "/root/repo/src/link/adv_pdu.cpp" "src/link/CMakeFiles/ble_link.dir/adv_pdu.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/adv_pdu.cpp.o.d"
+  "/root/repo/src/link/channel_map.cpp" "src/link/CMakeFiles/ble_link.dir/channel_map.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/channel_map.cpp.o.d"
+  "/root/repo/src/link/channel_selection.cpp" "src/link/CMakeFiles/ble_link.dir/channel_selection.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/channel_selection.cpp.o.d"
+  "/root/repo/src/link/connection.cpp" "src/link/CMakeFiles/ble_link.dir/connection.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/connection.cpp.o.d"
+  "/root/repo/src/link/control_pdu.cpp" "src/link/CMakeFiles/ble_link.dir/control_pdu.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/control_pdu.cpp.o.d"
+  "/root/repo/src/link/device.cpp" "src/link/CMakeFiles/ble_link.dir/device.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/device.cpp.o.d"
+  "/root/repo/src/link/pdu.cpp" "src/link/CMakeFiles/ble_link.dir/pdu.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/pdu.cpp.o.d"
+  "/root/repo/src/link/trace.cpp" "src/link/CMakeFiles/ble_link.dir/trace.cpp.o" "gcc" "src/link/CMakeFiles/ble_link.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ble_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

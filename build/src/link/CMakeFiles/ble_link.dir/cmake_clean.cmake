@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_link.dir/address.cpp.o"
+  "CMakeFiles/ble_link.dir/address.cpp.o.d"
+  "CMakeFiles/ble_link.dir/adv_pdu.cpp.o"
+  "CMakeFiles/ble_link.dir/adv_pdu.cpp.o.d"
+  "CMakeFiles/ble_link.dir/channel_map.cpp.o"
+  "CMakeFiles/ble_link.dir/channel_map.cpp.o.d"
+  "CMakeFiles/ble_link.dir/channel_selection.cpp.o"
+  "CMakeFiles/ble_link.dir/channel_selection.cpp.o.d"
+  "CMakeFiles/ble_link.dir/connection.cpp.o"
+  "CMakeFiles/ble_link.dir/connection.cpp.o.d"
+  "CMakeFiles/ble_link.dir/control_pdu.cpp.o"
+  "CMakeFiles/ble_link.dir/control_pdu.cpp.o.d"
+  "CMakeFiles/ble_link.dir/device.cpp.o"
+  "CMakeFiles/ble_link.dir/device.cpp.o.d"
+  "CMakeFiles/ble_link.dir/pdu.cpp.o"
+  "CMakeFiles/ble_link.dir/pdu.cpp.o.d"
+  "CMakeFiles/ble_link.dir/trace.cpp.o"
+  "CMakeFiles/ble_link.dir/trace.cpp.o.d"
+  "libble_link.a"
+  "libble_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

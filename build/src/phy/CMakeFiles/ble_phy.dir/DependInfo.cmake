@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/access_address.cpp" "src/phy/CMakeFiles/ble_phy.dir/access_address.cpp.o" "gcc" "src/phy/CMakeFiles/ble_phy.dir/access_address.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/ble_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/ble_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/ble_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/ble_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/mode.cpp" "src/phy/CMakeFiles/ble_phy.dir/mode.cpp.o" "gcc" "src/phy/CMakeFiles/ble_phy.dir/mode.cpp.o.d"
+  "/root/repo/src/phy/whitening.cpp" "src/phy/CMakeFiles/ble_phy.dir/whitening.cpp.o" "gcc" "src/phy/CMakeFiles/ble_phy.dir/whitening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_phy.dir/access_address.cpp.o"
+  "CMakeFiles/ble_phy.dir/access_address.cpp.o.d"
+  "CMakeFiles/ble_phy.dir/crc.cpp.o"
+  "CMakeFiles/ble_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/ble_phy.dir/frame.cpp.o"
+  "CMakeFiles/ble_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/ble_phy.dir/mode.cpp.o"
+  "CMakeFiles/ble_phy.dir/mode.cpp.o.d"
+  "CMakeFiles/ble_phy.dir/whitening.cpp.o"
+  "CMakeFiles/ble_phy.dir/whitening.cpp.o.d"
+  "libble_phy.a"
+  "libble_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libble_phy.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capture.cpp" "src/sim/CMakeFiles/ble_sim.dir/capture.cpp.o" "gcc" "src/sim/CMakeFiles/ble_sim.dir/capture.cpp.o.d"
+  "/root/repo/src/sim/medium.cpp" "src/sim/CMakeFiles/ble_sim.dir/medium.cpp.o" "gcc" "src/sim/CMakeFiles/ble_sim.dir/medium.cpp.o.d"
+  "/root/repo/src/sim/path_loss.cpp" "src/sim/CMakeFiles/ble_sim.dir/path_loss.cpp.o" "gcc" "src/sim/CMakeFiles/ble_sim.dir/path_loss.cpp.o.d"
+  "/root/repo/src/sim/radio_device.cpp" "src/sim/CMakeFiles/ble_sim.dir/radio_device.cpp.o" "gcc" "src/sim/CMakeFiles/ble_sim.dir/radio_device.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/ble_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/ble_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/sleep_clock.cpp" "src/sim/CMakeFiles/ble_sim.dir/sleep_clock.cpp.o" "gcc" "src/sim/CMakeFiles/ble_sim.dir/sleep_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

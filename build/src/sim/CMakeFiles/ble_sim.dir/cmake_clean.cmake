@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_sim.dir/capture.cpp.o"
+  "CMakeFiles/ble_sim.dir/capture.cpp.o.d"
+  "CMakeFiles/ble_sim.dir/medium.cpp.o"
+  "CMakeFiles/ble_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/ble_sim.dir/path_loss.cpp.o"
+  "CMakeFiles/ble_sim.dir/path_loss.cpp.o.d"
+  "CMakeFiles/ble_sim.dir/radio_device.cpp.o"
+  "CMakeFiles/ble_sim.dir/radio_device.cpp.o.d"
+  "CMakeFiles/ble_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ble_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ble_sim.dir/sleep_clock.cpp.o"
+  "CMakeFiles/ble_sim.dir/sleep_clock.cpp.o.d"
+  "libble_sim.a"
+  "libble_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

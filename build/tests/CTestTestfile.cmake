@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("phy")
+subdirs("link")
+subdirs("crypto")
+subdirs("att")
+subdirs("gatt")
+subdirs("host")
+subdirs("core")
+subdirs("ids")
+subdirs("dongle")
+subdirs("integration")

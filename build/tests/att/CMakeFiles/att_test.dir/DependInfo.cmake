@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/att/att_pdu_test.cpp" "tests/att/CMakeFiles/att_test.dir/att_pdu_test.cpp.o" "gcc" "tests/att/CMakeFiles/att_test.dir/att_pdu_test.cpp.o.d"
+  "/root/repo/tests/att/client_test.cpp" "tests/att/CMakeFiles/att_test.dir/client_test.cpp.o" "gcc" "tests/att/CMakeFiles/att_test.dir/client_test.cpp.o.d"
+  "/root/repo/tests/att/server_edge_test.cpp" "tests/att/CMakeFiles/att_test.dir/server_edge_test.cpp.o" "gcc" "tests/att/CMakeFiles/att_test.dir/server_edge_test.cpp.o.d"
+  "/root/repo/tests/att/server_test.cpp" "tests/att/CMakeFiles/att_test.dir/server_test.cpp.o" "gcc" "tests/att/CMakeFiles/att_test.dir/server_test.cpp.o.d"
+  "/root/repo/tests/att/uuid_test.cpp" "tests/att/CMakeFiles/att_test.dir/uuid_test.cpp.o" "gcc" "tests/att/CMakeFiles/att_test.dir/uuid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/att/CMakeFiles/ble_att.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/att_test.dir/att_pdu_test.cpp.o"
+  "CMakeFiles/att_test.dir/att_pdu_test.cpp.o.d"
+  "CMakeFiles/att_test.dir/client_test.cpp.o"
+  "CMakeFiles/att_test.dir/client_test.cpp.o.d"
+  "CMakeFiles/att_test.dir/server_edge_test.cpp.o"
+  "CMakeFiles/att_test.dir/server_edge_test.cpp.o.d"
+  "CMakeFiles/att_test.dir/server_test.cpp.o"
+  "CMakeFiles/att_test.dir/server_test.cpp.o.d"
+  "CMakeFiles/att_test.dir/uuid_test.cpp.o"
+  "CMakeFiles/att_test.dir/uuid_test.cpp.o.d"
+  "att_test"
+  "att_test.pdb"
+  "att_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/att_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

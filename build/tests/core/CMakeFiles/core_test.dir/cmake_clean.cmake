@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/csa2_test.cpp.o"
+  "CMakeFiles/core_test.dir/csa2_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/forge_test.cpp.o"
+  "CMakeFiles/core_test.dir/forge_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/heuristic_test.cpp.o"
+  "CMakeFiles/core_test.dir/heuristic_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/hid_injection_test.cpp.o"
+  "CMakeFiles/core_test.dir/hid_injection_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/injection_test.cpp.o"
+  "CMakeFiles/core_test.dir/injection_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/scenario_test.cpp.o"
+  "CMakeFiles/core_test.dir/scenario_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/scenario_variants_test.cpp.o"
+  "CMakeFiles/core_test.dir/scenario_variants_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/sniffer_test.cpp.o"
+  "CMakeFiles/core_test.dir/sniffer_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

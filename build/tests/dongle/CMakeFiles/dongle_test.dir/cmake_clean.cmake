@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dongle_test.dir/firmware_test.cpp.o"
+  "CMakeFiles/dongle_test.dir/firmware_test.cpp.o.d"
+  "CMakeFiles/dongle_test.dir/protocol_test.cpp.o"
+  "CMakeFiles/dongle_test.dir/protocol_test.cpp.o.d"
+  "dongle_test"
+  "dongle_test.pdb"
+  "dongle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dongle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gatt_test.dir/builder_test.cpp.o"
+  "CMakeFiles/gatt_test.dir/builder_test.cpp.o.d"
+  "CMakeFiles/gatt_test.dir/hid_profile_test.cpp.o"
+  "CMakeFiles/gatt_test.dir/hid_profile_test.cpp.o.d"
+  "CMakeFiles/gatt_test.dir/profiles_test.cpp.o"
+  "CMakeFiles/gatt_test.dir/profiles_test.cpp.o.d"
+  "gatt_test"
+  "gatt_test.pdb"
+  "gatt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gatt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

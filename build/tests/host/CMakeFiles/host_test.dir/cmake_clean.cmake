@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_test.dir/device_test.cpp.o"
+  "CMakeFiles/host_test.dir/device_test.cpp.o.d"
+  "CMakeFiles/host_test.dir/encryption_test.cpp.o"
+  "CMakeFiles/host_test.dir/encryption_test.cpp.o.d"
+  "CMakeFiles/host_test.dir/host_integration_test.cpp.o"
+  "CMakeFiles/host_test.dir/host_integration_test.cpp.o.d"
+  "CMakeFiles/host_test.dir/l2cap_test.cpp.o"
+  "CMakeFiles/host_test.dir/l2cap_test.cpp.o.d"
+  "host_test"
+  "host_test.pdb"
+  "host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/link/address_test.cpp" "tests/link/CMakeFiles/link_test.dir/address_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/address_test.cpp.o.d"
+  "/root/repo/tests/link/adv_pdu_test.cpp" "tests/link/CMakeFiles/link_test.dir/adv_pdu_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/adv_pdu_test.cpp.o.d"
+  "/root/repo/tests/link/channel_map_test.cpp" "tests/link/CMakeFiles/link_test.dir/channel_map_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/channel_map_test.cpp.o.d"
+  "/root/repo/tests/link/channel_selection_test.cpp" "tests/link/CMakeFiles/link_test.dir/channel_selection_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/channel_selection_test.cpp.o.d"
+  "/root/repo/tests/link/connection_test.cpp" "tests/link/CMakeFiles/link_test.dir/connection_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/connection_test.cpp.o.d"
+  "/root/repo/tests/link/control_pdu_test.cpp" "tests/link/CMakeFiles/link_test.dir/control_pdu_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/control_pdu_test.cpp.o.d"
+  "/root/repo/tests/link/fuzz_test.cpp" "tests/link/CMakeFiles/link_test.dir/fuzz_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/link/pdu_test.cpp" "tests/link/CMakeFiles/link_test.dir/pdu_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/pdu_test.cpp.o.d"
+  "/root/repo/tests/link/robustness_test.cpp" "tests/link/CMakeFiles/link_test.dir/robustness_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/link/trace_test.cpp" "tests/link/CMakeFiles/link_test.dir/trace_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/link/update_edge_test.cpp" "tests/link/CMakeFiles/link_test.dir/update_edge_test.cpp.o" "gcc" "tests/link/CMakeFiles/link_test.dir/update_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/ble_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/att/CMakeFiles/ble_att.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ble_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dongle/CMakeFiles/injectable_dongle.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/injectable_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ble_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ble_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatt/CMakeFiles/ble_gatt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

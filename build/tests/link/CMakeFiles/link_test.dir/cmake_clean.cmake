@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_test.dir/address_test.cpp.o"
+  "CMakeFiles/link_test.dir/address_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/adv_pdu_test.cpp.o"
+  "CMakeFiles/link_test.dir/adv_pdu_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/channel_map_test.cpp.o"
+  "CMakeFiles/link_test.dir/channel_map_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/channel_selection_test.cpp.o"
+  "CMakeFiles/link_test.dir/channel_selection_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/connection_test.cpp.o"
+  "CMakeFiles/link_test.dir/connection_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/control_pdu_test.cpp.o"
+  "CMakeFiles/link_test.dir/control_pdu_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/fuzz_test.cpp.o"
+  "CMakeFiles/link_test.dir/fuzz_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/pdu_test.cpp.o"
+  "CMakeFiles/link_test.dir/pdu_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/robustness_test.cpp.o"
+  "CMakeFiles/link_test.dir/robustness_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/trace_test.cpp.o"
+  "CMakeFiles/link_test.dir/trace_test.cpp.o.d"
+  "CMakeFiles/link_test.dir/update_edge_test.cpp.o"
+  "CMakeFiles/link_test.dir/update_edge_test.cpp.o.d"
+  "link_test"
+  "link_test.pdb"
+  "link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

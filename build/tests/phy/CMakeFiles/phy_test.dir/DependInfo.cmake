@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/access_address_test.cpp" "tests/phy/CMakeFiles/phy_test.dir/access_address_test.cpp.o" "gcc" "tests/phy/CMakeFiles/phy_test.dir/access_address_test.cpp.o.d"
+  "/root/repo/tests/phy/crc_test.cpp" "tests/phy/CMakeFiles/phy_test.dir/crc_test.cpp.o" "gcc" "tests/phy/CMakeFiles/phy_test.dir/crc_test.cpp.o.d"
+  "/root/repo/tests/phy/frame_test.cpp" "tests/phy/CMakeFiles/phy_test.dir/frame_test.cpp.o" "gcc" "tests/phy/CMakeFiles/phy_test.dir/frame_test.cpp.o.d"
+  "/root/repo/tests/phy/mode_test.cpp" "tests/phy/CMakeFiles/phy_test.dir/mode_test.cpp.o" "gcc" "tests/phy/CMakeFiles/phy_test.dir/mode_test.cpp.o.d"
+  "/root/repo/tests/phy/whitening_test.cpp" "tests/phy/CMakeFiles/phy_test.dir/whitening_test.cpp.o" "gcc" "tests/phy/CMakeFiles/phy_test.dir/whitening_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/ble_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/capture_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/capture_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/capture_test.cpp.o.d"
+  "/root/repo/tests/sim/medium_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/medium_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/medium_test.cpp.o.d"
+  "/root/repo/tests/sim/path_loss_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/path_loss_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/path_loss_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/scheduler_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim/sleep_clock_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/sleep_clock_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/sleep_clock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
