@@ -6,10 +6,10 @@
 // itself), so the injection cost should be indistinguishable.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Ablation: CSA#1 vs CSA#2 (paper §III-B.3) ===\n");
     std::printf("hop 36, 2 m triangle, 25 runs each\n\n");
@@ -17,8 +17,8 @@ int main() {
 
     for (bool csa2 : {false, true}) {
         ExperimentConfig config;
-        config.hop_interval = 36;
-        config.use_csa2 = csa2;
+        config.world.hop_interval = 36;
+        config.world.use_csa2 = csa2;
         config.base_seed = 8200 + (csa2 ? 1 : 0);
         const Stats stats = summarize(run_series(config));
         print_stats_row(csa2 ? "CSA#2 (BLE 5)" : "CSA#1", stats);

@@ -10,10 +10,10 @@
 // slave tears the connection down — DoS instead of command injection.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Ablation: LL encryption (paper §VIII, solution 2) ===\n");
     std::printf("hop 36, 2 m triangle, 25 runs/config, injected ATT write\n\n");
@@ -22,8 +22,8 @@ int main() {
 
     for (bool encrypted : {false, true}) {
         ExperimentConfig config;
-        config.hop_interval = 36;
-        config.encrypt_link = encrypted;
+        config.world.hop_interval = 36;
+        config.world.encrypt_link = encrypted;
         config.max_attempts = 40;
         config.base_seed = 7600 + (encrypted ? 1 : 0);
         auto results = run_series(config);

@@ -4,10 +4,10 @@
 // device").
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Ablation: Eq. 7 heuristic accuracy vs ground truth ===\n");
     std::printf("observable Write Command injections; FP = heuristic says success\n");
@@ -26,8 +26,8 @@ int main() {
     };
     for (const auto& c : cases) {
         ExperimentConfig config;
-        config.hop_interval = c.hop;
-        if (c.attacker_x != 0.0) config.attacker_pos = {c.attacker_x, 0.0};
+        config.world.hop_interval = c.hop;
+        if (c.attacker_x != 0.0) config.world.attacker_pos = {c.attacker_x, 0.0};
         config.runs = 50;
         config.base_seed = 7900 + c.hop;
         auto results = run_series(config);

@@ -5,94 +5,52 @@
 #include <optional>
 
 #include "core/scenarios.hpp"
-#include "experiment.hpp"
 #include "gatt/builder.hpp"
 #include "ids/detector.hpp"
+#include "world/world.hpp"
 
 namespace {
 
 using namespace injectable;
-using namespace injectable::bench;
+using namespace injectable::world;
 using namespace ble;
 using ble::ids::Alert;
 using ble::ids::InjectionDetector;
 
-struct IdsRun {
+WorldSpec ids_spec(std::uint64_t seed) {
+    WorldSpec spec;  // paper baseline: fading office, declared 50 / real 30 ppm
+    spec.seed = seed;
+    spec.supervision_timeout = 300;
+    spec.master_traffic_every_events = 0;
+    return spec;
+}
+
+struct IdsRun : World {
     explicit IdsRun(std::uint64_t seed)
-        : rng(seed), medium(scheduler, rng.fork(), sim::PathLossModel{}) {
-        host::PeripheralConfig p_cfg;
-        p_cfg.name = "bulb";
-        peripheral = std::make_unique<host::Peripheral>(scheduler, medium, rng.fork(), p_cfg);
-        bulb.install(peripheral->att_server());
-        host::CentralConfig c_cfg;
-        c_cfg.name = "phone";
-        c_cfg.radio.position = {2.0, 0.0};
-        c_cfg.radio.clock.sca_ppm = 30.0;
-        c_cfg.declared_sca_ppm = 50.0;
-        central = std::make_unique<host::Central>(scheduler, medium, rng.fork(), c_cfg);
-        sim::RadioDeviceConfig a_cfg;
-        a_cfg.name = "attacker";
-        a_cfg.position = {1.0, 1.732};
-        attacker = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), a_cfg);
-        sim::RadioDeviceConfig probe_cfg;
-        probe_cfg.name = "ids-probe";
-        probe_cfg.position = {0.5, -1.0};
-        probe = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), probe_cfg);
-    }
+        : World(ids_spec(seed)), probe(make_attacker("ids-probe", {0.5, -1.0})) {}
 
     bool establish() {
-        AdvSniffer atk_sniffer(*attacker);
+        // The IDS probe must capture the same CONNECT_REQ the attacker does.
         AdvSniffer ids_sniffer(*probe);
-        std::optional<SniffedConnection> atk_cap, ids_cap;
-        atk_sniffer.on_connection = [&](const SniffedConnection& c,
-                                        const link::ConnectReqPdu&) { atk_cap = c; };
+        std::optional<SniffedConnection> ids_cap;
         ids_sniffer.on_connection = [&](const SniffedConnection& c,
                                         const link::ConnectReqPdu&) { ids_cap = c; };
-        atk_sniffer.start();
         ids_sniffer.start();
-        peripheral->start();
-        link::ConnectionParams params;
-        params.hop_interval = 36;
-        params.timeout = 300;
-        central->connect(peripheral->address(), params);
-        const TimePoint deadline = scheduler.now() + 5_s;
-        while (scheduler.now() < deadline &&
-               !(atk_cap && ids_cap && central->connected() && peripheral->connected())) {
-            if (!scheduler.run_one()) break;
-        }
-        atk_sniffer.stop();
+        const auto atk_cap =
+            establish_and_sniff(5_s, [&] { return ids_cap.has_value(); });
         ids_sniffer.stop();
-        if (!atk_cap || !ids_cap || !central->connected()) return false;
+        if (!atk_cap || !ids_cap) return false;
         detector = std::make_unique<InjectionDetector>(*probe, *ids_cap);
         detector->on_alert = [this](const Alert& alert) {
             if (!first_alert) first_alert = alert;
         };
         detector->start();
-        session = std::make_unique<AttackSession>(*attacker, *atk_cap);
-        session->start();
         attack_t0 = scheduler.now();
-        scheduler.run_until(scheduler.now() + 400_ms);
+        start_session(400_ms);
         return true;
     }
 
-    template <typename Pred>
-    bool run_until(Duration budget, Pred pred) {
-        const TimePoint deadline = scheduler.now() + budget;
-        while (scheduler.now() < deadline && !pred()) {
-            if (!scheduler.run_one()) break;
-        }
-        return pred();
-    }
-
-    Rng rng;
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium;
-    std::unique_ptr<host::Peripheral> peripheral;
-    std::unique_ptr<host::Central> central;
-    std::unique_ptr<AttackerRadio> attacker;
     std::unique_ptr<AttackerRadio> probe;
-    gatt::LightbulbProfile bulb;
-    std::unique_ptr<AttackSession> session;
     std::unique_ptr<InjectionDetector> detector;
     std::optional<Alert> first_alert;
     TimePoint attack_t0 = 0;

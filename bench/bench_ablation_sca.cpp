@@ -8,10 +8,10 @@
 // sweep quantifies how forgiving that estimate is.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Ablation: attacker's assumed slave SCA (paper §V-C) ===\n");
     std::printf("hop 36, victim slave really 20 ppm, 25 runs/assumption\n\n");
@@ -19,8 +19,8 @@ int main() {
 
     for (double assumed : {0.0, 10.0, 20.0, 50.0, 150.0, 400.0}) {
         ExperimentConfig config;
-        config.hop_interval = 36;
-        config.attack.assumed_slave_sca_ppm = assumed;
+        config.world.hop_interval = 36;
+        config.world.attack.assumed_slave_sca_ppm = assumed;
         config.base_seed = 7800 + static_cast<std::uint64_t>(assumed);
         const Stats stats = summarize(run_series(config));
         char label[32];

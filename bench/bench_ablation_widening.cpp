@@ -8,10 +8,10 @@
 // link's own stability), which is the trade-off the paper warns about.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Ablation: window-widening reduction (paper §VIII, solution 1) ===\n");
     std::printf("hop 36, 2 m triangle, 25 runs/scale; attacker still assumes spec widening\n\n");
@@ -20,8 +20,8 @@ int main() {
 
     for (double scale : {1.0, 0.75, 0.5, 0.25, 0.1}) {
         ExperimentConfig config;
-        config.hop_interval = 36;
-        config.widening_scale = scale;
+        config.world.hop_interval = 36;
+        config.world.widening_scale = scale;
         config.base_seed = 7000 + static_cast<std::uint64_t>(scale * 100);
         auto results = run_series(config);
         const Stats stats = summarize(results);

@@ -12,10 +12,10 @@
 // quickly between 25 and 100 and stabilises afterwards.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Experiment 1: Hop Interval sensitivity (paper Fig. 9, left) ===\n");
     std::printf("22-byte frame over the air, 2 m equilateral triangle, 25 runs/value\n\n");
@@ -24,9 +24,9 @@ int main() {
     for (std::uint16_t hop : {25, 50, 75, 100, 125, 150}) {
         ExperimentConfig config;
         config.name = "exp1";
-        config.master_sca_ppm = 250.0;   // declared by the Mirage-driven HCI dongle
-        config.master_clock_ppm = 80.0;  // its actual crystal runs well inside that
-        config.hop_interval = hop;
+        config.world.master_sca_ppm = 250.0;   // declared by the Mirage-driven HCI dongle
+        config.world.master_clock_ppm = 80.0;  // its actual crystal runs well inside that
+        config.world.hop_interval = hop;
         config.ll_payload_size = 12;  // -> 22 bytes / 176 µs over the air
         config.base_seed = 1000 + hop;
         const auto results = run_series(config);

@@ -7,10 +7,10 @@
 // succeeds sooner.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Experiment 2: payload-size sensitivity (paper Fig. 9, middle) ===\n");
     std::printf("Hop Interval 75 (93.75 ms), 2 m triangle, 25 runs/value\n\n");
@@ -20,9 +20,9 @@ int main() {
                                 std::size_t{16}}) {
         ExperimentConfig config;
         config.name = "exp2";
-        config.master_sca_ppm = 250.0;   // declared by the Mirage-driven HCI dongle
-        config.master_clock_ppm = 80.0;  // its actual crystal runs well inside that
-        config.hop_interval = 75;
+        config.world.master_sca_ppm = 250.0;   // declared by the Mirage-driven HCI dongle
+        config.world.master_clock_ppm = 80.0;  // its actual crystal runs well inside that
+        config.world.hop_interval = 75;
         config.ll_payload_size = payload;
         config.base_seed = 2000 + payload;
         const auto results = run_series(config);

@@ -7,10 +7,10 @@
 // (Fig. 8). The injected frame is the 22-byte "bulb off" Write Request.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Experiment 3: distance sensitivity (paper Fig. 9, right) ===\n");
     std::printf("Hop Interval 36 (45 ms), phone at 2 m, 25 runs/position\n\n");
@@ -26,11 +26,11 @@ int main() {
     for (const auto& pos : positions) {
         ExperimentConfig config;
         config.name = "exp3";
-        config.hop_interval = 36;
+        config.world.hop_interval = 36;
         config.ll_payload_size = 12;  // 22-byte frame
-        config.peripheral_pos = {0.0, 0.0};
-        config.central_pos = {2.0, 0.0};
-        config.attacker_pos = {-pos.distance_m, 0.0};  // opposite side of the bulb
+        config.world.peripheral_pos = {0.0, 0.0};
+        config.world.central_pos = {2.0, 0.0};
+        config.world.attacker_pos = {-pos.distance_m, 0.0};  // opposite side of the bulb
         config.base_seed = 3000 + static_cast<std::uint64_t>(pos.distance_m * 10);
         const auto results = run_series(config);
         const Stats stats = summarize(results);

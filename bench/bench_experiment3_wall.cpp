@@ -5,10 +5,10 @@
 // {2, 4, 6, 8} m from the Peripheral on the other side of a wall.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
 
     std::printf("=== Experiment 3b: through-the-wall injection (paper Fig. 9) ===\n");
     std::printf("Hop Interval 36, phone at 2 m, 6 dB wall, 25 runs/distance\n\n");
@@ -17,13 +17,13 @@ int main() {
     for (double distance : {2.0, 4.0, 6.0, 8.0}) {
         ExperimentConfig config;
         config.name = "exp3b";
-        config.hop_interval = 36;
+        config.world.hop_interval = 36;
         config.ll_payload_size = 12;
-        config.peripheral_pos = {0.0, 0.0};
-        config.central_pos = {2.0, 0.0};
-        config.attacker_pos = {-distance, 0.0};
+        config.world.peripheral_pos = {0.0, 0.0};
+        config.world.central_pos = {2.0, 0.0};
+        config.world.attacker_pos = {-distance, 0.0};
         // Wall between the attacker and the room with the victims.
-        config.walls.push_back(ble::sim::Wall{{-1.0, -50.0}, {-1.0, 50.0}, 6.0});
+        config.world.walls.push_back(ble::sim::Wall{{-1.0, -50.0}, {-1.0, 50.0}, 6.0});
         config.base_seed = 3500 + static_cast<std::uint64_t>(distance * 10);
         const auto results = run_series(config);
         const Stats stats = summarize(results);

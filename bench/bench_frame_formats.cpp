@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "common/hex.hpp"
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 #include "phy/frame.hpp"
 
 int main() {

@@ -8,13 +8,14 @@
 // classify every attempt with the attacker's own Eq. 7 signals. As the delay
 // grows the outcome mass moves a -> b -> c, mapping the paper's figure onto
 // measured frequencies.
+#include <atomic>
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 
 int main() {
     using namespace injectable;
-    using namespace injectable::bench;
+    using namespace injectable::world;
     using namespace ble;
 
     std::printf("=== Injection outcome anatomy (paper Fig. 5) ===\n");
@@ -24,17 +25,20 @@ int main() {
                 "(b) corrupt", "(c) master", "no rsp");
 
     for (int delay_us : {0, 10, 20, 30, 40, 60, 90, 120}) {
-        int ok = 0, corrupt = 0, master_won = 0, silent = 0, total = 0;
+        // run_series fans trials out on worker threads; the per-attempt hook
+        // fires concurrently, so accumulate into atomics (the printed totals
+        // are order-independent and stay deterministic).
+        std::atomic<int> ok{0}, corrupt{0}, master_won{0}, silent{0}, total{0};
         ExperimentConfig config;
-        config.hop_interval = 36;
+        config.world.hop_interval = 36;
         config.ll_payload_size = 4;
         config.runs = 40;
         config.max_attempts = 10;  // sample attempts, not time-to-success
         config.base_seed = 6000 + static_cast<std::uint64_t>(delay_us);
-        config.attack.tx_latency_mean = microseconds(delay_us);
-        config.attack.tx_latency_sd = 0;
-        config.attack.hiccup_prob = 0.0;
-        config.attack.turnaround_time = 0;
+        config.world.attack.tx_latency_mean = microseconds(delay_us);
+        config.world.attack.tx_latency_sd = 0;
+        config.world.attack.hiccup_prob = 0.0;
+        config.world.attack.turnaround_time = 0;
         config.on_attempt_hook = [&](const AttemptReport& report) {
             ++total;
             if (!report.verdict.response_seen) {
@@ -48,9 +52,10 @@ int main() {
             }
         };
         (void)run_series(config);
-        std::printf("%8d %9d %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n", delay_us, total,
-                    100.0 * ok / total, 100.0 * corrupt / total,
-                    100.0 * master_won / total, 100.0 * silent / total);
+        const int n = total.load();
+        std::printf("%8d %9d %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n", delay_us, n,
+                    100.0 * ok.load() / n, 100.0 * corrupt.load() / n,
+                    100.0 * master_won.load() / n, 100.0 * silent.load() / n);
     }
     std::printf(
         "\nExpected shape: a small delay (~10-30 us) wins the race (outcomes\n"

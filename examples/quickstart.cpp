@@ -8,99 +8,66 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
-
 #include <cstdlib>
 #include <memory>
 
 #include "core/forge.hpp"
-#include "core/session.hpp"
-#include "core/sniffer.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
 #include "link/trace.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
     // --- the world: one radio medium, three devices ---
-    Rng rng(2026);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 2026;
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;  // a stock phone crystal
+    spec.master_sca_ppm = 0.0;     // ...declaring its real bound
+    spec.master_traffic_every_events = 0;
+    world::World world(spec);
 
     // INJECTABLE_TRACE=1 prints every frame on the air, Wireshark-style.
     std::unique_ptr<link::PacketTrace> trace;
     if (std::getenv("INJECTABLE_TRACE")) {
-        trace = std::make_unique<link::PacketTrace>(medium);
+        trace = std::make_unique<link::PacketTrace>(world.medium);
         trace->on_record = [](const link::TraceRecord& record) {
             std::printf("%s\n", link::PacketTrace::format(record).c_str());
         };
     }
 
-    host::PeripheralConfig bulb_cfg;
-    bulb_cfg.name = "bulb";
-    host::Peripheral bulb_device(scheduler, medium, rng.fork(), bulb_cfg);
-    gatt::LightbulbProfile bulb;
-    bulb.install(bulb_device.att_server());
-    bulb.on_change = [&](const gatt::LightbulbProfile::State& s) {
+    world.bulb.on_change = [&](const gatt::LightbulbProfile::State& s) {
         std::printf("[%8.1f ms] BULB   state change: power=%s rgb=(%u,%u,%u)\n",
-                    to_ms(scheduler.now()), s.powered ? "on" : "OFF", s.r, s.g, s.b);
+                    to_ms(world.scheduler.now()), s.powered ? "on" : "OFF", s.r, s.g,
+                    s.b);
     };
-
-    host::CentralConfig phone_cfg;
-    phone_cfg.name = "phone";
-    phone_cfg.radio.position = {2.0, 0.0};
-    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
-
-    sim::RadioDeviceConfig attacker_cfg;
-    attacker_cfg.name = "attacker";
-    attacker_cfg.position = {1.0, 1.732};  // paper Fig. 8: 2 m triangle
-    AttackerRadio attacker(scheduler, medium, rng.fork(), attacker_cfg);
 
     // --- phase 1: sniff the CONNECT_REQ while the victims pair up ---
-    AdvSniffer sniffer(attacker);
-    std::optional<SniffedConnection> sniffed;
-    sniffer.on_connection = [&](const SniffedConnection& conn, const link::ConnectReqPdu&) {
-        std::printf("[%8.1f ms] ATTACK CONNECT_REQ captured: AA=0x%08x, hop interval %u "
-                    "(%.2f ms), hop increment %u\n",
-                    to_ms(scheduler.now()), conn.params.access_address,
-                    conn.params.hop_interval, conn.params.hop_interval * 1.25,
-                    conn.params.hop_increment);
-        sniffed = conn;
-    };
-    sniffer.start();
-
-    bulb_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 36;  // a phone's default 45 ms
-    params.timeout = 300;
-    phone.connect(bulb_device.address(), params);
-
-    while (scheduler.now() < 5_s && !(sniffed && phone.connected())) {
-        if (!scheduler.run_one()) break;
-    }
-    if (!sniffed || !phone.connected()) {
+    if (!world.establish_and_sniff(5_s)) {
         std::printf("setup failed\n");
         return 1;
     }
+    const auto& conn = *world.sniffed;
+    std::printf("[%8.1f ms] ATTACK CONNECT_REQ captured: AA=0x%08x, hop interval %u "
+                "(%.2f ms), hop increment %u\n",
+                to_ms(world.scheduler.now()), conn.params.access_address,
+                conn.params.hop_interval, conn.params.hop_interval * 1.25,
+                conn.params.hop_increment);
     std::printf("[%8.1f ms] VICTIM connection established (bulb <-> phone)\n",
-                to_ms(scheduler.now()));
-    sniffer.stop();
+                to_ms(world.scheduler.now()));
 
     // --- phase 2: synchronise with the hopping ---
-    AttackSession session(attacker, *sniffed);
-    session.start();
-    scheduler.run_until(scheduler.now() + 400_ms);
+    AttackSession& session = world.start_session(400_ms);
     std::printf("[%8.1f ms] ATTACK following the connection (event %u, widening "
                 "estimate %.1f us)\n",
-                to_ms(scheduler.now()), session.event_counter(),
+                to_ms(world.scheduler.now()), session.event_counter(),
                 to_us(session.estimated_widening()));
 
     // --- phase 3: inject ---
     session.on_attempt = [&](const AttemptReport& report) {
         std::printf("[%8.1f ms] ATTACK attempt %d on channel %u: %s\n",
-                    to_ms(scheduler.now()), report.attempt, report.channel,
+                    to_ms(world.scheduler.now()), report.attempt, report.channel,
                     report.verdict.success()
                         ? "SUCCESS (Eq. 7 heuristic)"
                         : (!report.verdict.timing_ok ? "lost the race"
@@ -109,23 +76,22 @@ int main() {
     std::optional<bool> outcome;
     AttackSession::InjectionRequest request;
     request.payload = att_over_l2cap(att::make_write_req(
-        bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false)));
+        world.bulb.control_handle(), gatt::LightbulbProfile::cmd_set_power(false)));
     request.max_attempts = 50;
     request.done = [&](bool ok, int attempts) {
         outcome = ok;
         std::printf("[%8.1f ms] ATTACK done: %s after %d attempt(s)\n",
-                    to_ms(scheduler.now()), ok ? "injected" : "gave up", attempts);
+                    to_ms(world.scheduler.now()), ok ? "injected" : "gave up", attempts);
     };
     session.inject(std::move(request));
 
-    while (scheduler.now() < 60_s && !outcome) {
-        if (!scheduler.run_one()) break;
-    }
+    world.run_until(60_s, [&] { return outcome.has_value(); });
 
-    scheduler.run_until(scheduler.now() + 1_s);
+    world.run_for(1_s);
     std::printf("\nresult: bulb is %s; victims still connected: %s\n",
-                bulb.state().powered ? "ON (attack failed)" : "OFF (attack worked)",
-                phone.connected() && bulb_device.connected() ? "yes (attack is invisible)"
-                                                             : "no");
-    return bulb.state().powered ? 1 : 0;
+                world.bulb.state().powered ? "ON (attack failed)" : "OFF (attack worked)",
+                world.central->connected() && world.peripheral->connected()
+                    ? "yes (attack is invisible)"
+                    : "no");
+    return world.bulb.state().powered ? 1 : 0;
 }

@@ -7,64 +7,37 @@
 #include <cstdio>
 
 #include "core/scenarios.hpp"
-#include "core/sniffer.hpp"
 #include "gatt/builder.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
+#include "world/world.hpp"
 
 using namespace ble;
 using namespace injectable;
 
 int main() {
-    Rng rng(7);
-    sim::Scheduler scheduler;
-    sim::RadioMedium medium(scheduler, rng.fork(), sim::PathLossModel{});
+    world::WorldSpec spec;
+    spec.seed = 7;
+    spec.supervision_timeout = 300;
+    spec.master_clock_ppm = 20.0;
+    spec.master_sca_ppm = 0.0;
+    spec.master_traffic_every_events = 0;
+    spec.profile = world::VictimProfile::kNone;  // the victim is a keyfob
+    spec.peripheral_name = "keyfob";
+    world::World world(spec);
 
-    host::PeripheralConfig fob_cfg;
-    fob_cfg.name = "keyfob";
-    host::Peripheral keyfob_device(scheduler, medium, rng.fork(), fob_cfg);
     gatt::KeyfobProfile keyfob;
-    keyfob.install(keyfob_device.att_server(), "KeyFob");
+    keyfob.install(world.peripheral->att_server(), "KeyFob");
 
-    host::CentralConfig phone_cfg;
-    phone_cfg.name = "phone";
-    phone_cfg.radio.position = {2.0, 0.0};
-    host::Central phone(scheduler, medium, rng.fork(), phone_cfg);
-
-    sim::RadioDeviceConfig attacker_cfg;
-    attacker_cfg.name = "attacker";
-    attacker_cfg.position = {1.0, 1.732};
-    AttackerRadio attacker(scheduler, medium, rng.fork(), attacker_cfg);
-
-    keyfob_device.on_disconnected = [&](link::DisconnectReason reason) {
+    world.peripheral->on_disconnected = [&](link::DisconnectReason reason) {
         std::printf("[%8.1f ms] KEYFOB kicked out of its own connection (%s) — "
                     "it has no idea the master is still being served\n",
-                    to_ms(scheduler.now()), link::disconnect_reason_name(reason));
+                    to_ms(world.scheduler.now()), link::disconnect_reason_name(reason));
     };
 
-    AdvSniffer sniffer(attacker);
-    std::optional<SniffedConnection> sniffed;
-    sniffer.on_connection = [&](const SniffedConnection& conn, const link::ConnectReqPdu&) {
-        sniffed = conn;
-    };
-    sniffer.start();
-    keyfob_device.start();
-    link::ConnectionParams params;
-    params.hop_interval = 36;
-    params.timeout = 300;
-    phone.connect(keyfob_device.address(), params);
-    while (scheduler.now() < 5_s && !(sniffed && phone.connected())) {
-        if (!scheduler.run_one()) break;
-    }
-    if (!sniffed || !phone.connected()) return 1;
-    sniffer.stop();
+    if (!world.establish_and_sniff(5_s)) return 1;
     std::printf("[%8.1f ms] victims connected; attacker synchronised\n",
-                to_ms(scheduler.now()));
+                to_ms(world.scheduler.now()));
 
-    AttackSession session(attacker, *sniffed);
-    session.start();
-    scheduler.run_until(scheduler.now() + 400_ms);
+    AttackSession& session = world.start_session(400_ms);
 
     // The attacker's fake device: Device Name = "Hacked".
     att::AttServer fake;
@@ -77,28 +50,26 @@ int main() {
         result = r;
         std::printf("[%8.1f ms] LL_TERMINATE_IND injected after %d attempt(s); "
                     "attacker is now the slave\n",
-                    to_ms(scheduler.now()), r.attempts);
+                    to_ms(world.scheduler.now()), r.attempts);
     });
-    while (scheduler.now() < 60_s && !result) {
-        if (!scheduler.run_one()) break;
-    }
+    world.run_until(60_s, [&] { return result.has_value(); });
     if (!result || !result->success) {
         std::printf("hijack failed\n");
         return 1;
     }
 
-    scheduler.run_until(scheduler.now() + 1_s);
+    world.run_for(1_s);
     std::printf("[%8.1f ms] phone still believes it is connected: %s\n",
-                to_ms(scheduler.now()), phone.connected() ? "yes" : "no");
+                to_ms(world.scheduler.now()),
+                world.central->connected() ? "yes" : "no");
 
     std::optional<Bytes> name;
-    phone.gatt().read(name_handle, [&](std::optional<Bytes> v) { name = std::move(v); });
-    while (scheduler.now() < 70_s && !name) {
-        if (!scheduler.run_one()) break;
-    }
+    world.central->gatt().read(name_handle,
+                               [&](std::optional<Bytes> v) { name = std::move(v); });
+    world.run_until(10_s, [&] { return name.has_value(); });
     if (name) {
         std::printf("[%8.1f ms] phone reads Device Name -> \"%s\"\n",
-                    to_ms(scheduler.now()),
+                    to_ms(world.scheduler.now()),
                     std::string(name->begin(), name->end()).c_str());
     }
     return name && std::string(name->begin(), name->end()) == "Hacked" ? 0 : 1;

@@ -24,6 +24,8 @@ constexpr Duration operator""_s(unsigned long long v) {
 }
 
 constexpr Duration microseconds(std::int64_t v) { return v * 1000; }
+constexpr Duration milliseconds(std::int64_t v) { return v * 1000 * 1000; }
+constexpr Duration seconds(std::int64_t v) { return v * 1000 * 1000 * 1000; }
 constexpr double to_us(Duration d) { return static_cast<double>(d) / 1000.0; }
 constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1'000'000.0; }
 

@@ -1,0 +1,17 @@
+#include "sim/world.hpp"
+
+namespace ble::sim {
+
+namespace {
+PathLossModel make_path_loss(const RadioWorldSpec& spec) {
+    PathLossModel model(spec.path_loss);
+    for (const auto& wall : spec.walls) model.add_wall(wall);
+    return model;
+}
+}  // namespace
+
+RadioWorld::RadioWorld(const RadioWorldSpec& spec, std::uint64_t seed)
+    : rng(seed),
+      medium(scheduler, rng.fork(), make_path_loss(spec), CaptureModel(spec.capture)) {}
+
+}  // namespace ble::sim

@@ -1,0 +1,203 @@
+#include "world/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/forge.hpp"
+
+namespace injectable::world {
+
+using namespace ble;
+
+RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t seed) {
+    RunResult result;
+    result.seed = seed;
+    World w(config.world, seed);
+
+    // Phase 1: sniff the CONNECT_REQ while the connection establishes.
+    w.establish_and_sniff(10_s);
+    result.established = w.central->connected() && w.peripheral->connected();
+    result.sniffed = w.sniffed.has_value();
+    if (!result.established || !result.sniffed) return result;
+
+    if (config.world.encrypt_link && !w.encrypt()) return result;  // setup failure
+
+    // Background host traffic (GATT reads/writes) so master frames carry
+    // real payloads instead of empty polls, like the paper's testbed.
+    w.start_traffic();
+
+    // Phase 2: synchronise and inject.
+    w.session = std::make_unique<AttackSession>(*w.attacker, *w.sniffed, config.world.attack);
+    AttackSession& session = *w.session;
+    session.on_connection_lost = [&result] { result.session_lost = true; };
+    w.peripheral->on_disconnected = [&result](link::DisconnectReason) {
+        result.victim_disconnected = true;
+    };
+    w.central->on_disconnected = [&result](link::DisconnectReason) {
+        result.victim_disconnected = true;
+    };
+    session.start();
+    w.scheduler.run_until(w.scheduler.now() +
+                          8 * connection_interval(config.world.hop_interval));
+
+    Bytes payload;
+    if (config.payload_override) {
+        payload = *config.payload_override;
+    } else if (config.ll_payload_size >= 11) {
+        // Observable frame: a Write Command driving the bulb, padded to the
+        // requested LL payload size — gives ground truth for the heuristic.
+        const std::size_t pad = config.ll_payload_size - 11;
+        payload = att_over_l2cap(att::make_write_cmd(
+            w.bulb.control_handle(),
+            gatt::LightbulbProfile::cmd_set_color(
+                static_cast<std::uint8_t>(w.rng.next_below(256)),
+                static_cast<std::uint8_t>(w.rng.next_below(256)),
+                static_cast<std::uint8_t>(w.rng.next_below(256)), pad)));
+    } else {
+        // Too short for an ATT request: raw LL data (still exercises the
+        // full race + heuristic; the slave LL-acks and the host discards).
+        payload.resize(config.ll_payload_size);
+        for (auto& b : payload) b = static_cast<std::uint8_t>(w.rng.next_below(256));
+    }
+
+    const bool observable = !config.payload_override && config.ll_payload_size >= 11;
+    int commands_seen = w.bulb.state().commands_received;
+    session.on_attempt = [&](const AttemptReport& report) {
+        result.attempts = report.attempt;  // progress even if the budget cuts us off
+        if (config.on_attempt_hook) config.on_attempt_hook(report);
+        if (!observable) return;
+        const bool accepted = w.bulb.state().commands_received > commands_seen;
+        commands_seen = w.bulb.state().commands_received;
+        if (report.verdict.success() && !accepted) ++result.heuristic_false_positives;
+        if (!report.verdict.success() && accepted) ++result.heuristic_false_negatives;
+    };
+
+    std::optional<bool> outcome;
+    AttackSession::InjectionRequest request;
+    request.llid = config.llid;
+    request.payload = payload;
+    request.max_attempts = config.max_attempts;
+    request.done = [&](bool ok, int attempts) {
+        outcome = ok;
+        result.attempts = attempts;
+    };
+    session.inject(std::move(request));
+
+    // Worst case: ~2 events per attempt plus resync overhead.
+    const Duration budget = connection_interval(config.world.hop_interval) *
+                            (4 * config.max_attempts + 64);
+    w.run_until(budget, [&] { return outcome.has_value(); });
+    w.stop_traffic();
+    result.success = outcome.value_or(false);
+    return result;
+}
+
+RunResult run_injection_experiment_with_retry(const ExperimentConfig& config,
+                                              std::uint64_t seed, int tries) {
+    RunResult result;
+    for (int t = 0; t < tries; ++t) {
+        result = run_injection_experiment(config, seed + 7919u * static_cast<std::uint64_t>(t));
+        // A missed CONNECT_REQ or failed pairing is an experiment-setup
+        // failure, not an attack outcome: the paper's operator re-runs the
+        // connection. Attack failures (lost sync, exhausted attempts) stand.
+        if (result.established && result.sniffed) break;
+    }
+    result.seed = seed;  // the reproducing seed is the trial's base seed
+    return result;
+}
+
+std::vector<RunResult> run_series(const ExperimentConfig& config) {
+    int runs = config.runs;
+    // INJECTABLE_RUNS overrides the paper's 25 runs/configuration (e.g. for
+    // smoother statistics or a quicker smoke pass).
+    if (const char* env = std::getenv("INJECTABLE_RUNS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0) runs = parsed;
+    }
+    TrialRunner runner;
+    auto results = runner.map(runs, [&config](int i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        RunResult result = run_injection_experiment_with_retry(
+            config, config.base_seed + static_cast<std::uint64_t>(i), 3);
+        result.wall_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return result;
+    });
+    if (const char* path = std::getenv("INJECTABLE_JSON")) {
+        if (FILE* f = std::fopen(path, "a")) {
+            const std::string line = to_json(config, results);
+            std::fwrite(line.data(), 1, line.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+        }
+    }
+    return results;
+}
+
+std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>& results) {
+    std::ostringstream os;
+    os << "{\"experiment\":\"" << config.name << "\",\"base_seed\":" << config.base_seed
+       << ",\"runs\":" << results.size() << ",\"jobs\":" << resolve_jobs()
+       << ",\"hop_interval\":" << config.world.hop_interval << ",\"trials\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult& r = results[i];
+        if (i) os << ',';
+        os << "{\"seed\":" << r.seed << ",\"success\":" << (r.success ? "true" : "false")
+           << ",\"attempts\":" << r.attempts
+           << ",\"established\":" << (r.established ? "true" : "false")
+           << ",\"sniffed\":" << (r.sniffed ? "true" : "false")
+           << ",\"session_lost\":" << (r.session_lost ? "true" : "false")
+           << ",\"victim_disconnected\":" << (r.victim_disconnected ? "true" : "false")
+           << ",\"heuristic_fp\":" << r.heuristic_false_positives
+           << ",\"heuristic_fn\":" << r.heuristic_false_negatives << ",\"wall_ms\":"
+           << r.wall_ms << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+Stats summarize(const std::vector<RunResult>& results) {
+    Stats stats;
+    std::vector<double> attempts;
+    for (const auto& r : results) {
+        ++stats.n;
+        if (r.success) {
+            ++stats.successes;
+            attempts.push_back(static_cast<double>(r.attempts));
+        }
+    }
+    if (attempts.empty()) return stats;
+    std::sort(attempts.begin(), attempts.end());
+    auto quantile = [&](double q) {
+        const double idx = q * static_cast<double>(attempts.size() - 1);
+        const auto lo = static_cast<std::size_t>(idx);
+        const std::size_t hi = std::min(lo + 1, attempts.size() - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return attempts[lo] * (1.0 - frac) + attempts[hi] * frac;
+    };
+    stats.min = attempts.front();
+    stats.q1 = quantile(0.25);
+    stats.median = quantile(0.5);
+    stats.q3 = quantile(0.75);
+    stats.max = attempts.back();
+    double sum = 0;
+    for (double a : attempts) sum += a;
+    stats.mean = sum / static_cast<double>(attempts.size());
+    return stats;
+}
+
+void print_stats_header(const std::string& variable) {
+    std::printf("%-18s %8s %6s %6s %7s %6s %6s %7s\n", variable.c_str(), "success",
+                "min", "Q1", "median", "Q3", "max", "mean");
+}
+
+void print_stats_row(const std::string& label, const Stats& stats) {
+    std::printf("%-18s %5d/%-2d %6.0f %6.1f %7.1f %6.1f %6.0f %7.2f\n", label.c_str(),
+                stats.successes, stats.n, stats.min, stats.q1, stats.median, stats.q3,
+                stats.max, stats.mean);
+}
+
+}  // namespace injectable::world

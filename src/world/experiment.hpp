@@ -1,0 +1,115 @@
+// Shared harness for the paper's sensitivity experiments (§VII, Fig. 9).
+//
+// One "run" mirrors one of the paper's measurements: the legitimate Central
+// establishes a fresh connection with the Peripheral, the attacker sniffs the
+// CONNECT_REQ, synchronises, and injects until the Eq. 7 heuristic reports
+// success; we record the number of attempts.  25 runs per configuration (as
+// in the paper), each with a fresh seed (fresh clock drifts and fading
+// draws).
+//
+// The testbed itself is a world::WorldSpec — the paper's Fig. 8 baseline by
+// default (fading enabled, chatty master) — and every trial is a pure
+// function of (config, seed), so run_series() fans the trials out on a
+// TrialRunner: results are stored by trial index and are bit-identical to a
+// serial run regardless of BENCH_JOBS.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "world/trial_runner.hpp"
+#include "world/world.hpp"
+
+namespace injectable::world {
+
+struct ExperimentConfig {
+    std::string name = "experiment";
+    int runs = 25;            // connections per configuration (paper: 25)
+    int max_attempts = 1500;  // per-run attempt budget
+    std::uint64_t base_seed = 1000;
+
+    /// The testbed (geometry, clocks, RF, traffic, counter-measures).
+    WorldSpec world{};
+
+    // Injected frame: raw LL payload of this size (paper §VII-B varies it).
+    // The default 12-byte payload gives the paper's 22-byte / 176 µs frame.
+    std::size_t ll_payload_size = 12;
+    /// When set, inject this exact LL payload instead (e.g. a real ATT write).
+    std::optional<ble::Bytes> payload_override;
+    ble::link::Llid llid = ble::link::Llid::kDataStart;
+
+    /// Per-attempt tap for outcome-analysis benches.  run_series() executes
+    /// trials on worker threads, so the hook may be invoked concurrently —
+    /// accumulate into atomics (totals are order-independent, keeping the
+    /// bench output deterministic).
+    std::function<void(const AttemptReport&)> on_attempt_hook;
+};
+
+/// Structured per-trial record: the seed that reproduces the trial, the
+/// attack outcome flags, and the host wall-clock cost.  Everything except
+/// wall_ms is deterministic in (config, seed).
+struct RunResult {
+    std::uint64_t seed = 0;  ///< base seed of the trial (before setup retries)
+    bool success = false;
+    int attempts = 0;
+    bool sniffed = false;
+    bool established = false;
+    bool session_lost = false;         ///< attacker lost sync with the target
+    bool victim_disconnected = false;  ///< a victim dropped during the attack
+    /// God-view: per-attempt ground truth (did the slave accept the frame),
+    /// used to score the Eq. 7 heuristic itself.
+    int heuristic_false_positives = 0;
+    int heuristic_false_negatives = 0;
+    /// Host wall clock consumed by the trial, including setup retries.
+    /// NOT deterministic — excluded from comparisons.
+    double wall_ms = 0.0;
+
+    /// Compares the deterministic fields (wall_ms excluded).
+    friend bool operator==(const RunResult& a, const RunResult& b) {
+        return a.seed == b.seed && a.success == b.success && a.attempts == b.attempts &&
+               a.sniffed == b.sniffed && a.established == b.established &&
+               a.session_lost == b.session_lost &&
+               a.victim_disconnected == b.victim_disconnected &&
+               a.heuristic_false_positives == b.heuristic_false_positives &&
+               a.heuristic_false_negatives == b.heuristic_false_negatives;
+    }
+};
+
+struct Stats {
+    int n = 0;
+    int successes = 0;
+    double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+
+/// Quartile summary of the attempts-before-success samples (successes only).
+[[nodiscard]] Stats summarize(const std::vector<RunResult>& results);
+
+/// Runs one full measurement (connection + sniff + inject).
+[[nodiscard]] RunResult run_injection_experiment(const ExperimentConfig& config,
+                                                 std::uint64_t seed);
+
+/// Re-runs the setup phase (connection + sniff) on setup failures, as the
+/// paper's operator would; attack outcomes are never retried.
+[[nodiscard]] RunResult run_injection_experiment_with_retry(const ExperimentConfig& config,
+                                                            std::uint64_t seed, int tries);
+
+/// Runs `config.runs` measurements with consecutive seeds on a TrialRunner
+/// (BENCH_JOBS workers; INJECTABLE_RUNS overrides the run count).  When
+/// INJECTABLE_JSON names a file, appends one machine-readable JSON line per
+/// series to it.
+[[nodiscard]] std::vector<RunResult> run_series(const ExperimentConfig& config);
+
+/// One JSON object per series: config identity plus per-trial records.
+/// wall_ms fields are host timings and not deterministic.
+[[nodiscard]] std::string to_json(const ExperimentConfig& config,
+                                  const std::vector<RunResult>& results);
+
+/// Prints one row of a paper-style results table.
+void print_stats_row(const std::string& label, const Stats& stats);
+void print_stats_header(const std::string& variable);
+
+}  // namespace injectable::world

@@ -1,104 +1,29 @@
-// Shared fixture for attack tests: a legitimate Central <-> Peripheral pair
-// (lightbulb) plus an attacker radio, in a configurable RF world.
+// Shared fixture for attack tests, built on the world layer.
 //
-// Default geometry reproduces the paper's Fig. 8 baseline: victim devices and
-// attacker on a 2 m equilateral triangle.
+// AttackWorld is world::World under the deterministic protocol-test spec:
+// fading off, silent master, generous supervision timeout, master declaring
+// its real 50 ppm bound — every RF failure a test sees is a protocol failure.
+// Tests that want a different world start from defaults() and override
+// fields (the spec is the same WorldSpec the benches and examples use).
 #pragma once
 
-#include <memory>
-
-#include "core/attacker_radio.hpp"
-#include "core/session.hpp"
-#include "core/sniffer.hpp"
-#include "gatt/profiles.hpp"
-#include "host/central.hpp"
-#include "host/peripheral.hpp"
+#include "world/world.hpp"
 
 namespace injectable::test {
 
 using namespace ble;  // time literals in a test-only header
 
-struct AttackWorldOptions {
-    std::uint64_t seed = 1;
-        double fading_sigma_db = 0.0;  // deterministic RF unless a test wants it
-        std::uint16_t hop_interval = 36;
-        ble::sim::Position peripheral_pos{0.0, 0.0};
-        ble::sim::Position central_pos{2.0, 0.0};
-        ble::sim::Position attacker_pos{1.0, 1.732};
-        double peripheral_sca_ppm = 20.0;
-        double central_sca_ppm = 50.0;
-        double attacker_sca_ppm = 20.0;
-        bool use_csa2 = false;  ///< negotiate Channel Selection Algorithm #2
-};
+struct AttackWorld : world::World {
+    using Options = world::WorldSpec;
 
-struct AttackWorld {
-    using Options = AttackWorldOptions;
+    [[nodiscard]] static Options defaults() { return Options::protocol_test(); }
 
-    explicit AttackWorld(Options options = {})
-        : opts(options), rng(options.seed), medium(scheduler, rng.fork(), path_loss()) {
-        ble::host::PeripheralConfig p_cfg;
-        p_cfg.name = "bulb";
-        p_cfg.radio.position = opts.peripheral_pos;
-        p_cfg.radio.clock.sca_ppm = opts.peripheral_sca_ppm;
-        p_cfg.support_csa2 = opts.use_csa2;
-        peripheral = std::make_unique<ble::host::Peripheral>(scheduler, medium, rng.fork(),
-                                                             p_cfg);
-        bulb.install(peripheral->att_server());
+    explicit AttackWorld(Options options = defaults()) : World(std::move(options)) {}
 
-        ble::host::CentralConfig c_cfg;
-        c_cfg.name = "phone";
-        c_cfg.radio.position = opts.central_pos;
-        c_cfg.radio.clock.sca_ppm = opts.central_sca_ppm;
-        c_cfg.support_csa2 = opts.use_csa2;
-        central = std::make_unique<ble::host::Central>(scheduler, medium, rng.fork(), c_cfg);
-
-        ble::sim::RadioDeviceConfig a_cfg;
-        a_cfg.name = "attacker";
-        a_cfg.position = opts.attacker_pos;
-        a_cfg.clock.sca_ppm = opts.attacker_sca_ppm;
-        attacker = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), a_cfg);
+    /// Tests use a tighter budget than the benches' fading worlds need.
+    std::optional<SniffedConnection> establish_and_sniff(Duration budget = 3_s) {
+        return World::establish_and_sniff(budget);
     }
-
-    ble::sim::PathLossModel path_loss() const {
-        ble::sim::PathLossParams p;
-        p.fading_sigma_db = opts.fading_sigma_db;
-        return ble::sim::PathLossModel{p};
-    }
-
-    /// Arms the sniffer, starts advertising + connecting, returns the sniffed
-    /// CONNECT_REQ parameters once both the connection and the capture are up.
-    std::optional<SniffedConnection> establish_and_sniff(ble::Duration budget = 3_s) {
-        AdvSniffer sniffer(*attacker);
-        std::optional<SniffedConnection> sniffed;
-        sniffer.on_connection = [&](const SniffedConnection& conn,
-                                    const ble::link::ConnectReqPdu&) { sniffed = conn; };
-        sniffer.start();
-        peripheral->start();
-        ble::link::ConnectionParams params;
-        params.hop_interval = opts.hop_interval;
-        params.timeout = 300;
-        central->connect(peripheral->address(), params);
-
-        const ble::TimePoint deadline = scheduler.now() + budget;
-        while (scheduler.now() < deadline &&
-               !(sniffed && central->connected() && peripheral->connected())) {
-            if (!scheduler.run_one()) break;
-        }
-        sniffer.stop();
-        if (!(central->connected() && peripheral->connected())) return std::nullopt;
-        return sniffed;
-    }
-
-    void run_for(ble::Duration d) { scheduler.run_until(scheduler.now() + d); }
-
-    Options opts;
-    ble::Rng rng;
-    ble::sim::Scheduler scheduler;
-    ble::sim::RadioMedium medium;
-    std::unique_ptr<ble::host::Peripheral> peripheral;
-    std::unique_ptr<ble::host::Central> central;
-    std::unique_ptr<AttackerRadio> attacker;
-    ble::gatt::LightbulbProfile bulb;
 };
 
 }  // namespace injectable::test

@@ -14,7 +14,7 @@ using namespace ble;
 using test::AttackWorld;
 
 AttackWorld::Options csa2_options() {
-    AttackWorld::Options options;
+    AttackWorld::Options options = AttackWorld::defaults();
     options.use_csa2 = true;
     return options;
 }
@@ -37,7 +37,7 @@ TEST(Csa2ConnectionTest, NegotiatedThroughChSelBits) {
 }
 
 TEST(Csa2ConnectionTest, NotNegotiatedWhenOnlyOneSideSupports) {
-    AttackWorld::Options options;
+    AttackWorld::Options options = AttackWorld::defaults();
     options.use_csa2 = false;
     AttackWorld world(options);
     const auto sniffed = world.establish_and_sniff();

@@ -22,7 +22,7 @@ bool run_until(AttackWorld& world, Duration budget, Pred pred) {
 }
 
 struct SessionFixture {
-    explicit SessionFixture(AttackWorld::Options opts = {}) : world(opts) {
+    explicit SessionFixture(AttackWorld::Options opts = AttackWorld::defaults()) : world(opts) {
         sniffed = world.establish_and_sniff();
         if (sniffed) {
             session = std::make_unique<AttackSession>(*world.attacker, *sniffed);
@@ -151,7 +151,7 @@ TEST(ScenarioDTest, MitmTampersTraffic) {
     // Second attacker front-end for the slave-facing half.
     sim::RadioDeviceConfig radio2_cfg;
     radio2_cfg.name = "attacker2";
-    radio2_cfg.position = fx.world.opts.attacker_pos;
+    radio2_cfg.position = fx.world.spec.attacker_pos;
     radio2_cfg.clock.sca_ppm = 20.0;
     AttackerRadio radio2(fx.world.scheduler, fx.world.medium, fx.world.rng.fork(),
                          radio2_cfg);

@@ -149,7 +149,7 @@ TEST(SessionCornerTest, StaleCaptureFastForwards) {
 }
 
 TEST(SessionCornerTest, AttemptBudgetExhaustionReportsFailure) {
-    AttackWorld::Options options;
+    AttackWorld::Options options = AttackWorld::defaults();
     options.attacker_pos = {-30.0, 0.0};  // hopeless link budget for the race
     AttackWorld world(options);
     const auto sniffed = world.establish_and_sniff();

@@ -30,7 +30,7 @@ TEST(AdvSnifferTest, CapturesConnectReq) {
     EXPECT_EQ(sniffed->params.access_address,
               world.central->connection()->params().access_address);
     EXPECT_EQ(sniffed->params.crc_init, world.central->connection()->params().crc_init);
-    EXPECT_EQ(sniffed->params.hop_interval, world.opts.hop_interval);
+    EXPECT_EQ(sniffed->params.hop_interval, world.spec.hop_interval);
 }
 
 TEST(AdvSnifferTest, ReportsAdvertisements) {

@@ -27,7 +27,7 @@ struct IdsWorld {
     }
 
     static AttackWorld::Options make_options(std::uint64_t seed) {
-        AttackWorld::Options options;
+        AttackWorld::Options options = AttackWorld::defaults();
         options.seed = seed;
         return options;
     }

@@ -4,23 +4,20 @@
 #pragma once
 
 #include <memory>
-#include <vector>
+#include <string>
 
 #include "link/device.hpp"
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
 
 namespace ble::test {
 
-struct Testbed {
-    explicit Testbed(std::uint64_t seed = 42)
-        : rng(seed),
-          medium(scheduler, rng.fork(), make_path_loss(), sim::CaptureModel{}) {}
+struct Testbed : sim::RadioWorld {
+    explicit Testbed(std::uint64_t seed = 42) : RadioWorld(protocol_rf(), seed) {}
 
-    static sim::PathLossModel make_path_loss() {
-        sim::PathLossParams p;
-        p.fading_sigma_db = 0.0;  // deterministic RF for protocol tests
-        return sim::PathLossModel{p};
+    static sim::RadioWorldSpec protocol_rf() {
+        sim::RadioWorldSpec spec;
+        spec.path_loss.fading_sigma_db = 0.0;  // deterministic RF for protocol tests
+        return spec;
     }
 
     std::unique_ptr<link::LinkLayerDevice> make_device(const std::string& name,
@@ -34,12 +31,6 @@ struct Testbed {
         return std::make_unique<link::LinkLayerDevice>(scheduler, medium, rng.fork(),
                                                        std::move(cfg));
     }
-
-    void run_for(Duration d) { scheduler.run_until(scheduler.now() + d); }
-
-    sim::Scheduler scheduler;
-    Rng rng;
-    sim::RadioMedium medium;
 };
 
 }  // namespace ble::test

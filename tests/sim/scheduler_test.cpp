@@ -28,6 +28,24 @@ TEST(SchedulerTest, SameTimestampKeepsInsertionOrder) {
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(SchedulerTest, SameTimestampOrderSurvivesInterleavedCancels) {
+    // Cancellation must not disturb the FIFO order of the surviving
+    // same-timestamp events — replays depend on it.
+    Scheduler s;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 6; ++i) {
+        ids.push_back(s.schedule_at(42, [&order, i] { order.push_back(i); }));
+    }
+    s.cancel(ids[1]);
+    s.schedule_at(42, [&order] { order.push_back(6); });
+    s.cancel(ids[4]);
+    s.schedule_at(42, [&order] { order.push_back(7); });
+    s.cancel(ids[0]);
+    s.run_all();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 5, 6, 7}));
+}
+
 TEST(SchedulerTest, CancelPreventsExecution) {
     Scheduler s;
     bool fired = false;
