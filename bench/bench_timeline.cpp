@@ -3,8 +3,11 @@
 // procedure (old interval, transmit window at the instant, new interval).
 // The trace below is produced by the actual simulated stack, not drawn.
 #include <cstdio>
+#include <string>
+#include <variant>
 #include <vector>
 
+#include "obs/bus.hpp"
 #include "world/world.hpp"
 
 int main() {
@@ -28,9 +31,10 @@ int main() {
         sim::Channel channel;
     };
     std::vector<Tx> txs;
-    world.medium.add_tx_observer([&](const sim::RadioDevice& d, sim::Channel ch,
-                                     TimePoint t, const sim::AirFrame& f) {
-        txs.push_back(Tx{d.name(), t, f.duration(), ch});
+    obs::ScopedSubscription sub(world.bus(), [&](const obs::Event& event) {
+        if (const auto* tx = std::get_if<obs::TxStart>(&event)) {
+            txs.push_back(Tx{std::string(tx->sender), tx->time, tx->duration, tx->channel});
+        }
     });
 
     world.begin_connection();

@@ -3,9 +3,11 @@
 // injection signatures (anchor timing anomalies, CRC bursts, spurious
 // terminates, double anchors).
 #include <cstdio>
+#include <variant>
 
 #include "core/scenarios.hpp"
 #include "ids/detector.hpp"
+#include "obs/bus.hpp"
 #include "world/world.hpp"
 
 using namespace ble;
@@ -34,11 +36,15 @@ int main() {
     if (!attack_cap || !ids_cap) return 1;
 
     ids::InjectionDetector detector(*probe, *ids_cap);
-    detector.on_alert = [&](const ids::Alert& alert) {
-        std::printf("[%8.1f ms] IDS    *** %s (event %u): %s\n",
-                    to_ms(world.scheduler.now()), ids::alert_type_name(alert.type),
-                    alert.event_counter, alert.detail.c_str());
-    };
+    // Alerts arrive on the world's event bus — no detector callback needed.
+    obs::ScopedSubscription alert_sub(world.bus(), [&](const obs::Event& event) {
+        const auto* alert = std::get_if<obs::IdsAlert>(&event);
+        if (alert == nullptr) return;
+        std::printf("[%8.1f ms] IDS    *** %.*s (event %u): %.*s\n", to_ms(alert->time),
+                    static_cast<int>(alert->type_name.size()), alert->type_name.data(),
+                    alert->event_counter, static_cast<int>(alert->detail.size()),
+                    alert->detail.data());
+    });
     detector.start();
     std::printf("[%8.1f ms] IDS    monitoring connection AA=0x%08x\n",
                 to_ms(world.scheduler.now()), ids_cap->params.access_address);

@@ -2,14 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 
 namespace ble {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Copy-on-write sink: set_log_sink swaps the shared_ptr under the mutex,
+// log_message snapshots it and invokes the sink *outside* the lock — so
+// parallel trial workers never serialize on a logging mutex while a sink
+// runs, and a sink that logs (reentrancy) cannot deadlock.
 std::mutex g_sink_mutex;
-LogSink g_sink;  // guarded by g_sink_mutex; empty => stderr
+std::shared_ptr<const LogSink> g_sink;  // null => stderr
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -28,15 +33,22 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
 void set_log_sink(LogSink sink) {
+    std::shared_ptr<const LogSink> next =
+        sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
     const std::lock_guard lock(g_sink_mutex);
-    g_sink = std::move(sink);
+    g_sink.swap(next);
+    // `next` (the previous sink) destructs outside the critical section.
 }
 
 void log_message(LogLevel level, const std::string& msg) {
     if (level < log_level()) return;
-    const std::lock_guard lock(g_sink_mutex);
-    if (g_sink) {
-        g_sink(level, msg);
+    std::shared_ptr<const LogSink> sink;
+    {
+        const std::lock_guard lock(g_sink_mutex);
+        sink = g_sink;
+    }
+    if (sink) {
+        (*sink)(level, msg);
     } else {
         std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
     }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "obs/bus.hpp"
 
 namespace ble::ids {
 
@@ -73,6 +74,16 @@ void InjectionDetector::raise(AlertType type, std::uint16_t event_counter,
     alert.detail = std::move(detail);
     BLE_LOG_INFO("ids: ", alert_type_name(type), " (event ", event_counter, "): ",
                  alert.detail);
+    auto& bus = radio_.medium().bus();
+    if (bus.active()) {
+        obs::IdsAlert event;
+        event.time = alert.time;
+        event.type = static_cast<std::uint8_t>(type);
+        event.type_name = alert_type_name(type);
+        event.event_counter = event_counter;
+        event.detail = alert.detail;
+        bus.emit(event);
+    }
     if (on_alert) on_alert(alert);
 }
 

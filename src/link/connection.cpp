@@ -84,6 +84,26 @@ bool Connection::instant_reached(std::uint16_t instant) const noexcept {
     return static_cast<std::uint16_t>(event_counter_ - instant) < 0x8000;
 }
 
+void Connection::emit_conn_event(obs::ConnEvent::Kind kind, std::string_view reason) {
+    auto& bus = radio_.medium().bus();
+    if (!bus.active()) return;
+    obs::ConnEvent event;
+    event.kind = kind;
+    event.time = radio_.now();
+    event.device = radio_.name();
+    event.role = config_.role == Role::kMaster ? 0 : 1;
+    event.event_counter = event_counter_;
+    event.channel = channel_;
+    if (kind == obs::ConnEvent::Kind::kEventClosed) {
+        event.anchor_observed = report_.anchor_observed;
+        event.pdus_rx = report_.pdus_rx;
+        event.pdus_tx = report_.pdus_tx;
+        event.crc_errors = report_.crc_errors;
+    }
+    event.reason = reason;
+    bus.emit(event);
+}
+
 void Connection::start(TimePoint t_ref) {
     anchor_ = t_ref;  // sync reference until the first anchor is observed
     last_valid_rx_ = t_ref;
@@ -95,6 +115,7 @@ void Connection::start(TimePoint t_ref) {
     report_ = ConnectionEventReport{};
     report_.event_counter = event_counter_;
     report_.channel = channel_;
+    emit_conn_event(obs::ConnEvent::Kind::kOpened);
 
     if (config_.role == Role::kMaster) {
         // The master owns the window: it transmits at the window start.
@@ -117,6 +138,7 @@ void Connection::resume(TimePoint next_anchor) {
     report_ = ConnectionEventReport{};
     report_.event_counter = event_counter_;
     report_.channel = channel_;
+    emit_conn_event(obs::ConnEvent::Kind::kOpened);
 
     if (config_.role == Role::kMaster) {
         timer_ = guarded_at(next_anchor, [this] { master_event_begin(); });
@@ -237,8 +259,22 @@ void Connection::master_continue_exchange() {
 void Connection::slave_open_window(TimePoint window_start, Duration window_len,
                                    Duration widening) {
     state_ = State::kSlaveWaitAnchor;
+    last_widening_ = widening;
     const TimePoint listen_from = window_start - widening;
     const TimePoint listen_until = window_start + window_len + widening;
+
+    auto& bus = radio_.medium().bus();
+    if (bus.active()) {
+        obs::WindowWiden event;
+        event.time = radio_.now();
+        event.device = radio_.name();
+        event.event_counter = event_counter_;
+        event.channel = channel_;
+        event.widening = widening;
+        event.window = window_len;
+        event.missed = false;
+        bus.emit(event);
+    }
 
     guarded_at(listen_from, [this] {
         if (state_ == State::kSlaveWaitAnchor && !closed_) radio_.listen(channel_);
@@ -264,6 +300,18 @@ void Connection::slave_window_timeout() {
     ++events_since_anchor_;
     report_.anchor = predicted_anchor_;
     report_.anchor_observed = false;
+
+    auto& bus = radio_.medium().bus();
+    if (bus.active()) {
+        obs::WindowWiden event;
+        event.time = radio_.now();
+        event.device = radio_.name();
+        event.event_counter = event_counter_;
+        event.channel = channel_;
+        event.widening = last_widening_;
+        event.missed = true;
+        bus.emit(event);
+    }
     check_supervision(radio_.now());
     if (!closed_) close_event();
 }
@@ -563,6 +611,7 @@ void Connection::close_event() {
     if (closed_) return;
     state_ = State::kIdle;
     radio_.stop_listening();
+    emit_conn_event(obs::ConnEvent::Kind::kEventClosed);
     if (hooks_.on_event_closed) hooks_.on_event_closed(report_);
     ++event_counter_;
     schedule_next_event();
@@ -660,6 +709,7 @@ void Connection::disconnect(DisconnectReason reason) {
     }
     radio_.stop_listening();
     BLE_LOG_DEBUG("connection (", radio_.name(), ") closed: ", disconnect_reason_name(reason));
+    emit_conn_event(obs::ConnEvent::Kind::kClosed, disconnect_reason_name(reason));
     if (hooks_.on_disconnected) hooks_.on_disconnected(reason);
 }
 

@@ -23,10 +23,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "common/time.hpp"
 #include "link/adv_pdu.hpp"
+#include "obs/event.hpp"
 #include "link/channel_selection.hpp"
 #include "link/control_pdu.hpp"
 #include "link/pdu.hpp"
@@ -196,6 +198,10 @@ private:
     [[nodiscard]] Duration base_widening(int events_elapsed) const noexcept;
     [[nodiscard]] bool instant_reached(std::uint16_t instant) const noexcept;
 
+    /// Publishes a lifecycle event on the world's obs::EventBus (reachable via
+    /// the radio's medium); `reason` is only used for Kind::kClosed.
+    void emit_conn_event(obs::ConnEvent::Kind kind, std::string_view reason = {});
+
     /// Schedules `fn` but silently drops it if this Connection has been
     /// destroyed or closed by then — every internal timer goes through these,
     /// so tearing down a device mid-event can never fire a dangling callback.
@@ -228,6 +234,7 @@ private:
     bool version_sent_ = false;
 
     // Event timing.
+    Duration last_widening_ = 0;  // widening of the current/most recent window
     std::uint16_t event_counter_ = 0;
     std::uint8_t channel_ = 0;
     TimePoint anchor_ = 0;            // global time of last *observed* anchor

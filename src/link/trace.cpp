@@ -62,24 +62,30 @@ std::string describe_frame(BytesView bytes) {
 }
 
 PacketTrace::PacketTrace(sim::RadioMedium& medium, std::size_t max_records)
-    : max_records_(max_records) {
-    medium.add_tx_observer([this](const sim::RadioDevice& sender, sim::Channel channel,
-                                  TimePoint time, const sim::AirFrame& frame) {
-        if (records_.size() >= max_records_) return;
-        TraceRecord record;
-        record.time = time;
-        record.sender = sender.name();
-        record.channel = channel;
-        record.air_bytes = frame.bytes.size() + 1;  // + preamble
-        if (frame.bytes.size() >= 4) {
-            record.access_address = static_cast<std::uint32_t>(
-                frame.bytes[0] | (frame.bytes[1] << 8) | (frame.bytes[2] << 16) |
-                (static_cast<std::uint32_t>(frame.bytes[3]) << 24));
-        }
-        record.description = describe_frame(frame.bytes);
-        records_.push_back(record);
-        if (on_record) on_record(records_.back());
-    });
+    : max_records_(max_records),
+      subscription_(medium.bus(), [this](const obs::Event& event) {
+          if (const auto* tx = std::get_if<obs::TxStart>(&event)) record_tx(*tx);
+      }) {}
+
+void PacketTrace::record_tx(const obs::TxStart& tx) {
+    TraceRecord record;
+    record.time = tx.time;
+    record.sender = std::string(tx.sender);
+    record.channel = tx.channel;
+    record.air_bytes = tx.bytes.size() + 1;  // + preamble
+    if (tx.bytes.size() >= 4) {
+        record.access_address = static_cast<std::uint32_t>(
+            tx.bytes[0] | (tx.bytes[1] << 8) | (tx.bytes[2] << 16) |
+            (static_cast<std::uint32_t>(tx.bytes[3]) << 24));
+    }
+    record.description = describe_frame(tx.bytes);
+    if (on_record) on_record(record);
+    if (max_records_ == 0) return;
+    if (records_.size() >= max_records_) {
+        records_.pop_front();
+        ++dropped_;
+    }
+    records_.push_back(std::move(record));
 }
 
 std::string PacketTrace::format(const TraceRecord& record) {

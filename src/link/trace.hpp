@@ -1,14 +1,21 @@
 // PacketTrace: a Wireshark-style decoder for everything crossing the
-// simulated medium. Attach it to a RadioMedium and get one line per frame —
-// sender, channel, PDU type, flow-control bits, decoded control opcode —
-// which is how the examples' INJECTABLE_TRACE=1 mode and debugging sessions
-// see the attack unfold.
+// simulated medium — the human-readable sink of the obs::EventBus. Attach it
+// to a RadioMedium and get one line per frame — sender, channel, PDU type,
+// flow-control bits, decoded control opcode — which is how the examples'
+// INJECTABLE_TRACE=1 mode and debugging sessions see the attack unfold.
+//
+// Internally the trace is an obs::EventBus subscriber (it consumes
+// obs::TxStart events) and a drop-oldest ring: once `max_records` is reached
+// the *oldest* record is evicted, so long campaigns keep the tail of the
+// story instead of silently going blind.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/bus.hpp"
 #include "sim/medium.hpp"
 
 namespace ble::link {
@@ -31,23 +38,36 @@ struct TraceRecord {
 
 class PacketTrace {
 public:
-    /// Attaches to the medium; records every transmission from then on.
+    /// Subscribes to the medium's event bus; records every transmission from
+    /// then on, keeping at most the `max_records` most recent (drop-oldest).
     explicit PacketTrace(sim::RadioMedium& medium, std::size_t max_records = 100'000);
 
-    [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
-        return records_;
+    /// Buffered records, oldest first (a copy: the ring reorders internally).
+    [[nodiscard]] std::vector<TraceRecord> records() const {
+        return {records_.begin(), records_.end()};
     }
-    void clear() noexcept { records_.clear(); }
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    /// Records evicted so far to honour max_records.
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+    void clear() noexcept {
+        records_.clear();
+        dropped_ = 0;
+    }
 
-    /// Optional live sink (e.g. printing); called for every record.
+    /// Optional live sink (e.g. printing); called for every record, including
+    /// ones later evicted from the ring.
     std::function<void(const TraceRecord&)> on_record;
 
     /// Formats one record as a fixed-width log line.
     static std::string format(const TraceRecord& record);
 
 private:
-    std::vector<TraceRecord> records_;
+    void record_tx(const obs::TxStart& tx);
+
+    std::deque<TraceRecord> records_;
     std::size_t max_records_;
+    std::uint64_t dropped_ = 0;
+    obs::ScopedSubscription subscription_;
 };
 
 }  // namespace ble::link

@@ -1,0 +1,265 @@
+#include "obs/sinks.hpp"
+
+#include <cstdio>
+
+#include "common/hex.hpp"
+
+namespace ble::obs {
+
+const char* rx_verdict_name(RxVerdict verdict) noexcept {
+    switch (verdict) {
+        case RxVerdict::kDelivered: return "delivered";
+        case RxVerdict::kDeliveredCorrupted: return "corrupted";
+        case RxVerdict::kLostSync: return "lost-sync";
+    }
+    return "?";
+}
+
+const char* event_kind_name(const Event& event) noexcept {
+    struct Visitor {
+        const char* operator()(const TxStart&) const { return "tx"; }
+        const char* operator()(const RxDecision&) const { return "rx"; }
+        const char* operator()(const ConnEvent&) const { return "conn"; }
+        const char* operator()(const WindowWiden&) const { return "widen"; }
+        const char* operator()(const InjectionAttempt&) const { return "attempt"; }
+        const char* operator()(const IdsAlert&) const { return "ids"; }
+        const char* operator()(const TrialPhase&) const { return "phase"; }
+    };
+    return std::visit(Visitor{}, event);
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+void append_str(std::string& out, const char* key, std::string_view value) {
+    out += ",\"";
+    out += key;
+    out += "\":\"";
+    append_escaped(out, value);
+    out += '"';
+}
+
+void append_int(std::string& out, const char* key, long long value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+void append_bool(std::string& out, const char* key, bool value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += value ? "true" : "false";
+}
+
+struct JsonVisitor {
+    std::string& out;
+    const FrameDescriber& describe;
+
+    void operator()(const TxStart& e) const {
+        append_int(out, "tx_id", static_cast<long long>(e.tx_id));
+        append_int(out, "ch", e.channel);
+        append_str(out, "sender", e.sender);
+        append_int(out, "dur_ns", e.duration);
+        append_str(out, "hex", to_hex(e.bytes));
+        if (describe) append_str(out, "desc", describe(e.bytes));
+    }
+    void operator()(const RxDecision& e) const {
+        append_int(out, "tx_id", static_cast<long long>(e.tx_id));
+        append_int(out, "ch", e.channel);
+        append_str(out, "receiver", e.receiver);
+        append_str(out, "verdict", rx_verdict_name(e.verdict));
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", e.rssi_dbm);
+        out += ",\"rssi_dbm\":";
+        out += buf;
+        append_int(out, "corrupted_bytes", e.corrupted_bytes);
+        append_int(out, "sync_bit_errors", e.sync_bit_errors);
+    }
+    void operator()(const ConnEvent& e) const {
+        const char* kind = e.kind == ConnEvent::Kind::kOpened       ? "opened"
+                           : e.kind == ConnEvent::Kind::kEventClosed ? "event"
+                                                                     : "closed";
+        append_str(out, "kind", kind);
+        append_str(out, "device", e.device);
+        append_str(out, "role", e.role == 0 ? "master" : "slave");
+        append_int(out, "event_counter", e.event_counter);
+        append_int(out, "ch", e.channel);
+        if (e.kind == ConnEvent::Kind::kEventClosed) {
+            append_bool(out, "anchor", e.anchor_observed);
+            append_int(out, "rx", e.pdus_rx);
+            append_int(out, "tx", e.pdus_tx);
+            append_int(out, "crc_errors", e.crc_errors);
+        }
+        if (e.kind == ConnEvent::Kind::kClosed) append_str(out, "reason", e.reason);
+    }
+    void operator()(const WindowWiden& e) const {
+        append_str(out, "device", e.device);
+        append_int(out, "event_counter", e.event_counter);
+        append_int(out, "ch", e.channel);
+        append_int(out, "widening_ns", e.widening);
+        append_int(out, "window_ns", e.window);
+        append_bool(out, "missed", e.missed);
+    }
+    void operator()(const InjectionAttempt& e) const {
+        append_int(out, "attempt", e.attempt);
+        append_int(out, "event_counter", e.event_counter);
+        append_int(out, "ch", e.channel);
+        append_bool(out, "heuristic_success", e.heuristic_success);
+        if (e.ground_truth_known) append_bool(out, "accepted", e.accepted_by_slave);
+    }
+    void operator()(const IdsAlert& e) const {
+        append_int(out, "type", e.type);
+        append_str(out, "name", e.type_name);
+        append_int(out, "event_counter", e.event_counter);
+        append_str(out, "detail", e.detail);
+    }
+    void operator()(const TrialPhase& e) const {
+        append_int(out, "seed", static_cast<long long>(e.seed));
+        append_str(out, "phase", e.phase);
+        if (!e.detail.empty()) append_str(out, "detail", e.detail);
+    }
+};
+
+TimePoint event_time(const Event& event) noexcept {
+    return std::visit([](const auto& e) { return e.time; }, event);
+}
+
+}  // namespace
+
+std::string to_jsonl(const Event& event, const FrameDescriber& describe) {
+    std::string out;
+    out.reserve(128);
+    out += "{\"e\":\"";
+    out += event_kind_name(event);
+    out += '"';
+    append_int(out, "t_ns", event_time(event));
+    std::visit(JsonVisitor{out, describe}, event);
+    out += '}';
+    return out;
+}
+
+namespace {
+constexpr auto relaxed = std::memory_order_relaxed;
+}  // namespace
+
+void CounterSink::on_event(const Event& event) {
+    struct Visitor {
+        CounterSink& self;
+        void operator()(const TxStart&) const { self.tx_frames_.fetch_add(1, relaxed); }
+        void operator()(const RxDecision& e) const {
+            switch (e.verdict) {
+                case RxVerdict::kDelivered: self.rx_delivered_.fetch_add(1, relaxed); break;
+                case RxVerdict::kDeliveredCorrupted:
+                    self.rx_delivered_.fetch_add(1, relaxed);
+                    self.rx_corrupted_.fetch_add(1, relaxed);
+                    break;
+                case RxVerdict::kLostSync: self.rx_lost_sync_.fetch_add(1, relaxed); break;
+            }
+        }
+        void operator()(const ConnEvent& e) const {
+            switch (e.kind) {
+                case ConnEvent::Kind::kOpened: self.conn_opened_.fetch_add(1, relaxed); break;
+                case ConnEvent::Kind::kEventClosed:
+                    self.conn_events_.fetch_add(1, relaxed);
+                    if (!e.anchor_observed) self.anchors_missed_.fetch_add(1, relaxed);
+                    break;
+                case ConnEvent::Kind::kClosed: self.conn_closed_.fetch_add(1, relaxed); break;
+            }
+        }
+        void operator()(const WindowWiden& e) const {
+            if (e.missed) {
+                self.window_misses_.fetch_add(1, relaxed);
+            } else {
+                self.windows_opened_.fetch_add(1, relaxed);
+            }
+        }
+        void operator()(const InjectionAttempt& e) const {
+            self.injection_attempts_.fetch_add(1, relaxed);
+            if (e.heuristic_success) self.injection_wins_.fetch_add(1, relaxed);
+            if (e.ground_truth_known && e.accepted_by_slave) {
+                self.injection_accepted_.fetch_add(1, relaxed);
+            }
+        }
+        void operator()(const IdsAlert&) const { self.ids_alerts_.fetch_add(1, relaxed); }
+        void operator()(const TrialPhase&) const { self.phases_.fetch_add(1, relaxed); }
+    };
+    std::visit(Visitor{*this}, event);
+}
+
+CounterSink::Snapshot CounterSink::snapshot() const noexcept {
+    Snapshot s;
+    s.tx_frames = tx_frames_.load(relaxed);
+    s.rx_delivered = rx_delivered_.load(relaxed);
+    s.rx_corrupted = rx_corrupted_.load(relaxed);
+    s.rx_lost_sync = rx_lost_sync_.load(relaxed);
+    s.conn_opened = conn_opened_.load(relaxed);
+    s.conn_events = conn_events_.load(relaxed);
+    s.conn_closed = conn_closed_.load(relaxed);
+    s.anchors_missed = anchors_missed_.load(relaxed);
+    s.windows_opened = windows_opened_.load(relaxed);
+    s.window_misses = window_misses_.load(relaxed);
+    s.injection_attempts = injection_attempts_.load(relaxed);
+    s.injection_wins = injection_wins_.load(relaxed);
+    s.injection_accepted = injection_accepted_.load(relaxed);
+    s.ids_alerts = ids_alerts_.load(relaxed);
+    s.phases = phases_.load(relaxed);
+    return s;
+}
+
+void CounterSink::reset() noexcept {
+    for (Counter* c : {&tx_frames_, &rx_delivered_, &rx_corrupted_, &rx_lost_sync_,
+                       &conn_opened_, &conn_events_, &conn_closed_, &anchors_missed_,
+                       &windows_opened_, &window_misses_, &injection_attempts_,
+                       &injection_wins_, &injection_accepted_, &ids_alerts_, &phases_}) {
+        c->store(0, relaxed);
+    }
+}
+
+std::string JsonlTraceSink::str() const {
+    std::string out;
+    std::size_t total = 0;
+    for (const auto& line : lines_) total += line.size() + 1;
+    out.reserve(total);
+    for (const auto& line : lines_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+bool JsonlTraceSink::write_file(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    bool ok = true;
+    for (const auto& line : lines_) {
+        if (std::fwrite(line.data(), 1, line.size(), f) != line.size() ||
+            std::fputc('\n', f) == EOF) {
+            ok = false;
+            break;
+        }
+    }
+    if (std::fclose(f) != 0) ok = false;
+    return ok;
+}
+
+}  // namespace ble::obs

@@ -1,0 +1,86 @@
+// Stock sinks for the observation bus.
+//
+//  * CounterSink — lock-free per-trial metrics: every counter is a relaxed
+//    atomic, so an aggregator thread may snapshot while the trial's scheduler
+//    thread keeps emitting (the TrialRunner pattern).
+//  * JsonlTraceSink — serializes every event into one JSON line, buffered in
+//    memory; TrialRunner-style harnesses attach one per trial and flush the
+//    buffer to a file next to the INJECTABLE_JSON records when the trial
+//    fails, keyed by seed, so the trial can be replayed frame-by-frame.
+//
+// The human-readable third sink is link::PacketTrace, which subscribes to the
+// same bus but needs the link layer to decode frames — it lives in ble_link.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/bus.hpp"
+
+namespace ble::obs {
+
+/// Optional frame decoder injected by higher layers (link::describe_frame
+/// has exactly this signature); keeps ble_obs free of link-layer knowledge.
+using FrameDescriber = std::function<std::string(BytesView)>;
+
+/// Serializes one event as a compact single-line JSON object (no trailing
+/// newline).  With a describer, TxStart lines carry a decoded "desc" field.
+[[nodiscard]] std::string to_jsonl(const Event& event, const FrameDescriber& describe = {});
+
+/// Lock-free counters over the event stream.
+class CounterSink : public EventSink {
+public:
+    struct Snapshot {
+        std::uint64_t tx_frames = 0;
+        std::uint64_t rx_delivered = 0;
+        std::uint64_t rx_corrupted = 0;  ///< delivered with corrupted bytes
+        std::uint64_t rx_lost_sync = 0;
+        std::uint64_t conn_opened = 0;
+        std::uint64_t conn_events = 0;
+        std::uint64_t conn_closed = 0;
+        std::uint64_t anchors_missed = 0;  ///< event closed without an anchor
+        std::uint64_t windows_opened = 0;
+        std::uint64_t window_misses = 0;
+        std::uint64_t injection_attempts = 0;
+        std::uint64_t injection_wins = 0;      ///< Eq. 7 verdict: success
+        std::uint64_t injection_accepted = 0;  ///< ground truth: slave took it
+        std::uint64_t ids_alerts = 0;
+        std::uint64_t phases = 0;
+    };
+
+    void on_event(const Event& event) override;
+    [[nodiscard]] Snapshot snapshot() const noexcept;
+    void reset() noexcept;
+
+private:
+    using Counter = std::atomic<std::uint64_t>;
+    Counter tx_frames_{0}, rx_delivered_{0}, rx_corrupted_{0}, rx_lost_sync_{0};
+    Counter conn_opened_{0}, conn_events_{0}, conn_closed_{0}, anchors_missed_{0};
+    Counter windows_opened_{0}, window_misses_{0};
+    Counter injection_attempts_{0}, injection_wins_{0}, injection_accepted_{0};
+    Counter ids_alerts_{0}, phases_{0};
+};
+
+/// Buffers every event as one JSON line; flush with write_file() / str().
+class JsonlTraceSink : public EventSink {
+public:
+    explicit JsonlTraceSink(FrameDescriber describe = {}) : describe_(std::move(describe)) {}
+
+    void on_event(const Event& event) override { lines_.push_back(to_jsonl(event, describe_)); }
+
+    [[nodiscard]] const std::vector<std::string>& lines() const noexcept { return lines_; }
+    [[nodiscard]] std::string str() const;
+    void clear() noexcept { lines_.clear(); }
+
+    /// Writes all lines to `path` (truncating); returns false on I/O error.
+    bool write_file(const std::string& path) const;
+
+private:
+    FrameDescriber describe_;
+    std::vector<std::string> lines_;
+};
+
+}  // namespace ble::obs

@@ -83,10 +83,21 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
     tx.end = tx.start + frame.duration();
     tx.frame = std::move(frame);
 
-    for (const auto& observer : observers_) observer(device, channel, tx.start, tx.frame);
-
     auto [it, inserted] = active_.emplace(id, std::move(tx));
     Transmission& stored = it->second;
+
+    if (bus_.active()) {
+        obs::TxStart event;
+        event.time = stored.start;
+        event.tx_id = id;
+        event.channel = channel;
+        event.sender = device.name();
+        event.bytes = stored.frame.bytes;
+        event.duration = stored.frame.duration();
+        event.sender_device = &device;
+        event.frame = &stored.frame;
+        bus_.emit(event);
+    }
 
     // Idle listeners on this channel lock onto the new frame if it is loud
     // enough. Listeners already locked on an earlier frame, or that started
@@ -104,6 +115,15 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
 
     scheduler_.schedule_at(stored.end, [this, id] { finish_transmission(id); });
     return id;
+}
+
+void RadioMedium::add_tx_observer(TxObserver observer) {
+    bus_.subscribe([observer = std::move(observer)](const obs::Event& event) {
+        const auto* tx = std::get_if<obs::TxStart>(&event);
+        if (tx != nullptr && tx->sender_device != nullptr && tx->frame != nullptr) {
+            observer(*tx->sender_device, tx->channel, tx->time, *tx->frame);
+        }
+    });
 }
 
 void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
@@ -131,6 +151,7 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
 
     Bytes bytes = tx.frame.bytes;
     bool corrupted = false;
+    int corrupted_bytes = 0;
     int sync_bit_errors = 0;
     for (std::size_t i = 0; i < bytes.size(); ++i) {
         const TimePoint byte_start =
@@ -151,6 +172,7 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
             // Flip a random bit: the CRC then fails naturally downstream.
             bytes[i] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
             corrupted = true;
+            ++corrupted_bytes;
             if (i < tx.frame.sync_bytes) ++sync_bit_errors;
         }
     }
@@ -158,7 +180,22 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
     auto& state = listeners_[&receiver];
     state.locked_tx = 0;  // receiver returns to idle listening
 
-    if (sync_bit_errors > params_.max_sync_bit_errors) {
+    const bool lost_sync = sync_bit_errors > params_.max_sync_bit_errors;
+    if (bus_.active()) {
+        obs::RxDecision decision;
+        decision.time = tx.end;
+        decision.tx_id = tx.id;
+        decision.channel = tx.channel;
+        decision.receiver = receiver.name();
+        decision.verdict = lost_sync     ? obs::RxVerdict::kLostSync
+                           : corrupted   ? obs::RxVerdict::kDeliveredCorrupted
+                                         : obs::RxVerdict::kDelivered;
+        decision.rssi_dbm = signal_dbm;
+        decision.corrupted_bytes = corrupted_bytes;
+        decision.sync_bit_errors = sync_bit_errors;
+        bus_.emit(decision);
+    }
+    if (lost_sync) {
         // The correlator never matched: nothing is delivered, exactly like a
         // real radio that misses the access address.
         BLE_LOG_TRACE("medium: ", receiver.name(), " lost sync on tx ", tx.id);

@@ -25,6 +25,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "obs/bus.hpp"
 #include "sim/capture.hpp"
 #include "sim/path_loss.hpp"
 #include "sim/scheduler.hpp"
@@ -106,11 +107,17 @@ public:
     /// Number of transmissions currently in flight (all channels).
     [[nodiscard]] std::size_t active_transmissions() const noexcept { return active_.size(); }
 
-    /// Test hook: observe every transmission start (channel, start, frame,
-    /// sender). Used by the IDS's "double anchor frame" monitor and by tests.
+    /// The per-world observation stream.  The medium emits obs::TxStart for
+    /// every transmission and obs::RxDecision for every capture verdict; the
+    /// other layers (link, ids, world) publish their events here too, so one
+    /// subscriber sees the whole trial.
+    [[nodiscard]] obs::EventBus& bus() noexcept { return bus_; }
+
+    /// Legacy tx-observer shim, now a bus subscriber under the hood: observe
+    /// every transmission start (channel, start, frame, sender).
     using TxObserver =
         std::function<void(const RadioDevice&, Channel, TimePoint, const AirFrame&)>;
-    void add_tx_observer(TxObserver observer) { observers_.push_back(std::move(observer)); }
+    void add_tx_observer(TxObserver observer);
 
 private:
     struct Transmission {
@@ -140,12 +147,12 @@ private:
     PathLossModel path_loss_;
     CaptureModel capture_;
     MediumParams params_;
+    obs::EventBus bus_;
 
     std::uint64_t next_tx_id_ = 1;
     std::vector<RadioDevice*> devices_;
     std::unordered_map<std::uint64_t, Transmission> active_;
     std::unordered_map<RadioDevice*, ListenState> listeners_;
-    std::vector<TxObserver> observers_;
 };
 
 }  // namespace ble::sim

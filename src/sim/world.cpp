@@ -11,7 +11,8 @@ PathLossModel make_path_loss(const RadioWorldSpec& spec) {
 }  // namespace
 
 RadioWorld::RadioWorld(const RadioWorldSpec& spec, std::uint64_t seed)
-    : rng(seed),
+    : seed(seed),
+      rng(seed),
       medium(scheduler, rng.fork(), make_path_loss(spec), CaptureModel(spec.capture)) {}
 
 }  // namespace ble::sim

@@ -46,6 +46,11 @@ struct RadioWorld {
         return pred();
     }
 
+    /// The per-world observation stream (owned by the medium: one bus per
+    /// world, reachable from every layer that can reach the radio).
+    [[nodiscard]] ble::obs::EventBus& bus() noexcept { return medium.bus(); }
+
+    std::uint64_t seed = 0;  ///< the seed this world was built from
     Rng rng;  ///< Root stream; fork() per-device streams from it.
     Scheduler scheduler;
     RadioMedium medium;

@@ -3,18 +3,52 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "core/forge.hpp"
+#include "link/trace.hpp"
+#include "obs/sinks.hpp"
 
 namespace injectable::world {
 
 using namespace ble;
 
+namespace {
+/// Guards INJECTABLE_JSON appends: run_series() may execute concurrently
+/// (nested sweeps, tests), and each series must land as one intact line.
+std::mutex g_json_mutex;
+
+/// Experiment names go into trace file names; keep them filesystem-safe.
+std::string sanitize_name(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+        if (!ok) c = '-';
+    }
+    if (out.empty()) out = "experiment";
+    return out;
+}
+}  // namespace
+
 RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t seed) {
     RunResult result;
     result.seed = seed;
     World w(config.world, seed);
+    if (config.per_trial_sinks) config.per_trial_sinks(w.bus(), seed);
+    w.emit_phase("trial-start");
+
+    // Legacy per-attempt hook, now a bus subscription (kept for the benches'
+    // outcome analysis; destroyed before `w`, so it cannot dangle).
+    obs::ScopedSubscription hook_sub;
+    if (config.on_attempt_hook) {
+        hook_sub = obs::ScopedSubscription(w.bus(), [&config](const obs::Event& event) {
+            const auto* a = std::get_if<obs::InjectionAttempt>(&event);
+            if (a != nullptr && a->report != nullptr) config.on_attempt_hook(*a->report);
+        });
+    }
 
     // Phase 1: sniff the CONNECT_REQ while the connection establishes.
     w.establish_and_sniff(10_s);
@@ -66,12 +100,25 @@ RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t
     int commands_seen = w.bulb.state().commands_received;
     session.on_attempt = [&](const AttemptReport& report) {
         result.attempts = report.attempt;  // progress even if the budget cuts us off
-        if (config.on_attempt_hook) config.on_attempt_hook(report);
-        if (!observable) return;
-        const bool accepted = w.bulb.state().commands_received > commands_seen;
-        commands_seen = w.bulb.state().commands_received;
-        if (report.verdict.success() && !accepted) ++result.heuristic_false_positives;
-        if (!report.verdict.success() && accepted) ++result.heuristic_false_negatives;
+        bool accepted = false;
+        if (observable) {
+            accepted = w.bulb.state().commands_received > commands_seen;
+            commands_seen = w.bulb.state().commands_received;
+            if (report.verdict.success() && !accepted) ++result.heuristic_false_positives;
+            if (!report.verdict.success() && accepted) ++result.heuristic_false_negatives;
+        }
+        if (w.bus().active()) {
+            obs::InjectionAttempt event;
+            event.time = w.scheduler.now();
+            event.attempt = report.attempt;
+            event.event_counter = report.event_counter;
+            event.channel = report.channel;
+            event.heuristic_success = report.verdict.success();
+            event.ground_truth_known = observable;
+            event.accepted_by_slave = accepted;
+            event.report = &report;
+            w.bus().emit(event);
+        }
     };
 
     std::optional<bool> outcome;
@@ -83,6 +130,7 @@ RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t
         outcome = ok;
         result.attempts = attempts;
     };
+    w.emit_phase("inject");
     session.inject(std::move(request));
 
     // Worst case: ~2 events per attempt plus resync overhead.
@@ -91,6 +139,10 @@ RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t
     w.run_until(budget, [&] { return outcome.has_value(); });
     w.stop_traffic();
     result.success = outcome.value_or(false);
+    char done_detail[48];
+    std::snprintf(done_detail, sizeof(done_detail), "success=%d attempts=%d",
+                  result.success ? 1 : 0, result.attempts);
+    w.emit_phase("done", done_detail);
     return result;
 }
 
@@ -116,21 +168,51 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
         const int parsed = std::atoi(env);
         if (parsed > 0) runs = parsed;
     }
-    TrialRunner runner;
-    auto results = runner.map(runs, [&config](int i) {
+    // INJECTABLE_TRACE_DIR streams a replayable JSONL event trace per failed
+    // trial (INJECTABLE_TRACE_ALL=1 keeps the successes too), keyed by the
+    // trial's reproducing seed, next to the INJECTABLE_JSON records.
+    const char* trace_dir = std::getenv("INJECTABLE_TRACE_DIR");
+    const bool trace_all = std::getenv("INJECTABLE_TRACE_ALL") != nullptr;
+
+    TrialRunner runner(config.jobs);
+    auto results = runner.map(runs, [&config, trace_dir, trace_all](int i) {
         const auto t0 = std::chrono::steady_clock::now();
-        RunResult result = run_injection_experiment_with_retry(
-            config, config.base_seed + static_cast<std::uint64_t>(i), 3);
+        const auto base_seed = config.base_seed + static_cast<std::uint64_t>(i);
+
+        const ExperimentConfig* trial_config = &config;
+        ExperimentConfig traced_config;
+        std::shared_ptr<obs::JsonlTraceSink> trace;
+        if (trace_dir != nullptr) {
+            traced_config = config;
+            // Each setup retry builds a fresh world (and bus): restart the
+            // trace so the file holds exactly the surviving world's events.
+            traced_config.per_trial_sinks = [&config, &trace](obs::EventBus& bus,
+                                                              std::uint64_t seed) {
+                trace = std::make_shared<obs::JsonlTraceSink>(link::describe_frame);
+                bus.attach(*trace);
+                if (config.per_trial_sinks) config.per_trial_sinks(bus, seed);
+            };
+            trial_config = &traced_config;
+        }
+
+        RunResult result = run_injection_experiment_with_retry(*trial_config, base_seed, 3);
         result.wall_ms =
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
                 .count();
+        if (trace && (trace_all || !result.success)) {
+            const std::string path = std::string(trace_dir) + "/" +
+                                     sanitize_name(config.name) + "-seed" +
+                                     std::to_string(result.seed) + ".jsonl";
+            trace->write_file(path);
+        }
         return result;
     });
     if (const char* path = std::getenv("INJECTABLE_JSON")) {
+        std::string line = to_json(config, results);
+        line.push_back('\n');
+        const std::lock_guard lock(g_json_mutex);
         if (FILE* f = std::fopen(path, "a")) {
-            const std::string line = to_json(config, results);
             std::fwrite(line.data(), 1, line.size(), f);
-            std::fputc('\n', f);
             std::fclose(f);
         }
     }

@@ -31,6 +31,9 @@ struct ExperimentConfig {
     int runs = 25;            // connections per configuration (paper: 25)
     int max_attempts = 1500;  // per-run attempt budget
     std::uint64_t base_seed = 1000;
+    /// Worker threads for run_series(); 0 resolves via BENCH_JOBS / hardware
+    /// concurrency (results are index-ordered, identical for any value).
+    int jobs = 0;
 
     /// The testbed (geometry, clocks, RF, traffic, counter-measures).
     WorldSpec world{};
@@ -45,8 +48,16 @@ struct ExperimentConfig {
     /// Per-attempt tap for outcome-analysis benches.  run_series() executes
     /// trials on worker threads, so the hook may be invoked concurrently —
     /// accumulate into atomics (totals are order-independent, keeping the
-    /// bench output deterministic).
+    /// bench output deterministic).  Implemented as an obs::EventBus
+    /// subscription over obs::InjectionAttempt events.
     std::function<void(const AttemptReport&)> on_attempt_hook;
+
+    /// Called once per trial *world* (including each setup retry, which
+    /// builds a fresh world) right after construction, before any event is
+    /// emitted: attach per-trial sinks to the world's isolated bus here.
+    /// Invoked concurrently from worker threads, but each call receives a
+    /// bus no other thread touches.
+    std::function<void(ble::obs::EventBus&, std::uint64_t seed)> per_trial_sinks;
 };
 
 /// Structured per-trial record: the seed that reproduces the trial, the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/bus.hpp"
+
 namespace injectable::world {
 
 using namespace ble;
@@ -98,7 +100,11 @@ std::optional<SniffedConnection> World::establish_and_sniff(
     });
     sniffer.stop();
     sniffed = captured;
-    if (!(central->connected() && peripheral->connected())) return std::nullopt;
+    const bool established = central->connected() && peripheral->connected();
+    emit_phase("establish", established ? (captured ? "established sniffed"
+                                                    : "established not-sniffed")
+                                        : "failed");
+    if (!established) return std::nullopt;
     return captured;
 }
 
@@ -110,13 +116,16 @@ bool World::encrypt() {
     peripheral->set_ltk(ltk);
     central->start_encryption(ltk);
     scheduler.run_until(scheduler.now() + 10 * connection_interval(spec.hop_interval));
-    return central->encrypted();
+    const bool ok = central->encrypted();
+    emit_phase("encrypt", ok ? "ok" : "failed");
+    return ok;
 }
 
 AttackSession& World::start_session(Duration sync_budget) {
     session = std::make_unique<AttackSession>(*attacker, *sniffed, spec.attack);
     session->start();
     scheduler.run_until(scheduler.now() + sync_budget);
+    emit_phase("sync");
     return *session;
 }
 
@@ -146,6 +155,17 @@ void World::pump_traffic() {
     const Duration period =
         connection_interval(spec.hop_interval) * spec.master_traffic_every_events;
     traffic_timer_ = scheduler.schedule_after(period, [this] { pump_traffic(); });
+}
+
+void World::emit_phase(std::string_view phase, std::string_view detail) {
+    auto& b = bus();
+    if (!b.active()) return;
+    ble::obs::TrialPhase event;
+    event.time = scheduler.now();
+    event.seed = seed;
+    event.phase = phase;
+    event.detail = detail;
+    b.emit(event);
 }
 
 std::unique_ptr<AttackerRadio> World::make_attacker(const std::string& name,

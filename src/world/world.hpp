@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/attacker_radio.hpp"
@@ -152,6 +153,10 @@ struct World : ble::sim::RadioWorld {
     /// probes, the MitM's second front-end, ...).
     std::unique_ptr<AttackerRadio> make_attacker(const std::string& name,
                                                  ble::sim::Position pos);
+
+    /// Publishes an obs::TrialPhase marker (keyed by this world's seed) on
+    /// the bus; phase helpers call it, and harnesses may add their own marks.
+    void emit_phase(std::string_view phase, std::string_view detail = {});
 
     WorldSpec spec;
     std::unique_ptr<ble::host::Peripheral> peripheral;

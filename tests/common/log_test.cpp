@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace ble {
+namespace {
+
+class LogTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        set_log_sink(nullptr);
+        set_log_level(LogLevel::kWarn);
+    }
+};
+
+TEST_F(LogTest, SinkReceivesMessagesAboveThreshold) {
+    std::vector<std::string> seen;
+    set_log_sink([&](LogLevel, const std::string& msg) { seen.push_back(msg); });
+    set_log_level(LogLevel::kInfo);
+    BLE_LOG_DEBUG("dropped");
+    BLE_LOG_INFO("kept ", 42);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], "kept 42");
+}
+
+TEST_F(LogTest, ConcurrentSinkSwapsAndLogging) {
+    // Hammer set_log_sink/set_log_level from one thread while others log:
+    // no crash, no torn sink, and every message lands in exactly one sink.
+    std::atomic<int> delivered{0};
+    std::atomic<bool> stop{false};
+    set_log_level(LogLevel::kInfo);
+
+    std::thread swapper([&] {
+        for (int i = 0; i < 500; ++i) {
+            set_log_sink([&delivered](LogLevel, const std::string&) {
+                delivered.fetch_add(1, std::memory_order_relaxed);
+            });
+            set_log_level(i % 2 == 0 ? LogLevel::kInfo : LogLevel::kDebug);
+        }
+        stop.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::thread> loggers;
+    std::atomic<int> sent{0};
+    for (int t = 0; t < 4; ++t) {
+        loggers.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                BLE_LOG_INFO("message ", sent.fetch_add(1, std::memory_order_relaxed));
+            }
+        });
+    }
+    swapper.join();
+    for (auto& thread : loggers) thread.join();
+    // The swapper's last sink is still installed: this must land in it.
+    // (Concurrent messages went to stderr or an earlier counting sink
+    // depending on interleaving — the point above is the absence of races.)
+    const int before_final = delivered.load();
+    BLE_LOG_INFO("final");
+    EXPECT_EQ(delivered.load(), before_final + 1);
+}
+
+TEST_F(LogTest, ReentrantSinkDoesNotDeadlock) {
+    // A sink that logs (or swaps the sink) re-enters the logger; snapshotting
+    // the sink outside the lock makes this safe instead of self-deadlocking.
+    std::atomic<int> outer{0};
+    set_log_level(LogLevel::kInfo);
+    set_log_sink([&](LogLevel, const std::string& msg) {
+        if (outer.fetch_add(1) == 0) {
+            BLE_LOG_INFO("nested from sink: ", msg);
+        }
+    });
+    BLE_LOG_INFO("outer");
+    EXPECT_EQ(outer.load(), 2);
+}
+
+}  // namespace
+}  // namespace ble

@@ -6,6 +6,7 @@
 #include "core/scenarios.hpp"
 #include "gatt/builder.hpp"
 #include "ids/detector.hpp"
+#include "obs/bus.hpp"
 
 namespace ble::ids {
 namespace {
@@ -107,6 +108,42 @@ TEST(InjectionDetectorTest, DetectsScenarioAInjection) {
     // A winning injection shifts the anchor by ~the widening: timing anomaly.
     EXPECT_TRUE(ids.saw(AlertType::kAnchorJitter))
         << "alerts: " << ids.alerts.size();
+}
+
+TEST(InjectionDetectorTest, AlertsMirrorOntoTheEventBus) {
+    IdsWorld ids;
+    // Every on_alert callback must have a matching obs::IdsAlert on the
+    // world's bus, same type/event/detail, in the same order.
+    struct BusAlert {
+        std::uint8_t type;
+        std::uint16_t event_counter;
+        std::string detail;
+    };
+    std::vector<BusAlert> bus_alerts;
+    obs::ScopedSubscription sub(
+        ids.world.medium.bus(), [&bus_alerts](const obs::Event& event) {
+            if (const auto* alert = std::get_if<obs::IdsAlert>(&event)) {
+                bus_alerts.push_back(
+                    BusAlert{alert->type, alert->event_counter, std::string(alert->detail)});
+            }
+        });
+
+    ASSERT_TRUE(ids.establish());
+    injectable::ScenarioA scenario(*ids.session);
+    std::optional<injectable::ScenarioA::Result> result;
+    scenario.inject_write(ids.world.bulb.control_handle(),
+                          gatt::LightbulbProfile::cmd_set_power(false),
+                          [&](const injectable::ScenarioA::Result& r) { result = r; });
+    ASSERT_TRUE(ids.run_until(60_s, [&] { return result.has_value(); }));
+    ids.world.run_for(2_s);
+
+    ASSERT_EQ(bus_alerts.size(), ids.alerts.size());
+    for (std::size_t i = 0; i < bus_alerts.size(); ++i) {
+        EXPECT_EQ(bus_alerts[i].type, static_cast<std::uint8_t>(ids.alerts[i].type));
+        EXPECT_EQ(bus_alerts[i].event_counter, ids.alerts[i].event_counter);
+        EXPECT_EQ(bus_alerts[i].detail, ids.alerts[i].detail);
+    }
+    EXPECT_FALSE(bus_alerts.empty());  // scenario A trips at least one alert
 }
 
 TEST(InjectionDetectorTest, DetectsScenarioBTerminateHijack) {

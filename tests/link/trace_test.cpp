@@ -50,8 +50,68 @@ TEST(DescribeFrameTest, DataAndControlFrames) {
     EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=0 nesn=0 MD L2CAP start 9B");
 }
 
+TEST(DescribeFrameTest, AllControlOpcodes) {
+    constexpr ControlOpcode kOpcodes[] = {
+        ControlOpcode::kConnectionUpdateInd, ControlOpcode::kChannelMapInd,
+        ControlOpcode::kTerminateInd,        ControlOpcode::kEncReq,
+        ControlOpcode::kEncRsp,              ControlOpcode::kStartEncReq,
+        ControlOpcode::kStartEncRsp,         ControlOpcode::kUnknownRsp,
+        ControlOpcode::kFeatureReq,          ControlOpcode::kFeatureRsp,
+        ControlOpcode::kPauseEncReq,         ControlOpcode::kPauseEncRsp,
+        ControlOpcode::kVersionInd,          ControlOpcode::kRejectInd,
+        ControlOpcode::kSlaveFeatureReq,     ControlOpcode::kConnectionParamReq,
+        ControlOpcode::kConnectionParamRsp,  ControlOpcode::kRejectExtInd,
+        ControlOpcode::kPingReq,             ControlOpcode::kPingRsp,
+        ControlOpcode::kLengthReq,           ControlOpcode::kLengthRsp,
+        ControlOpcode::kPhyReq,              ControlOpcode::kPhyRsp,
+        ControlOpcode::kPhyUpdateInd,        ControlOpcode::kMinUsedChannelsInd,
+        ControlOpcode::kClockAccuracyReq,    ControlOpcode::kClockAccuracyRsp,
+    };
+    for (const ControlOpcode opcode : kOpcodes) {
+        DataPdu ctl;
+        ctl.llid = Llid::kControl;
+        ctl.payload = ControlPdu{opcode, {}}.serialize();
+        const auto frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
+        const std::string desc = describe_frame(frame.bytes);
+        EXPECT_NE(desc.find(control_opcode_name(opcode)), std::string::npos)
+            << "opcode 0x" << std::hex << static_cast<int>(opcode) << ": " << desc;
+    }
+}
+
+TEST(DescribeFrameTest, UnknownControlOpcode) {
+    DataPdu ctl;
+    ctl.llid = Llid::kControl;
+    ctl.payload = Bytes{0xFF};  // no such opcode
+    const auto frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
+    EXPECT_NE(describe_frame(frame.bytes).find("LL_UNKNOWN"), std::string::npos);
+}
+
+TEST(DescribeFrameTest, EmptyControlPayload) {
+    // A control PDU with no opcode byte parses to nothing but must still
+    // produce a readable line.
+    DataPdu ctl;
+    ctl.llid = Llid::kControl;
+    const auto frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
+    EXPECT_NE(describe_frame(frame.bytes).find("LL control (empty)"), std::string::npos);
+}
+
 TEST(DescribeFrameTest, MalformedBytes) {
     EXPECT_NE(describe_frame(Bytes{1, 2, 3}).find("malformed"), std::string::npos);
+    EXPECT_EQ(describe_frame(Bytes{}), "malformed (0B)");
+    EXPECT_EQ(describe_frame(Bytes{0xD4}), "malformed (1B)");
+    // AA + CRC but a zero-length PDU region.
+    EXPECT_NE(describe_frame(Bytes(7, 0x00)).find("malformed"), std::string::npos);
+}
+
+TEST(DescribeFrameTest, TruncatedDataPdu) {
+    // A full data frame with its payload cut past the header's claimed length
+    // must decode as malformed DATA, not crash or misreport.
+    DataPdu l2cap;
+    l2cap.llid = Llid::kDataStart;
+    l2cap.payload = Bytes(9, 0x00);
+    const auto frame = phy::make_air_frame(0xAF9A9CD4, l2cap.serialize(), 0x123456);
+    Bytes cut(frame.bytes.begin(), frame.bytes.begin() + 8);
+    EXPECT_NE(describe_frame(cut).find("malformed"), std::string::npos);
 }
 
 TEST(PacketTraceTest, RecordsLiveConnection) {
@@ -92,15 +152,54 @@ TEST(PacketTraceTest, RecordsLiveConnection) {
 TEST(PacketTraceTest, LiveSinkAndCap) {
     Testbed bed(62);
     link::PacketTrace trace(bed.medium, /*max_records=*/3);
-    int sunk = 0;
-    trace.on_record = [&](const TraceRecord&) { ++sunk; };
+    std::vector<TimePoint> all_times;
+    trace.on_record = [&](const TraceRecord& r) { all_times.push_back(r.time); };
     auto device = bed.make_device("adv", {0.0, 0.0});
     device->start_advertising(make_adv_name("x"));
     bed.run_for(1_s);
-    EXPECT_EQ(trace.records().size(), 3u);  // capped
-    EXPECT_EQ(sunk, 3);
+
+    // The ring drops the *oldest* records: the buffer holds the 3 most recent
+    // frames, while the live sink saw every one of them.
+    ASSERT_GT(all_times.size(), 3u);
+    const auto records = trace.records();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.dropped(), all_times.size() - 3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(records[i].time, all_times[all_times.size() - 3 + i]);
+    }
     trace.clear();
     EXPECT_TRUE(trace.records().empty());
+    EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(PacketTraceTest, UnlimitedWhenCapIsZero) {
+    Testbed bed(63);
+    link::PacketTrace ring(bed.medium, /*max_records=*/0);
+    int sunk = 0;
+    ring.on_record = [&](const TraceRecord&) { ++sunk; };
+    auto device = bed.make_device("adv", {0.0, 0.0});
+    device->start_advertising(make_adv_name("x"));
+    bed.run_for(200_ms);
+    // max_records == 0 means "sink only": nothing is buffered, nothing drops.
+    EXPECT_GT(sunk, 0);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(PacketTraceTest, DestructionDetachesFromTheBus) {
+    Testbed bed(64);
+    auto device = bed.make_device("adv", {0.0, 0.0});
+    {
+        link::PacketTrace trace(bed.medium);
+        device->start_advertising(make_adv_name("x"));
+        bed.run_for(100_ms);
+        EXPECT_GT(trace.size(), 0u);
+    }
+    // The subscription died with the trace: further traffic must not touch
+    // freed memory (the legacy observer API could dangle here).
+    bed.run_for(100_ms);
+    EXPECT_EQ(bed.medium.bus().subscriber_count(), 0u);
 }
 
 }  // namespace

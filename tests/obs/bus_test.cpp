@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/bus.hpp"
+
+namespace ble::obs {
+namespace {
+
+TxStart make_tx(TimePoint t, std::uint64_t id) {
+    TxStart tx;
+    tx.time = t;
+    tx.tx_id = id;
+    tx.channel = 7;
+    tx.sender = "dev";
+    return tx;
+}
+
+TEST(EventBusTest, InactiveUntilSomeoneListens) {
+    EventBus bus;
+    EXPECT_FALSE(bus.active());
+    EXPECT_EQ(bus.subscriber_count(), 0u);
+    bus.emit(make_tx(1, 1));  // no listeners: silently dropped
+
+    const auto token = bus.subscribe([](const Event&) {});
+    EXPECT_TRUE(bus.active());
+    EXPECT_EQ(bus.subscriber_count(), 1u);
+    bus.unsubscribe(token);
+    EXPECT_FALSE(bus.active());
+}
+
+TEST(EventBusTest, SubscribersReceiveEventsInOrder) {
+    EventBus bus;
+    std::vector<std::uint64_t> seen;
+    bus.subscribe([&](const Event& e) {
+        seen.push_back(std::get<TxStart>(e).tx_id);
+    });
+    bus.emit(make_tx(1, 10));
+    bus.emit(make_tx(2, 11));
+    bus.emit(make_tx(3, 12));
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST(EventBusTest, DispatchOrderIsAttachmentOrder) {
+    struct Recorder : EventSink {
+        std::vector<int>& order;
+        int id;
+        Recorder(std::vector<int>& o, int i) : order(o), id(i) {}
+        void on_event(const Event&) override { order.push_back(id); }
+    };
+    EventBus bus;
+    std::vector<int> order;
+    Recorder first(order, 1);
+    Recorder second(order, 2);
+    bus.attach(first);
+    bus.attach(second);
+    bus.subscribe([&](const Event&) { order.push_back(3); });
+    bus.emit(make_tx(1, 1));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventBusTest, DetachStopsDelivery) {
+    struct Counting : EventSink {
+        int events = 0;
+        void on_event(const Event&) override { ++events; }
+    };
+    EventBus bus;
+    Counting sink;
+    bus.attach(sink);
+    bus.emit(make_tx(1, 1));
+    bus.detach(sink);
+    bus.emit(make_tx(2, 2));
+    EXPECT_EQ(sink.events, 1);
+    EXPECT_FALSE(bus.active());
+}
+
+TEST(EventBusTest, UnsubscribeIsSelective) {
+    EventBus bus;
+    int a = 0, b = 0;
+    const auto token_a = bus.subscribe([&](const Event&) { ++a; });
+    bus.subscribe([&](const Event&) { ++b; });
+    bus.emit(make_tx(1, 1));
+    bus.unsubscribe(token_a);
+    bus.emit(make_tx(2, 2));
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+}
+
+TEST(ScopedSubscriptionTest, UnsubscribesOnDestruction) {
+    EventBus bus;
+    int events = 0;
+    {
+        ScopedSubscription sub(bus, [&](const Event&) { ++events; });
+        EXPECT_TRUE(sub.attached());
+        bus.emit(make_tx(1, 1));
+    }
+    EXPECT_FALSE(bus.active());
+    bus.emit(make_tx(2, 2));
+    EXPECT_EQ(events, 1);
+}
+
+TEST(ScopedSubscriptionTest, MoveTransfersOwnership) {
+    EventBus bus;
+    int events = 0;
+    ScopedSubscription outer;
+    EXPECT_FALSE(outer.attached());
+    {
+        ScopedSubscription inner(bus, [&](const Event&) { ++events; });
+        outer = std::move(inner);
+        EXPECT_FALSE(inner.attached());  // NOLINT(bugprone-use-after-move)
+    }
+    bus.emit(make_tx(1, 1));  // inner's destruction must not have unsubscribed
+    EXPECT_EQ(events, 1);
+    outer.reset();
+    bus.emit(make_tx(2, 2));
+    EXPECT_EQ(events, 1);
+}
+
+TEST(EventKindNameTest, CoversEveryAlternative) {
+    EXPECT_STREQ(event_kind_name(Event(TxStart{})), "tx");
+    EXPECT_STREQ(event_kind_name(Event(RxDecision{})), "rx");
+    EXPECT_STREQ(event_kind_name(Event(ConnEvent{})), "conn");
+    EXPECT_STREQ(event_kind_name(Event(WindowWiden{})), "widen");
+    EXPECT_STREQ(event_kind_name(Event(InjectionAttempt{})), "attempt");
+    EXPECT_STREQ(event_kind_name(Event(IdsAlert{})), "ids");
+    EXPECT_STREQ(event_kind_name(Event(TrialPhase{})), "phase");
+}
+
+}  // namespace
+}  // namespace ble::obs

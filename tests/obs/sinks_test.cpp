@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/sinks.hpp"
+
+namespace ble::obs {
+namespace {
+
+TEST(CounterSinkTest, CountsEveryEventKind) {
+    EventBus bus;
+    CounterSink counters;
+    bus.attach(counters);
+
+    TxStart tx;
+    bus.emit(tx);
+    bus.emit(tx);
+
+    RxDecision rx;
+    rx.verdict = RxVerdict::kDelivered;
+    bus.emit(rx);
+    rx.verdict = RxVerdict::kDeliveredCorrupted;
+    bus.emit(rx);
+    rx.verdict = RxVerdict::kLostSync;
+    bus.emit(rx);
+
+    ConnEvent conn;
+    conn.kind = ConnEvent::Kind::kOpened;
+    bus.emit(conn);
+    conn.kind = ConnEvent::Kind::kEventClosed;
+    conn.anchor_observed = false;
+    bus.emit(conn);
+    conn.anchor_observed = true;
+    bus.emit(conn);
+    conn.kind = ConnEvent::Kind::kClosed;
+    bus.emit(conn);
+
+    WindowWiden widen;
+    widen.missed = false;
+    bus.emit(widen);
+    widen.missed = true;
+    bus.emit(widen);
+
+    InjectionAttempt attempt;
+    attempt.heuristic_success = true;
+    attempt.ground_truth_known = true;
+    attempt.accepted_by_slave = true;
+    bus.emit(attempt);
+    attempt.heuristic_success = false;
+    attempt.accepted_by_slave = false;
+    bus.emit(attempt);
+
+    bus.emit(IdsAlert{});
+    bus.emit(TrialPhase{});
+
+    const auto s = counters.snapshot();
+    EXPECT_EQ(s.tx_frames, 2u);
+    EXPECT_EQ(s.rx_delivered, 2u);  // intact + corrupted both delivered
+    EXPECT_EQ(s.rx_corrupted, 1u);
+    EXPECT_EQ(s.rx_lost_sync, 1u);
+    EXPECT_EQ(s.conn_opened, 1u);
+    EXPECT_EQ(s.conn_events, 2u);
+    EXPECT_EQ(s.anchors_missed, 1u);
+    EXPECT_EQ(s.conn_closed, 1u);
+    EXPECT_EQ(s.windows_opened, 1u);
+    EXPECT_EQ(s.window_misses, 1u);
+    EXPECT_EQ(s.injection_attempts, 2u);
+    EXPECT_EQ(s.injection_wins, 1u);
+    EXPECT_EQ(s.injection_accepted, 1u);
+    EXPECT_EQ(s.ids_alerts, 1u);
+    EXPECT_EQ(s.phases, 1u);
+
+    counters.reset();
+    EXPECT_EQ(counters.snapshot().tx_frames, 0u);
+    EXPECT_EQ(counters.snapshot().injection_attempts, 0u);
+}
+
+TEST(ToJsonlTest, TxStartShape) {
+    TxStart tx;
+    tx.time = 1500;
+    tx.tx_id = 42;
+    tx.channel = 17;
+    tx.sender = "attacker";
+    const Bytes bytes{0xD4, 0x9C, 0x9A, 0xAF};
+    tx.bytes = bytes;
+    tx.duration = 176'000;
+
+    const std::string line = to_jsonl(Event(tx));
+    EXPECT_EQ(line.find("{\"e\":\"tx\",\"t_ns\":1500,"), 0u);
+    EXPECT_NE(line.find("\"tx_id\":42"), std::string::npos);
+    EXPECT_NE(line.find("\"ch\":17"), std::string::npos);
+    EXPECT_NE(line.find("\"sender\":\"attacker\""), std::string::npos);
+    EXPECT_NE(line.find("\"hex\":\"d49c9aaf\""), std::string::npos);
+    EXPECT_EQ(line.find("\"desc\""), std::string::npos);  // no describer attached
+    EXPECT_EQ(line.back(), '}');
+
+    const std::string described = to_jsonl(
+        Event(tx), [](BytesView b) { return "frame:" + std::to_string(b.size()); });
+    EXPECT_NE(described.find("\"desc\":\"frame:4\""), std::string::npos);
+}
+
+TEST(ToJsonlTest, EscapesStrings) {
+    TrialPhase phase;
+    phase.seed = 9;
+    phase.phase = "quote\"back\\slash";
+    phase.detail = "line\nbreak";
+    const std::string line = to_jsonl(Event(phase));
+    EXPECT_NE(line.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_NE(line.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(ToJsonlTest, ConnEventVariants) {
+    ConnEvent conn;
+    conn.kind = ConnEvent::Kind::kEventClosed;
+    conn.device = "bulb";
+    conn.role = 1;
+    conn.event_counter = 99;
+    conn.anchor_observed = true;
+    conn.pdus_rx = 2;
+    std::string line = to_jsonl(Event(conn));
+    EXPECT_NE(line.find("\"kind\":\"event\""), std::string::npos);
+    EXPECT_NE(line.find("\"role\":\"slave\""), std::string::npos);
+    EXPECT_NE(line.find("\"anchor\":true"), std::string::npos);
+
+    conn.kind = ConnEvent::Kind::kClosed;
+    conn.reason = "supervision timeout";
+    line = to_jsonl(Event(conn));
+    EXPECT_NE(line.find("\"kind\":\"closed\""), std::string::npos);
+    EXPECT_NE(line.find("\"reason\":\"supervision timeout\""), std::string::npos);
+    EXPECT_EQ(line.find("\"anchor\""), std::string::npos);  // diagnostics only on kEventClosed
+}
+
+TEST(ToJsonlTest, AttemptHidesGroundTruthWhenUnknown) {
+    InjectionAttempt attempt;
+    attempt.heuristic_success = true;
+    attempt.ground_truth_known = false;
+    std::string line = to_jsonl(Event(attempt));
+    EXPECT_NE(line.find("\"heuristic_success\":true"), std::string::npos);
+    EXPECT_EQ(line.find("\"accepted\""), std::string::npos);
+
+    attempt.ground_truth_known = true;
+    attempt.accepted_by_slave = true;
+    line = to_jsonl(Event(attempt));
+    EXPECT_NE(line.find("\"accepted\":true"), std::string::npos);
+}
+
+TEST(JsonlTraceSinkTest, BuffersAndWritesFile) {
+    EventBus bus;
+    JsonlTraceSink sink;
+    bus.attach(sink);
+
+    TrialPhase phase;
+    phase.seed = 1234;
+    phase.phase = "establish";
+    bus.emit(phase);
+    bus.emit(TxStart{});
+    ASSERT_EQ(sink.lines().size(), 2u);
+    EXPECT_EQ(sink.lines()[0].find("{\"e\":\"phase\""), 0u);
+    EXPECT_EQ(sink.str(), sink.lines()[0] + "\n" + sink.lines()[1] + "\n");
+
+    const std::string path = ::testing::TempDir() + "obs_sink_test.jsonl";
+    ASSERT_TRUE(sink.write_file(path));
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string contents(4096, '\0');
+    contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(contents, sink.str());
+
+    sink.clear();
+    EXPECT_TRUE(sink.lines().empty());
+    EXPECT_FALSE(sink.write_file("/nonexistent-dir/x/y.jsonl"));
+}
+
+TEST(RxVerdictNameTest, AllNamed) {
+    EXPECT_STREQ(rx_verdict_name(RxVerdict::kDelivered), "delivered");
+    EXPECT_STREQ(rx_verdict_name(RxVerdict::kDeliveredCorrupted), "corrupted");
+    EXPECT_STREQ(rx_verdict_name(RxVerdict::kLostSync), "lost-sync");
+}
+
+}  // namespace
+}  // namespace ble::obs

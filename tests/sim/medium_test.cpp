@@ -220,6 +220,74 @@ TEST_F(MediumFixture, TxObserverSeesAllTransmissions) {
     EXPECT_EQ(seen_channel, 12);
 }
 
+TEST_F(MediumFixture, BusCarriesTxStartAndRxDecision) {
+    auto tx = make("tx", {0, 0});
+    auto rx = make("rx", {1, 0});
+    std::vector<obs::TxStart> tx_events;
+    std::vector<obs::RxDecision> rx_events;
+    obs::ScopedSubscription sub(medium.bus(), [&](const obs::Event& event) {
+        if (const auto* t = std::get_if<obs::TxStart>(&event)) {
+            tx_events.push_back(*t);
+        } else if (const auto* r = std::get_if<obs::RxDecision>(&event)) {
+            rx_events.push_back(*r);
+        }
+    });
+    rx->listen(7);
+    tx->transmit(7, test_frame());
+    scheduler.run_all();
+
+    ASSERT_EQ(tx_events.size(), 1u);
+    EXPECT_EQ(tx_events[0].channel, 7);
+    EXPECT_EQ(tx_events[0].duration, 136_us);  // preamble + 16 bytes at 8 µs
+
+    ASSERT_EQ(rx_events.size(), 1u);
+    EXPECT_EQ(rx_events[0].tx_id, tx_events[0].tx_id);
+    EXPECT_EQ(rx_events[0].verdict, obs::RxVerdict::kDelivered);
+    EXPECT_NEAR(rx_events[0].rssi_dbm, -40.0, 0.01);
+    EXPECT_EQ(rx_events[0].corrupted_bytes, 0);
+}
+
+TEST_F(MediumFixture, BusVerdictMatchesDelivery) {
+    // Repeated head-on collisions: every round yields exactly one RxDecision,
+    // and its verdict agrees with what the receiver actually got (lost-sync
+    // => nothing, corrupted => corrupted_by_medium, delivered => clean).
+    auto tx1 = make("tx1", {0, 0});
+    auto tx2 = make("tx2", {2, 0});
+    auto rx = make("rx", {1, 0});  // equidistant: 0 dB SIR
+    std::vector<obs::RxDecision> decisions;
+    obs::ScopedSubscription sub(medium.bus(), [&](const obs::Event& event) {
+        if (const auto* r = std::get_if<obs::RxDecision>(&event)) decisions.push_back(*r);
+    });
+    int lost = 0;
+    for (int i = 0; i < 30; ++i) {
+        rx->received.clear();
+        decisions.clear();
+        rx->listen(7);
+        tx1->transmit(7, test_frame(20, 0xAA));
+        scheduler.schedule_after(8'000, [&] { tx2->transmit(7, test_frame(20, 0xBB)); });
+        scheduler.run_all();
+        ASSERT_EQ(decisions.size(), 1u);
+        switch (decisions[0].verdict) {
+            case obs::RxVerdict::kLostSync:
+                EXPECT_TRUE(rx->received.empty());
+                EXPECT_GT(decisions[0].sync_bit_errors, medium.params().max_sync_bit_errors);
+                ++lost;
+                break;
+            case obs::RxVerdict::kDeliveredCorrupted:
+                ASSERT_EQ(rx->received.size(), 1u);
+                EXPECT_TRUE(rx->received[0].corrupted_by_medium);
+                EXPECT_GT(decisions[0].corrupted_bytes, 0);
+                break;
+            case obs::RxVerdict::kDelivered:
+                ASSERT_EQ(rx->received.size(), 1u);
+                EXPECT_FALSE(rx->received[0].corrupted_by_medium);
+                EXPECT_EQ(decisions[0].corrupted_bytes, 0);
+                break;
+        }
+    }
+    EXPECT_GT(lost, 0);  // at 0 dB SIR some heads must die
+}
+
 TEST_F(MediumFixture, DetachedSenderDoesNotDangle) {
     auto tx = make("tx", {0, 0});
     auto rx = make("rx", {1, 0});
