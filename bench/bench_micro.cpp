@@ -7,6 +7,8 @@
 #include "crypto/aes128.hpp"
 #include "crypto/ccm.hpp"
 #include "link/channel_selection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "phy/crc.hpp"
 #include "phy/frame.hpp"
 #include "phy/whitening.hpp"
@@ -107,6 +109,60 @@ void BM_SchedulerChurn(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerChurn);
+
+// ---------------------------------------------------------------------------
+// Observability overhead: the medium emits a TxStart + RxDecision pair per
+// frame, so per-event dispatch cost bounds what always-on instrumentation
+// costs a campaign.  Three rungs: a bare bus (emit() short-circuits on
+// active()==false), the lock-free CounterSink, and the full MetricsSink
+// (registry counters + log2 histograms).
+
+obs::Event make_rx_event() {
+    obs::RxDecision rx;
+    rx.time = 1'000'000;
+    rx.channel = 17;
+    rx.verdict = obs::RxVerdict::kDelivered;
+    rx.rssi_dbm = -61.5;
+    return obs::Event(rx);
+}
+
+void BM_ObsEmitNoSinks(benchmark::State& state) {
+    obs::EventBus bus;
+    const obs::Event event = make_rx_event();
+    for (auto _ : state) {
+        bus.emit(event);
+        benchmark::DoNotOptimize(bus.active());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEmitNoSinks);
+
+void BM_ObsEmitCounterSink(benchmark::State& state) {
+    obs::EventBus bus;
+    obs::CounterSink counters;
+    bus.attach(counters);
+    const obs::Event event = make_rx_event();
+    for (auto _ : state) {
+        bus.emit(event);
+    }
+    benchmark::DoNotOptimize(counters.snapshot().rx_delivered);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEmitCounterSink);
+
+void BM_ObsEmitMetricsSink(benchmark::State& state) {
+    obs::EventBus bus;
+    obs::MetricsRegistry registry;
+    obs::MetricsSink metrics(registry);
+    bus.attach(metrics);
+    const obs::Event event = make_rx_event();
+    for (auto _ : state) {
+        bus.emit(event);
+    }
+    benchmark::DoNotOptimize(registry.snapshot().counters.size());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEmitMetricsSink);
 
 void BM_RngU64(benchmark::State& state) {
     Rng rng(1);

@@ -4,6 +4,10 @@
 
 #include "common/hex.hpp"
 
+#if BLE_OBS_HAS_ZLIB
+#include <zlib.h>
+#endif
+
 namespace ble::obs {
 
 const char* rx_verdict_name(RxVerdict verdict) noexcept {
@@ -28,32 +32,50 @@ const char* event_kind_name(const Event& event) noexcept {
     return std::visit(Visitor{}, event);
 }
 
-namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
+void append_json_escaped(std::string& out, std::string_view s) {
     for (const char c : s) {
         switch (c) {
             case '"': out += "\\\""; break;
             case '\\': out += "\\\\"; break;
             case '\n': out += "\\n"; break;
             case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
+            case '\r': out += "\\r"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default: {
+                // Escape the remaining control bytes AND everything outside
+                // printable ASCII: device names / frame descriptions can hold
+                // arbitrary attacker-chosen bytes, and raw 0x80..0xFF would
+                // make the line invalid UTF-8 (hence invalid JSON for strict
+                // parsers).  \u00xx reads each byte as Latin-1 and always
+                // round-trips.
+                const auto u = static_cast<unsigned char>(c);
+                if (u < 0x20 || u >= 0x7f) {
                     char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", u);
                     out += buf;
                 } else {
                     out += c;
                 }
+            }
         }
     }
 }
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    append_json_escaped(out, s);
+    return out;
+}
+
+namespace {
 
 void append_str(std::string& out, const char* key, std::string_view value) {
     out += ",\"";
     out += key;
     out += "\":\"";
-    append_escaped(out, value);
+    append_json_escaped(out, value);
     out += '"';
 }
 
@@ -237,9 +259,13 @@ void CounterSink::reset() noexcept {
 
 std::string JsonlTraceSink::str() const {
     std::string out;
-    std::size_t total = 0;
+    std::size_t total = header_.empty() ? 0 : header_.size() + 1;
     for (const auto& line : lines_) total += line.size() + 1;
     out.reserve(total);
+    if (!header_.empty()) {
+        out += header_;
+        out += '\n';
+    }
     for (const auto& line : lines_) {
         out += line;
         out += '\n';
@@ -247,19 +273,78 @@ std::string JsonlTraceSink::str() const {
     return out;
 }
 
-bool JsonlTraceSink::write_file(const std::string& path) const {
+bool trace_compression_available() noexcept {
+#if BLE_OBS_HAS_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool JsonlTraceSink::write_file(const std::string& path, bool gzip) const {
+#if BLE_OBS_HAS_ZLIB
+    if (gzip) {
+        gzFile gz = gzopen(path.c_str(), "wb");
+        if (gz == nullptr) return false;
+        const std::string doc = str();
+        bool ok = doc.empty() ||
+                  gzwrite(gz, doc.data(), static_cast<unsigned>(doc.size())) ==
+                      static_cast<int>(doc.size());
+        if (gzclose(gz) != Z_OK) ok = false;
+        return ok;
+    }
+#else
+    (void)gzip;  // graceful fallback: write plain when zlib is unavailable
+#endif
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    bool ok = true;
-    for (const auto& line : lines_) {
-        if (std::fwrite(line.data(), 1, line.size(), f) != line.size() ||
-            std::fputc('\n', f) == EOF) {
-            ok = false;
-            break;
-        }
-    }
+    const std::string doc = str();
+    bool ok = doc.empty() || std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
     if (std::fclose(f) != 0) ok = false;
     return ok;
+}
+
+std::vector<std::string> read_jsonl_file(const std::string& path, std::string* error) {
+    std::string content;
+    bool ok = false;
+#if BLE_OBS_HAS_ZLIB
+    // gzread is transparent: it inflates gzip streams and passes plain files
+    // through unchanged, so one path serves .jsonl and .jsonl.gz.
+    if (gzFile gz = gzopen(path.c_str(), "rb")) {
+        char buf[1 << 16];
+        int n = 0;
+        ok = true;
+        while ((n = gzread(gz, buf, sizeof(buf))) > 0) content.append(buf, static_cast<std::size_t>(n));
+        if (n < 0) ok = false;
+        if (gzclose(gz) != Z_OK) ok = false;
+    }
+#else
+    if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".gz") == 0) {
+        if (error != nullptr) *error = "built without zlib: cannot read " + path;
+        return {};
+    }
+    if (FILE* f = std::fopen(path.c_str(), "rb")) {
+        char buf[1 << 16];
+        std::size_t n = 0;
+        ok = true;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+        if (std::ferror(f) != 0) ok = false;
+        std::fclose(f);
+    }
+#endif
+    if (!ok) {
+        if (error != nullptr) *error = "cannot read " + path;
+        return {};
+    }
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) nl = content.size();
+        lines.emplace_back(content, pos, nl - pos);
+        pos = nl + 1;
+    }
+    return lines;
 }
 
 }  // namespace ble::obs

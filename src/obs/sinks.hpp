@@ -26,9 +26,28 @@ namespace ble::obs {
 /// has exactly this signature); keeps ble_obs free of link-layer knowledge.
 using FrameDescriber = std::function<std::string(BytesView)>;
 
+/// Appends `s` as the body of a JSON string literal (no surrounding quotes):
+/// quotes/backslashes and the short control escapes (\n \t \r \b \f) are
+/// escaped, every other control byte, DEL and every non-ASCII byte becomes
+/// \u00xx (Latin-1 view of the byte) — device names and frame descriptions
+/// are attacker-influenced, so the output must stay valid JSON (and valid
+/// UTF-8) for ANY input bytes.
+void append_json_escaped(std::string& out, std::string_view s);
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 /// Serializes one event as a compact single-line JSON object (no trailing
 /// newline).  With a describer, TxStart lines carry a decoded "desc" field.
 [[nodiscard]] std::string to_jsonl(const Event& event, const FrameDescriber& describe = {});
+
+/// True when ble_obs was built with zlib: gzip-compressed trace writing (and
+/// transparent .gz reading) is available.
+[[nodiscard]] bool trace_compression_available() noexcept;
+
+/// Reads a JSONL file into lines (without the trailing newlines).  Reads
+/// gzip-compressed files transparently when built with zlib (plain files work
+/// either way).  On failure returns an empty vector and sets *error.
+[[nodiscard]] std::vector<std::string> read_jsonl_file(const std::string& path,
+                                                       std::string* error = nullptr);
 
 /// Lock-free counters over the event stream.
 class CounterSink : public EventSink {
@@ -71,15 +90,27 @@ public:
 
     void on_event(const Event& event) override { lines_.push_back(to_jsonl(event, describe_)); }
 
+    /// Optional metadata line written before the event lines (the replay tool
+    /// stores the trial's reconstructed config here).  Not part of lines().
+    void set_header(std::string line) { header_ = std::move(line); }
+    [[nodiscard]] const std::string& header() const noexcept { return header_; }
+
     [[nodiscard]] const std::vector<std::string>& lines() const noexcept { return lines_; }
     [[nodiscard]] std::string str() const;
-    void clear() noexcept { lines_.clear(); }
+    void clear() noexcept {
+        lines_.clear();
+        header_.clear();
+    }
 
-    /// Writes all lines to `path` (truncating); returns false on I/O error.
-    bool write_file(const std::string& path) const;
+    /// Writes the header (if any) and all lines to `path` (truncating);
+    /// returns false on I/O error.  With gzip=true the stream is
+    /// gzip-compressed when trace_compression_available(), and written plain
+    /// otherwise (graceful fallback).
+    bool write_file(const std::string& path, bool gzip = false) const;
 
 private:
     FrameDescriber describe_;
+    std::string header_;
     std::vector<std::string> lines_;
 };
 

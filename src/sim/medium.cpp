@@ -225,10 +225,14 @@ void RadioMedium::finish_transmission(std::uint64_t tx_id) {
     RadioDevice* sender = tx.sender;
 
     // Deliver to every receiver locked on this frame. Snapshot first: on_rx
-    // handlers may retune radios or start transmissions.
+    // handlers may retune radios or start transmissions. Walk devices_ (attach
+    // order), not listeners_: the map is keyed by pointers, and delivery order
+    // decides the rng_ draw order, so heap layout must never leak into it.
     std::vector<RadioDevice*> locked;
-    for (auto& [device, state] : listeners_) {
-        if (state.active && state.locked_tx == tx_id) locked.push_back(device);
+    for (RadioDevice* device : devices_) {
+        const auto lit = listeners_.find(device);
+        if (lit == listeners_.end()) continue;
+        if (lit->second.active && lit->second.locked_tx == tx_id) locked.push_back(device);
     }
     for (RadioDevice* receiver : locked) deliver(tx, *receiver);
 

@@ -9,7 +9,10 @@
 
 #include "core/forge.hpp"
 #include "link/trace.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "obs/timeline.hpp"
+#include "world/replay.hpp"
 
 namespace injectable::world {
 
@@ -171,47 +174,93 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
     // INJECTABLE_TRACE_DIR streams a replayable JSONL event trace per failed
     // trial (INJECTABLE_TRACE_ALL=1 keeps the successes too), keyed by the
     // trial's reproducing seed, next to the INJECTABLE_JSON records.
+    // INJECTABLE_TRACE_COMPRESS=1 gzips the traces (no-op without zlib).
     const char* trace_dir = std::getenv("INJECTABLE_TRACE_DIR");
     const bool trace_all = std::getenv("INJECTABLE_TRACE_ALL") != nullptr;
+    const bool trace_gzip = std::getenv("INJECTABLE_TRACE_COMPRESS") != nullptr &&
+                            obs::trace_compression_available();
+    // INJECTABLE_CHROME_TRACE_DIR writes a chrome://tracing-loadable timeline
+    // per trial; INJECTABLE_METRICS=1 prints the merged metrics summary.
+    const char* chrome_dir = std::getenv("INJECTABLE_CHROME_TRACE_DIR");
+    const char* json_path = std::getenv("INJECTABLE_JSON");
+    const bool metrics_print = std::getenv("INJECTABLE_METRICS") != nullptr;
+    const bool want_metrics =
+        json_path != nullptr || metrics_print || static_cast<bool>(config.on_series_metrics);
+
+    // Per-trial metric snapshots, stored by index like the results: merging
+    // them 0..runs-1 afterwards is deterministic for any worker count.
+    std::vector<obs::MetricsSnapshot> metric_snapshots(
+        want_metrics ? static_cast<std::size_t>(runs) : 0);
 
     TrialRunner runner(config.jobs);
-    auto results = runner.map(runs, [&config, trace_dir, trace_all](int i) {
+    auto results = runner.map(runs, [&](int i) {
         const auto t0 = std::chrono::steady_clock::now();
         const auto base_seed = config.base_seed + static_cast<std::uint64_t>(i);
 
         const ExperimentConfig* trial_config = &config;
-        ExperimentConfig traced_config;
+        ExperimentConfig instrumented_config;
         std::shared_ptr<obs::JsonlTraceSink> trace;
-        if (trace_dir != nullptr) {
-            traced_config = config;
-            // Each setup retry builds a fresh world (and bus): restart the
-            // trace so the file holds exactly the surviving world's events.
-            traced_config.per_trial_sinks = [&config, &trace](obs::EventBus& bus,
-                                                              std::uint64_t seed) {
-                trace = std::make_shared<obs::JsonlTraceSink>(link::describe_frame);
-                bus.attach(*trace);
+        std::shared_ptr<obs::MetricsRegistry> registry;
+        std::shared_ptr<obs::MetricsSink> metrics;
+        std::shared_ptr<obs::ChannelOccupancySink> occupancy;
+        if (trace_dir != nullptr || chrome_dir != nullptr || want_metrics) {
+            instrumented_config = config;
+            // Each setup retry builds a fresh world (and bus): restart every
+            // sink so they hold exactly the surviving world's events.
+            instrumented_config.per_trial_sinks = [&](obs::EventBus& bus, std::uint64_t seed) {
+                if (trace_dir != nullptr) {
+                    trace = std::make_shared<obs::JsonlTraceSink>(link::describe_frame);
+                    trace->set_header(experiment_meta_json(config, base_seed, kSetupRetries));
+                    bus.attach(*trace);
+                }
+                if (want_metrics) {
+                    registry = std::make_shared<obs::MetricsRegistry>();
+                    metrics = std::make_shared<obs::MetricsSink>(*registry);
+                    bus.attach(*metrics);
+                }
+                if (chrome_dir != nullptr) {
+                    occupancy = std::make_shared<obs::ChannelOccupancySink>();
+                    bus.attach(*occupancy);
+                }
                 if (config.per_trial_sinks) config.per_trial_sinks(bus, seed);
             };
-            trial_config = &traced_config;
+            trial_config = &instrumented_config;
         }
 
-        RunResult result = run_injection_experiment_with_retry(*trial_config, base_seed, 3);
+        RunResult result =
+            run_injection_experiment_with_retry(*trial_config, base_seed, kSetupRetries);
         result.wall_ms =
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
                 .count();
+        if (metrics) {
+            metrics->finalize();
+            metric_snapshots[static_cast<std::size_t>(i)] = registry->snapshot();
+        }
+        const std::string stem = sanitize_name(config.name) + "-seed" +
+                                 std::to_string(result.seed);
         if (trace && (trace_all || !result.success)) {
-            const std::string path = std::string(trace_dir) + "/" +
-                                     sanitize_name(config.name) + "-seed" +
-                                     std::to_string(result.seed) + ".jsonl";
-            trace->write_file(path);
+            const std::string path = std::string(trace_dir) + "/" + stem + ".jsonl" +
+                                     (trace_gzip ? ".gz" : "");
+            trace->write_file(path, trace_gzip);
+        }
+        if (occupancy) {
+            occupancy->write_chrome_trace(std::string(chrome_dir) + "/" + stem +
+                                          ".trace.json");
         }
         return result;
     });
-    if (const char* path = std::getenv("INJECTABLE_JSON")) {
-        std::string line = to_json(config, results);
+
+    obs::MetricsSnapshot series_metrics;
+    if (want_metrics) {
+        for (const auto& snapshot : metric_snapshots) series_metrics.merge(snapshot);
+        if (config.on_series_metrics) config.on_series_metrics(series_metrics);
+        if (metrics_print) obs::print_metrics_summary(series_metrics, config.name);
+    }
+    if (json_path != nullptr) {
+        std::string line = to_json(config, results, want_metrics ? &series_metrics : nullptr);
         line.push_back('\n');
         const std::lock_guard lock(g_json_mutex);
-        if (FILE* f = std::fopen(path, "a")) {
+        if (FILE* f = std::fopen(json_path, "a")) {
             std::fwrite(line.data(), 1, line.size(), f);
             std::fclose(f);
         }
@@ -219,9 +268,13 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
     return results;
 }
 
-std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>& results) {
+std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>& results,
+                    const ble::obs::MetricsSnapshot* metrics) {
     std::ostringstream os;
-    os << "{\"experiment\":\"" << config.name << "\",\"base_seed\":" << config.base_seed
+    // Experiment names are free-form (and end up in shared JSONL files):
+    // escape them like every other observability string.
+    os << "{\"experiment\":\"" << obs::json_escape(config.name)
+       << "\",\"base_seed\":" << config.base_seed
        << ",\"runs\":" << results.size() << ",\"jobs\":" << resolve_jobs()
        << ",\"hop_interval\":" << config.world.hop_interval << ",\"trials\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -237,7 +290,9 @@ std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>
            << ",\"heuristic_fn\":" << r.heuristic_false_negatives << ",\"wall_ms\":"
            << r.wall_ms << "}";
     }
-    os << "]}";
+    os << "]";
+    if (metrics != nullptr) os << ",\"metrics\":" << metrics->to_json();
+    os << "}";
     return os.str();
 }
 

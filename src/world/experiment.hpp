@@ -21,10 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "world/trial_runner.hpp"
 #include "world/world.hpp"
 
 namespace injectable::world {
+
+/// Setup retries per trial (a missed CONNECT_REQ / failed pairing re-runs
+/// the connection, as the paper's operator would).  Recorded in every trace
+/// meta header so a replay applies the identical retry policy.
+inline constexpr int kSetupRetries = 3;
 
 struct ExperimentConfig {
     std::string name = "experiment";
@@ -58,6 +64,12 @@ struct ExperimentConfig {
     /// Invoked concurrently from worker threads, but each call receives a
     /// bus no other thread touches.
     std::function<void(ble::obs::EventBus&, std::uint64_t seed)> per_trial_sinks;
+
+    /// Receives the series' merged metrics snapshot at the end of
+    /// run_series() (per-trial registries merged in trial-index order, so the
+    /// snapshot is bit-identical for any BENCH_JOBS).  Setting this enables
+    /// metrics collection even without INJECTABLE_JSON / INJECTABLE_METRICS.
+    std::function<void(const ble::obs::MetricsSnapshot&)> on_series_metrics;
 };
 
 /// Structured per-trial record: the seed that reproduces the trial, the
@@ -111,13 +123,20 @@ struct Stats {
 /// Runs `config.runs` measurements with consecutive seeds on a TrialRunner
 /// (BENCH_JOBS workers; INJECTABLE_RUNS overrides the run count).  When
 /// INJECTABLE_JSON names a file, appends one machine-readable JSON line per
-/// series to it.
+/// series to it, including the merged per-series metrics snapshot.
+/// Other observability env vars (see DESIGN.md §7): INJECTABLE_TRACE_DIR /
+/// INJECTABLE_TRACE_ALL / INJECTABLE_TRACE_COMPRESS write seed-keyed,
+/// replayable (optionally gzipped) JSONL traces; INJECTABLE_METRICS=1 prints
+/// the merged metrics summary; INJECTABLE_CHROME_TRACE_DIR writes a Chrome
+/// trace-event timeline per trial.
 [[nodiscard]] std::vector<RunResult> run_series(const ExperimentConfig& config);
 
-/// One JSON object per series: config identity plus per-trial records.
+/// One JSON object per series: config identity plus per-trial records, plus
+/// a "metrics" object when a merged snapshot is passed.
 /// wall_ms fields are host timings and not deterministic.
 [[nodiscard]] std::string to_json(const ExperimentConfig& config,
-                                  const std::vector<RunResult>& results);
+                                  const std::vector<RunResult>& results,
+                                  const ble::obs::MetricsSnapshot* metrics = nullptr);
 
 /// Prints one row of a paper-style results table.
 void print_stats_row(const std::string& label, const Stats& stats);

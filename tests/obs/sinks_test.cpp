@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "obs/sinks.hpp"
 
@@ -110,6 +111,29 @@ TEST(ToJsonlTest, EscapesStrings) {
     EXPECT_NE(line.find("line\\nbreak"), std::string::npos);
 }
 
+// Regression: device names and frame descriptions are attacker-influenced.
+// Control characters, DEL and non-ASCII bytes must come out as \u00xx so the
+// line stays valid JSON (and valid UTF-8) for ANY input bytes.
+TEST(ToJsonlTest, EscapesHostileNames) {
+    ConnEvent conn;
+    conn.kind = ConnEvent::Kind::kClosed;
+    const std::string hostile = std::string("evil\x01\x7f") + "\xff\x80 bulb\r\b\f";
+    conn.device = hostile;
+    conn.reason = "ok";
+    const std::string line = to_jsonl(Event(conn));
+
+    EXPECT_NE(line.find("evil\\u0001\\u007f\\u00ff\\u0080 bulb\\r\\b\\f"), std::string::npos);
+    // No raw control or non-ASCII byte survives anywhere in the line.
+    for (const char c : line) {
+        const auto u = static_cast<unsigned char>(c);
+        EXPECT_TRUE(u >= 0x20 && u < 0x7f) << "raw byte 0x" << std::hex << int(u);
+    }
+
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("\x1f\x7f\xc3"), "\\u001f\\u007f\\u00c3");
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
 TEST(ToJsonlTest, ConnEventVariants) {
     ConnEvent conn;
     conn.kind = ConnEvent::Kind::kEventClosed;
@@ -172,6 +196,63 @@ TEST(JsonlTraceSinkTest, BuffersAndWritesFile) {
     sink.clear();
     EXPECT_TRUE(sink.lines().empty());
     EXPECT_FALSE(sink.write_file("/nonexistent-dir/x/y.jsonl"));
+}
+
+TEST(JsonlTraceSinkTest, HeaderLinePrecedesEvents) {
+    JsonlTraceSink sink;
+    sink.set_header("{\"e\":\"meta\",\"v\":1}");
+    EventBus bus;
+    bus.attach(sink);
+    bus.emit(TxStart{});
+
+    const std::string text = sink.str();
+    EXPECT_EQ(text.find("{\"e\":\"meta\",\"v\":1}\n"), 0u);
+    EXPECT_NE(text.find("{\"e\":\"tx\""), std::string::npos);
+    ASSERT_EQ(sink.lines().size(), 1u);  // header is not an event line
+
+    sink.clear();
+    EXPECT_TRUE(sink.header().empty());
+}
+
+TEST(JsonlTraceSinkTest, GzipRoundTrip) {
+    JsonlTraceSink sink;
+    sink.set_header("{\"e\":\"meta\",\"v\":1}");
+    EventBus bus;
+    bus.attach(sink);
+    TxStart tx;
+    tx.tx_id = 7;
+    bus.emit(tx);
+    bus.emit(IdsAlert{});
+
+    const bool gz = trace_compression_available();
+    const std::string path =
+        ::testing::TempDir() + (gz ? "obs_sink_test.jsonl.gz" : "obs_sink_test_rt.jsonl");
+    ASSERT_TRUE(sink.write_file(path, gz));
+
+    if (gz) {
+        // The bytes on disk really are gzip (magic 1f 8b), not plain text.
+        FILE* f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        unsigned char magic[2] = {0, 0};
+        ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+        std::fclose(f);
+        EXPECT_EQ(magic[0], 0x1f);
+        EXPECT_EQ(magic[1], 0x8b);
+    }
+
+    // read_jsonl_file is transparent: same API for plain and gzip traces.
+    std::string error;
+    const std::vector<std::string> lines = read_jsonl_file(path, &error);
+    std::remove(path.c_str());
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "{\"e\":\"meta\",\"v\":1}");
+    EXPECT_EQ(lines[1], sink.lines()[0]);
+    EXPECT_EQ(lines[2], sink.lines()[1]);
+
+    std::string missing_error;
+    EXPECT_TRUE(read_jsonl_file("/nonexistent-dir/x.jsonl", &missing_error).empty());
+    EXPECT_FALSE(missing_error.empty());
 }
 
 TEST(RxVerdictNameTest, AllNamed) {

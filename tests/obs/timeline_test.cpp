@@ -1,0 +1,115 @@
+// ChannelOccupancySink: airtime/duty-cycle/collision accounting and the
+// Chrome trace-event exporter (golden-file).
+#include <gtest/gtest.h>
+
+#include "obs/timeline.hpp"
+
+namespace ble::obs {
+namespace {
+
+Event tx(TimePoint time, std::uint8_t channel, std::string_view sender, Duration duration,
+         std::uint64_t tx_id) {
+    TxStart e;
+    e.time = time;
+    e.channel = channel;
+    e.sender = sender;
+    e.duration = duration;
+    e.tx_id = tx_id;
+    return Event(e);
+}
+
+TEST(ChannelOccupancyTest, AccumulatesAirtimePerDeviceAndChannel) {
+    ChannelOccupancySink sink;
+    sink.on_event(tx(0, 37, "phone", 100000, 1));
+    sink.on_event(tx(200000, 37, "phone", 100000, 2));
+    sink.on_event(tx(400000, 8, "bulb", 50000, 3));
+
+    const OccupancyReport& r = sink.report();
+    ASSERT_TRUE(r.any);
+    EXPECT_EQ(r.first_event, 0);
+    EXPECT_EQ(r.last_event, 450000);
+    EXPECT_EQ(r.span(), 450000);
+
+    EXPECT_EQ(r.per_device.at("phone").at(37).frames, 2u);
+    EXPECT_EQ(r.per_device.at("phone").at(37).airtime, 200000);
+    EXPECT_EQ(r.per_device.at("bulb").at(8).airtime, 50000);
+    EXPECT_EQ(r.device_airtime("phone"), 200000);
+    EXPECT_EQ(r.channel_airtime(37), 200000);
+    EXPECT_EQ(r.channel_airtime(8), 50000);
+    EXPECT_DOUBLE_EQ(r.duty_cycle("phone"), 200000.0 / 450000.0);
+    EXPECT_DOUBLE_EQ(r.duty_cycle("nobody"), 0.0);
+    // No overlapping frames: no collision time anywhere.
+    EXPECT_TRUE(r.collision_overlap.empty());
+}
+
+TEST(ChannelOccupancyTest, ComputesCollisionOverlapPerChannel) {
+    ChannelOccupancySink sink;
+    // attacker's frame overlaps the master's by 60 µs on channel 12...
+    sink.on_event(tx(0, 12, "phone", 100000, 1));
+    sink.on_event(tx(40000, 12, "attacker", 100000, 2));
+    // ...while a same-times overlap on another channel books separately.
+    sink.on_event(tx(300000, 20, "phone", 80000, 3));
+    sink.on_event(tx(350000, 20, "attacker", 10000, 4));
+
+    const OccupancyReport& r = sink.report();
+    EXPECT_EQ(r.collision_overlap.at(12), 60000);
+    EXPECT_EQ(r.collision_overlap.at(20), 10000);
+
+    // A frame after the channel went quiet adds no overlap.
+    sink.on_event(tx(900000, 12, "phone", 100000, 5));
+    EXPECT_EQ(sink.report().collision_overlap.at(12), 60000);
+}
+
+TEST(ChannelOccupancyTest, ChromeTraceGoldenFile) {
+    ChannelOccupancySink sink;
+    sink.on_event(tx(1250000, 37, "bulb", 176000, 1));
+
+    InjectionAttempt attempt;
+    attempt.time = 2000500;
+    attempt.attempt = 3;
+    attempt.channel = 37;
+    attempt.heuristic_success = true;
+    sink.on_event(Event(attempt));
+
+    TrialPhase phase;
+    phase.time = 2500000;
+    phase.phase = "inject";
+    sink.on_event(Event(phase));
+
+    // The exporter is deterministic byte for byte: metadata rows for the tids
+    // seen (sorted), then the events in arrival order, timestamps in µs with
+    // nanosecond resolution.
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"BLE air "
+        "(rows = channels)\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":37,\"args\":{\"name\":\"ch "
+        "37\"}},"
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":37,"
+        "\"args\":{\"sort_index\":37}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":40,"
+        "\"args\":{\"name\":\"markers\"}},"
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":40,"
+        "\"args\":{\"sort_index\":40}},"
+        "{\"name\":\"bulb\",\"cat\":\"tx\",\"ph\":\"X\",\"ts\":1250.000,\"dur\":176.000,"
+        "\"pid\":0,\"tid\":37,\"args\":{\"bytes\":0,\"tx_id\":1}},"
+        "{\"name\":\"attempt 3 (win)\",\"cat\":\"attempt\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":2000.500,\"pid\":0,\"tid\":37},"
+        "{\"name\":\"phase:inject\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":2500.000,\"pid\":0,\"tid\":40}"
+        "]}";
+    EXPECT_EQ(sink.chrome_trace_json(), expected);
+}
+
+TEST(ChannelOccupancyTest, ClearResetsEverything) {
+    ChannelOccupancySink sink;
+    sink.on_event(tx(0, 5, "phone", 1000, 1));
+    sink.clear();
+    EXPECT_FALSE(sink.report().any);
+    EXPECT_TRUE(sink.report().per_device.empty());
+    // Only the process metadata row remains.
+    EXPECT_EQ(sink.chrome_trace_json().find("\"cat\":\"tx\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ble::obs

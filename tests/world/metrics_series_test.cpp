@@ -1,0 +1,46 @@
+// The metrics half of the determinism contract: run_series merges per-trial
+// registries in trial-index order, so the series snapshot (and therefore the
+// "metrics" object in INJECTABLE_JSON) is bit-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "world/experiment.hpp"
+
+namespace injectable::world {
+namespace {
+
+std::string series_metrics_json(int jobs) {
+    ExperimentConfig config;
+    config.name = "metrics-series-test";
+    config.runs = 4;
+    config.max_attempts = 60;
+    config.base_seed = 515;
+    config.jobs = jobs;
+    std::string json;
+    // Setting on_series_metrics enables collection without any env vars.
+    config.on_series_metrics = [&json](const ble::obs::MetricsSnapshot& snapshot) {
+        json = snapshot.to_json();
+    };
+    (void)run_series(config);
+    return json;
+}
+
+TEST(MetricsSeriesTest, SerialAndParallelSnapshotsAreBitIdentical) {
+    const std::string serial = series_metrics_json(1);
+    const std::string parallel = series_metrics_json(4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(MetricsSeriesTest, SnapshotCarriesTheInjectionTaxonomy) {
+    const std::string json = series_metrics_json(2);
+    for (const char* name :
+         {"injection_attempts", "attempts_per_connection", "window_width_ns",
+          "capture_margin_db", "inter_attempt_gap_ns", "tx_frames", "trial_span_ns"}) {
+        EXPECT_NE(json.find(name), std::string::npos) << "missing metric " << name;
+    }
+}
+
+}  // namespace
+}  // namespace injectable::world
