@@ -78,7 +78,9 @@ AdvPdu AdvDataPdu::to_adv_pdu() const {
 }
 
 std::optional<AdvDataPdu> AdvDataPdu::parse(const AdvPdu& pdu) noexcept {
-    if (pdu.payload.size() < 6 || pdu.payload.size() > 37) return std::nullopt;
+    if (pdu.payload.size() < kDeviceAddressBytes ||
+        pdu.payload.size() > kMaxAdvPayloadBytes)
+        return std::nullopt;
     ByteReader r(pdu.payload);
     AdvDataPdu out;
     out.type = pdu.type;

@@ -2,10 +2,12 @@
 
 #include <bit>
 
+#include "link/spec.hpp"
+
 namespace ble::link {
 
 void ChannelMap::set_used(std::uint8_t channel, bool used) noexcept {
-    if (channel >= 37) return;
+    if (channel >= kNumDataChannels) return;
     if (used) {
         bits_ |= 1ULL << channel;
     } else {
@@ -18,7 +20,7 @@ int ChannelMap::used_count() const noexcept { return std::popcount(bits_); }
 std::vector<std::uint8_t> ChannelMap::used_channels() const {
     std::vector<std::uint8_t> out;
     out.reserve(static_cast<std::size_t>(used_count()));
-    for (std::uint8_t ch = 0; ch < 37; ++ch) {
+    for (std::uint8_t ch = 0; ch < kNumDataChannels; ++ch) {
         if (is_used(ch)) out.push_back(ch);
     }
     return out;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "link/spec.hpp"
 
 namespace ble::link {
 
@@ -19,7 +20,7 @@ public:
     explicit ChannelMap(std::uint64_t bits) noexcept : bits_(bits & 0x1FFFFFFFFFULL) {}
 
     [[nodiscard]] bool is_used(std::uint8_t channel) const noexcept {
-        return channel < 37 && ((bits_ >> channel) & 1) != 0;
+        return channel < kNumDataChannels && ((bits_ >> channel) & 1) != 0;
     }
     void set_used(std::uint8_t channel, bool used) noexcept;
 

@@ -1,9 +1,11 @@
 #include "link/channel_selection.hpp"
 
+#include "link/spec.hpp"
+
 namespace ble::link {
 
 std::uint8_t Csa1::channel_for_event(std::uint16_t /*event_counter*/) {
-    last_unmapped_ = static_cast<std::uint8_t>((last_unmapped_ + hop_) % 37);
+    last_unmapped_ = static_cast<std::uint8_t>((last_unmapped_ + hop_) % kNumDataChannels);
     if (map_.is_used(last_unmapped_)) return last_unmapped_;
     const auto used = map_.used_channels();
     if (used.empty()) return last_unmapped_;  // degenerate map; keep hopping
@@ -46,7 +48,7 @@ std::uint16_t Csa2::prn_e(std::uint16_t event_counter) const noexcept {
 
 std::uint8_t Csa2::channel_for_event(std::uint16_t event_counter) {
     const std::uint16_t prn = prn_e(event_counter);
-    const auto unmapped = static_cast<std::uint8_t>(prn % 37);
+    const auto unmapped = static_cast<std::uint8_t>(prn % kNumDataChannels);
     if (map_.is_used(unmapped)) return unmapped;
     const auto used = map_.used_channels();
     if (used.empty()) return unmapped;

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "phy/frame.hpp"
+#include "phy/spec.hpp"
 
 namespace ble::link {
 
@@ -69,8 +70,11 @@ sim::EventId Connection::guarded_after(Duration d, std::function<void()> fn) {
 
 Duration Connection::max_frame_air_time() const noexcept {
     const std::size_t mic = (encrypted_ && crypto_) ? crypto_->mic_size() : 0;
-    // preamble(1) + AA(4) + header(2) + payload + MIC + CRC(3), 8 µs/byte.
-    return static_cast<Duration>(1 + 4 + 2 + config_.max_payload + mic + 3) * 8_us;
+    // Whole frame on LE 1M: preamble + AA + header + payload + MIC + CRC.
+    return static_cast<Duration>(phy::kPreambleBytesLe1M + phy::kAccessAddressBytes +
+                                 phy::kPduHeaderBytes + config_.max_payload + mic +
+                                 phy::kCrcBytes) *
+           phy::kByteAirtimeLe1M;
 }
 
 Duration Connection::base_widening(int events_elapsed) const noexcept {

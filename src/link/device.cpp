@@ -4,14 +4,20 @@
 #include "phy/access_address.hpp"
 #include "phy/crc.hpp"
 #include "phy/frame.hpp"
+#include "phy/spec.hpp"
 
 namespace ble::link {
 
 namespace {
 constexpr sim::Channel kAdvChannels[3] = {37, 38, 39};
 /// Longest advertising-channel frame: CONNECT_REQ (2 + 34 byte PDU).
-constexpr Duration kMaxAdvFrameAir = (1 + 4 + 2 + 34 + 3) * 8_us;
+constexpr Duration kMaxAdvFrameAir =
+    static_cast<Duration>(phy::kPreambleBytesLe1M + phy::kAccessAddressBytes +
+                          phy::kPduHeaderBytes + 34 + phy::kCrcBytes) *
+    phy::kByteAirtimeLe1M;
 constexpr Duration kAdvRxGuard = 30_us;
+/// Scanner dwell per advertising channel (host policy, like scanInterval).
+constexpr Duration kScanRotateInterval = 30_ms;
 
 sim::AirFrame adv_air_frame(const AdvPdu& pdu) {
     return phy::make_air_frame(phy::kAdvertisingAccessAddress, pdu.serialize(),
@@ -139,7 +145,7 @@ void LinkLayerDevice::start_scanning(AdvObserver observer) {
     mode_ = Mode::kScanning;
     scan_channel_index_ = 0;
     listen(kAdvChannels[0]);
-    scan_timer_ = scheduler().schedule_after(30_ms, [this] { scan_rotate(); });
+    scan_timer_ = scheduler().schedule_after(kScanRotateInterval, [this] { scan_rotate(); });
 }
 
 void LinkLayerDevice::scan_rotate() {
@@ -148,7 +154,7 @@ void LinkLayerDevice::scan_rotate() {
     if (!transmitting() && !connect_req_in_flight_) {
         listen(kAdvChannels[scan_channel_index_]);
     }
-    scan_timer_ = scheduler().schedule_after(30_ms, [this] { scan_rotate(); });
+    scan_timer_ = scheduler().schedule_after(kScanRotateInterval, [this] { scan_rotate(); });
 }
 
 void LinkLayerDevice::stop_scanning() {
@@ -171,7 +177,7 @@ void LinkLayerDevice::connect_to(const DeviceAddress& peer, ConnectionParams par
     mode_ = Mode::kInitiating;
     scan_channel_index_ = 0;
     listen(kAdvChannels[0]);
-    scan_timer_ = scheduler().schedule_after(30_ms, [this] { scan_rotate(); });
+    scan_timer_ = scheduler().schedule_after(kScanRotateInterval, [this] { scan_rotate(); });
 }
 
 // --- Connection plumbing ---

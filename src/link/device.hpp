@@ -14,11 +14,15 @@
 
 namespace ble::link {
 
+/// Default advertising interval (host policy, not a spec mandate; the spec
+/// range is 20 ms - 10.24 s, Vol 6 Part B 4.4.2.2).
+constexpr Duration kDefaultAdvInterval = 100_ms;
+
 struct LinkLayerDeviceConfig {
     sim::RadioDeviceConfig radio{};
     DeviceAddress address{};
     /// Advertising interval (plus a 0-10 ms pseudo-random advDelay per event).
-    Duration adv_interval = 100_ms;
+    Duration adv_interval = kDefaultAdvInterval;
     /// Resume advertising automatically when a connection closes.
     bool auto_readvertise = true;
     /// Passed to Connection (counter-measure evaluation; see ConnectionConfig).

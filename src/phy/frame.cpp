@@ -1,6 +1,7 @@
 #include "phy/frame.hpp"
 
 #include "phy/crc.hpp"
+#include "phy/spec.hpp"
 
 namespace ble::phy {
 
@@ -10,7 +11,7 @@ bool RawFrame::crc_ok(std::uint32_t crc_init) const noexcept {
 
 sim::AirFrame make_air_frame(std::uint32_t access_address, BytesView pdu,
                              std::uint32_t crc_init, Mode mode) {
-    ByteWriter w(4 + pdu.size() + 3);
+    ByteWriter w(kAccessAddressBytes + pdu.size() + kCrcBytes);
     w.write_u32(access_address);
     w.write_bytes(pdu);
     w.write_u24(crc24(pdu, crc_init));
@@ -19,18 +20,19 @@ sim::AirFrame make_air_frame(std::uint32_t access_address, BytesView pdu,
     frame.bytes = w.take();
     frame.preamble_time = preamble_time(mode);
     frame.byte_time = byte_time(mode);
-    frame.sync_bytes = 4;  // the access address; a hit there kills sync
+    frame.sync_bytes = kAccessAddressBytes;  // a hit there kills sync
     return frame;
 }
 
 std::optional<RawFrame> split_frame(BytesView bytes) noexcept {
-    // AA(4) + header(2) + payload(len) + CRC(3)
-    if (bytes.size() < 4 + 2 + 3) return std::nullopt;
+    // AA + PDU header + payload (len from the header's second byte) + CRC.
+    if (bytes.size() < kAccessAddressBytes + kPduHeaderBytes + kCrcBytes)
+        return std::nullopt;
     ByteReader r(bytes);
     RawFrame out;
     out.access_address = *r.read_u32();
-    const std::size_t pdu_len = 2 + bytes[5];
-    if (r.remaining() != pdu_len + 3) return std::nullopt;
+    const std::size_t pdu_len = kPduHeaderBytes + bytes[kAccessAddressBytes + 1];
+    if (r.remaining() != pdu_len + kCrcBytes) return std::nullopt;
     out.pdu = *r.read_bytes(pdu_len);
     out.crc = *r.read_u24();
     return out;

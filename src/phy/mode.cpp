@@ -1,5 +1,7 @@
 #include "phy/mode.hpp"
 
+#include "phy/spec.hpp"
+
 namespace ble::phy {
 
 const char* mode_name(Mode mode) noexcept {
@@ -14,34 +16,39 @@ const char* mode_name(Mode mode) noexcept {
 
 Duration byte_time(Mode mode) noexcept {
     switch (mode) {
-        case Mode::kLe1M: return 8_us;
-        case Mode::kLe2M: return 4_us;
-        case Mode::kCodedS2: return 16_us;   // 2 µs/bit
-        case Mode::kCodedS8: return 64_us;   // 8 µs/bit
+        case Mode::kLe1M: return kByteAirtimeLe1M;
+        case Mode::kLe2M: return kByteAirtimeLe2M;
+        case Mode::kCodedS2: return kByteAirtimeCodedS2;
+        case Mode::kCodedS8: return kByteAirtimeCodedS8;
     }
-    return 8_us;
+    return kByteAirtimeLe1M;
 }
 
 Duration preamble_time(Mode mode) noexcept {
     switch (mode) {
-        case Mode::kLe1M: return 8_us;    // 1 byte
-        case Mode::kLe2M: return 8_us;    // 2 bytes at 4 µs
+        case Mode::kLe1M:
+        case Mode::kLe2M:
+            return kPreambleAirtimeUncoded;
         case Mode::kCodedS2:
         case Mode::kCodedS8:
-            // 80 µs preamble + (256 µs AA + 16 µs CI + 24 µs TERM1 at S=8)
-            // minus the AA accounted per-byte below; keep the S=8 header —
-            // the FEC1 block is always S=8 regardless of the payload coding.
-            return 80_us + 16_us + 24_us + (256_us - 4 * byte_time(mode));
+            // Preamble plus the FEC1 header fields (CI and TERM1), and the
+            // slice of the always-S=8 access-address airtime that the
+            // per-byte arithmetic below does not account for — the FEC1
+            // block keeps S=8 coding regardless of the payload coding.
+            return kCodedPreambleAirtime + kCodedCiAirtime + kCodedTerm1Airtime +
+                   (kCodedAccessAddressAirtime -
+                    static_cast<Duration>(kAccessAddressBytes) * byte_time(mode));
     }
-    return 8_us;
+    return kPreambleAirtimeUncoded;
 }
 
 Duration frame_duration(Mode mode, std::size_t pdu_len) noexcept {
-    // access address (4) + PDU + CRC (3), plus TERM2 (3 µs/bit * S) for coded.
-    const auto payload_bytes = static_cast<Duration>(4 + pdu_len + 3);
+    // access address + PDU + CRC, plus TERM2 for the coded modes.
+    const auto payload_bytes =
+        static_cast<Duration>(kAccessAddressBytes + pdu_len + kCrcBytes);
     Duration d = preamble_time(mode) + payload_bytes * byte_time(mode);
-    if (mode == Mode::kCodedS2) d += 6_us;
-    if (mode == Mode::kCodedS8) d += 24_us;
+    if (mode == Mode::kCodedS2) d += kCodedTerm2AirtimeS2;
+    if (mode == Mode::kCodedS8) d += kCodedTerm2AirtimeS8;
     return d;
 }
 

@@ -1,0 +1,104 @@
+// Spec-anchored PHY framing & timing constants, each tied to the Bluetooth
+// Core Specification (Vol 6, Part B) — or to the paper's arithmetic built on
+// it — by a static_assert.  These are the *named* homes for every number the
+// S1 lint rule bans as a bare literal in src/phy and src/link: frame layout,
+// per-mode airtimes, and the timing units the µs-resolution injection race
+// is computed from.  A constant that drifts from its spec value breaks the
+// build here, not a trial three machines away.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "phy/access_address.hpp"
+#include "phy/crc.hpp"
+
+namespace ble::phy {
+
+// --- Frame layout (Vol 6 Part B §2.1; Table I of the paper) ---
+
+/// Preamble length for the uncoded PHYs, in *symbol bytes* of that PHY
+/// (LE 1M: 1 byte; LE 2M transmits 2 bytes in the same 8 µs).
+constexpr std::size_t kPreambleBytesLe1M = 1;
+constexpr std::size_t kPreambleBytesLe2M = 2;
+/// The 32-bit access address every receiver correlates on.
+constexpr std::size_t kAccessAddressBytes = 4;
+/// Data/advertising PDU header: 1 flags byte + 1 length byte.
+constexpr std::size_t kPduHeaderBytes = 2;
+/// CRC-24 trailer.
+constexpr std::size_t kCrcBytes = 3;
+
+static_assert(kAccessAddressBytes == 4, "Vol 6 Part B 2.1.2: 32-bit access address");
+static_assert(kPduHeaderBytes == 2, "Vol 6 Part B 2.3/2.4: 16-bit PDU header");
+static_assert(kCrcBytes == 3, "Vol 6 Part B 2.1.4: 24-bit CRC");
+static_assert(kAdvertisingAccessAddress == 0x8E89BED6,
+              "Vol 6 Part B 2.1.2: advertising access address");
+static_assert(kAdvertisingCrcInit == 0x555555,
+              "Vol 6 Part B 3.1.1: advertising-channel CRCInit");
+
+// --- Airtime (Vol 6 Part B §2.1: symbol rates; paper §III-A / §VII-A) ---
+
+/// LE 1M: 1 Mb/s -> 1 µs per bit -> 8 µs per byte.  The paper's airtime
+/// arithmetic ("22 bytes over the air = 176 µs", §VII-A) and the medium's
+/// byte-granular capture model are both built on this constant.
+constexpr Duration kByteAirtimeLe1M = 8_us;
+/// LE 2M: 2 Mb/s -> 4 µs per byte.
+constexpr Duration kByteAirtimeLe2M = 4_us;
+/// LE Coded S=2: 500 kb/s payload coding -> 16 µs per byte.
+constexpr Duration kByteAirtimeCodedS2 = 16_us;
+/// LE Coded S=8: 125 kb/s payload coding -> 64 µs per byte.
+constexpr Duration kByteAirtimeCodedS8 = 64_us;
+
+static_assert(kByteAirtimeLe1M == 8000_ns, "LE 1M: 1 us/bit, 8 bits/byte");
+static_assert(kByteAirtimeLe2M == 4000_ns, "LE 2M: 0.5 us/bit");
+static_assert(kByteAirtimeCodedS2 == 2 * kByteAirtimeLe1M, "S=2 halves the 1M rate twice");
+static_assert(kByteAirtimeCodedS8 == 8 * kByteAirtimeLe1M, "S=8 is 1/8 of the 1M rate");
+
+/// Preamble airtime of the uncoded PHYs: 8 µs on both (1 byte at 1M, 2 bytes
+/// at 2M).
+constexpr Duration kPreambleAirtimeUncoded = 8_us;
+static_assert(kPreambleAirtimeUncoded ==
+                  static_cast<Duration>(kPreambleBytesLe1M) * kByteAirtimeLe1M,
+              "LE 1M preamble: 1 byte at 8 us");
+static_assert(kPreambleAirtimeUncoded ==
+                  static_cast<Duration>(kPreambleBytesLe2M) * kByteAirtimeLe2M,
+              "LE 2M preamble: 2 bytes at 4 us");
+
+// Coded-PHY fixed overhead (Vol 6 Part B §2.2): the FEC1 block (access
+// address, CI, TERM1) is always coded at S=8 regardless of the payload
+// coding, after an 80 µs preamble.
+constexpr Duration kCodedPreambleAirtime = 80_us;
+constexpr Duration kCodedAccessAddressAirtime = 256_us;  ///< 32 bits at S=8
+constexpr Duration kCodedCiAirtime = 16_us;              ///< 2 bits at S=8
+constexpr Duration kCodedTerm1Airtime = 24_us;           ///< 3 bits at S=8
+/// TERM2 closes the FEC2 block: 3 bits at the payload coding.
+constexpr Duration kCodedTerm2AirtimeS2 = 6_us;
+constexpr Duration kCodedTerm2AirtimeS8 = 24_us;
+
+static_assert(kCodedAccessAddressAirtime ==
+                  static_cast<Duration>(kAccessAddressBytes) * kByteAirtimeCodedS8,
+              "FEC1 access address is 4 bytes at S=8");
+static_assert(kCodedTerm1Airtime == 3 * 8_us, "TERM1: 3 bits at S=8 (8 us/bit)");
+static_assert(kCodedTerm2AirtimeS2 == 3 * 2_us, "TERM2: 3 bits at S=2 (2 us/bit)");
+static_assert(kCodedTerm2AirtimeS8 == 3 * 8_us, "TERM2: 3 bits at S=8 (8 us/bit)");
+
+// --- Link-layer timing units (also named in common/time.hpp) ---
+
+static_assert(kTifs == 150_us, "Vol 6 Part B 4.1.1: T_IFS = 150 us");
+static_assert(kUnit1250us == 1250_us, "Vol 6 Part B 4.5.x: 1.25 ms unit");
+static_assert(kWindowWideningConstant == 32_us,
+              "Vol 6 Part B 4.5.7 / paper Eq. 4: constant widening term");
+static_assert(kTransmitWindowDelayUncoded == 1250_us,
+              "Vol 6 Part B 4.5.3: transmitWindowDelay, uncoded PHYs");
+
+/// The paper's §VII-A reference frame: a 12-byte LL payload gives
+/// preamble + AA + header + payload + CRC = 22 byte-times = 176 µs on LE 1M.
+static_assert(kPreambleAirtimeUncoded +
+                      static_cast<Duration>(kAccessAddressBytes + kPduHeaderBytes + 12 +
+                                            kCrcBytes) *
+                          kByteAirtimeLe1M ==
+                  176_us,
+              "paper SVII-A: 22 bytes over the air = 176 us on LE 1M");
+
+}  // namespace ble::phy

@@ -23,12 +23,11 @@ RadioMedium::RadioMedium(Scheduler& scheduler, Rng rng, PathLossModel path_loss,
 
 void RadioMedium::attach(RadioDevice& device) {
     devices_.push_back(&device);
-    listeners_[&device] = ListenState{};
+    device.listen_state_ = ListenState{};
 }
 
 void RadioMedium::detach(RadioDevice& device) noexcept {
     std::erase(devices_, &device);
-    listeners_.erase(&device);
     // Any in-flight transmission keeps a sender pointer only for exclusion
     // checks; clear it so a device destroyed mid-frame cannot dangle.
     for (auto& [id, tx] : active_) {
@@ -37,22 +36,20 @@ void RadioMedium::detach(RadioDevice& device) noexcept {
 }
 
 void RadioMedium::start_listening(RadioDevice& device, Channel channel) {
-    auto& state = listeners_[&device];
+    ListenState& state = device.listen_state_;
     state.channel = channel;
     state.active = true;
     state.locked_tx = 0;  // switching channels drops any sync
 }
 
 bool RadioMedium::is_receiving(const RadioDevice& device) const noexcept {
-    auto it = listeners_.find(const_cast<RadioDevice*>(&device));
-    return it != listeners_.end() && it->second.active && it->second.locked_tx != 0;
+    const ListenState& state = device.listen_state_;
+    return state.active && state.locked_tx != 0;
 }
 
 void RadioMedium::stop_listening(RadioDevice& device) noexcept {
-    auto it = listeners_.find(&device);
-    if (it == listeners_.end()) return;
-    it->second.active = false;
-    it->second.locked_tx = 0;
+    device.listen_state_.active = false;
+    device.listen_state_.locked_tx = 0;
 }
 
 double RadioMedium::rx_power_dbm(Transmission& tx, const RadioDevice& receiver) {
@@ -105,7 +102,7 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
     // only interferes.
     for (RadioDevice* d : devices_) {
         if (d == &device) continue;
-        auto& state = listeners_[d];
+        ListenState& state = d->listen_state_;
         if (!state.active || state.channel != channel || state.locked_tx != 0) continue;
         if (d->transmitting()) continue;
         if (rx_power_dbm(stored, *d) >= params_.sensitivity_dbm) {
@@ -177,8 +174,7 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
         }
     }
 
-    auto& state = listeners_[&receiver];
-    state.locked_tx = 0;  // receiver returns to idle listening
+    receiver.listen_state_.locked_tx = 0;  // receiver returns to idle listening
 
     const bool lost_sync = sync_bit_errors > params_.max_sync_bit_errors;
     if (bus_.active()) {
@@ -225,14 +221,13 @@ void RadioMedium::finish_transmission(std::uint64_t tx_id) {
     RadioDevice* sender = tx.sender;
 
     // Deliver to every receiver locked on this frame. Snapshot first: on_rx
-    // handlers may retune radios or start transmissions. Walk devices_ (attach
-    // order), not listeners_: the map is keyed by pointers, and delivery order
-    // decides the rng_ draw order, so heap layout must never leak into it.
+    // handlers may retune radios or start transmissions. Walk devices_ in
+    // attach order: delivery order decides the rng_ draw order, so heap
+    // layout must never leak into it (the PR 3 regression).
     std::vector<RadioDevice*> locked;
     for (RadioDevice* device : devices_) {
-        const auto lit = listeners_.find(device);
-        if (lit == listeners_.end()) continue;
-        if (lit->second.active && lit->second.locked_tx == tx_id) locked.push_back(device);
+        const ListenState& state = device->listen_state_;
+        if (state.active && state.locked_tx == tx_id) locked.push_back(device);
     }
     for (RadioDevice* receiver : locked) deliver(tx, *receiver);
 

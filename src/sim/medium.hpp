@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -71,6 +72,17 @@ struct RxFrame {
     bool corrupted_by_medium = false;
     /// God-view: id of the transmission this frame came from.
     std::uint64_t transmission_id = 0;
+};
+
+/// Per-device receiver state.  Lives inside RadioDevice (not in a
+/// medium-side map) so the medium's only iteration surface is `devices_` in
+/// attach order: receiver walk order — which decides RNG draw order — can
+/// never depend on heap layout (the PR 3 determinism bug class).
+struct ListenState {
+    Channel channel = 0;
+    bool active = false;
+    /// Transmission the receiver is locked on (0 = idle).
+    std::uint64_t locked_tx = 0;
 };
 
 struct MediumParams {
@@ -128,14 +140,8 @@ private:
         TimePoint end = 0;
         AirFrame frame;
         /// Memoized received power per receiver (one fading draw per pair).
+        /// injectable-lint: allow(D1) -- lookup-only memo (find/emplace, never iterated): heap-address order cannot reach RNG draws or events
         std::unordered_map<const RadioDevice*, double> rx_power_dbm;
-    };
-
-    struct ListenState {
-        Channel channel = 0;
-        bool active = false;
-        /// Transmission the receiver is locked on (0 = idle).
-        std::uint64_t locked_tx = 0;
     };
 
     double rx_power_dbm(Transmission& tx, const RadioDevice& receiver);
@@ -150,9 +156,13 @@ private:
     obs::EventBus bus_;
 
     std::uint64_t next_tx_id_ = 1;
+    /// Attach order: the single iteration surface for receiver walks.
     std::vector<RadioDevice*> devices_;
-    std::unordered_map<std::uint64_t, Transmission> active_;
-    std::unordered_map<RadioDevice*, ListenState> listeners_;
+    /// Ordered by transmission id (== start order) so interference sums —
+    /// FP additions, order-sensitive — accumulate identically on every run
+    /// and platform.  A handful of frames are in flight at once, so the
+    /// O(log n) lookup is irrelevant.
+    std::map<std::uint64_t, Transmission> active_;
 };
 
 }  // namespace ble::sim

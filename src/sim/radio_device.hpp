@@ -67,6 +67,9 @@ private:
     RadioDeviceConfig config_;
     SleepClock sleep_clock_;
     bool transmitting_ = false;
+    /// Receiver state, managed by RadioMedium.  Kept on the device so the
+    /// medium never needs a pointer-keyed map (see ListenState in medium.hpp).
+    ListenState listen_state_;
 };
 
 }  // namespace ble::sim

@@ -62,6 +62,9 @@ private:
     TimePoint now_ = 0;
     EventId next_id_ = 1;
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+    /// Keyed by the monotonically assigned EventId (a value, never a
+    /// pointer) and used for find/erase only — firing order comes from the
+    /// heap, so the map's bucket order can never reach the simulation.
     std::unordered_map<EventId, std::function<void()>> callbacks_;
 };
 

@@ -1,0 +1,35 @@
+// lint-fixture-path: src/sim/medium.cpp
+//
+// PR 3 regression fixture.  This is the shape of the real bug trace-replay
+// caught at runtime: RadioMedium kept per-receiver listen state in a
+// pointer-keyed unordered_map and walked it to deliver frames, so delivery
+// order — and with it the order of capture-model RNG draws — followed
+// heap-address order and diverged between serial and parallel runs of the
+// same seed.  D1 must flag the declaration.
+#include <unordered_map>
+
+namespace ble::sim {
+
+class RadioDevice;
+
+struct ListenEntry {
+    int channel = 0;
+    bool active = false;
+};
+
+class RadioMedium {
+public:
+    void deliver_all();
+
+private:
+    std::unordered_map<RadioDevice*, ListenEntry> listeners_;
+};
+
+void RadioMedium::deliver_all() {
+    for (auto& [device, state] : listeners_) {
+        (void)device;
+        (void)state;
+    }
+}
+
+}  // namespace ble::sim

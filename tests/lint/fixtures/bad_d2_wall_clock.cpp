@@ -1,0 +1,21 @@
+// lint-fixture-path: src/world/runner.cpp
+//
+// Wall-clock time and unseeded randomness inside trial code: every one of
+// these makes a trial's result depend on when/where it ran instead of on
+// (config, seed).  D2 must flag all five sites.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ble::world {
+
+long stamp_trial() {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::random_device entropy;
+    std::srand(static_cast<unsigned>(time(nullptr)));
+    const int jitter = std::rand() % 100;
+    return t0.time_since_epoch().count() + entropy() + jitter;
+}
+
+}  // namespace ble::world

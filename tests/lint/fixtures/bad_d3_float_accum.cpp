@@ -1,0 +1,27 @@
+// lint-fixture-path: src/obs/aggregate.cpp
+//
+// Float accumulation in the stats layer: FP addition is not associative, so
+// the merge order of per-trial samples becomes part of the result — exactly
+// what the integer MetricsSnapshot/HistogramSnapshot merge helpers exist to
+// avoid.  D3 must flag both accumulation sites.
+#include <vector>
+
+namespace ble::obs {
+
+double mean_attempt_time(const std::vector<double>& samples) {
+    double total = 0.0;
+    for (const double sample : samples) {
+        total += sample;
+    }
+    return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}
+
+double drifting_mean(const std::vector<double>& samples) {
+    double mean = 0.0;
+    for (const double sample : samples) {
+        mean = mean + (sample - mean) / 2.0;
+    }
+    return mean;
+}
+
+}  // namespace ble::obs

@@ -1,0 +1,23 @@
+// lint-fixture-path: src/link/timing.cpp
+//
+// Bare spec magic numbers in link-layer code: the T_IFS gap, the 1.25 ms
+// timing unit and the data-channel count appear as naked literals instead of
+// the named constexpr constants their static_asserts tie to the Core
+// Specification.  S1 must flag all three.
+#include "common/time.hpp"
+
+namespace ble::link {
+
+Duration response_deadline(TimePoint frame_end) {
+    return frame_end + 150_us;
+}
+
+Duration connection_interval_from_units(int units) {
+    return static_cast<Duration>(units) * 1250_us;
+}
+
+int wrap_channel(int unmapped) {
+    return unmapped % 37;
+}
+
+}  // namespace ble::link

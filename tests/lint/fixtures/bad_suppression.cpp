@@ -1,0 +1,19 @@
+// lint-fixture-path: src/sim/quiet.cpp
+//
+// Suppressions are audited: a directive with an unknown rule or without the
+// mandatory `-- <reason>` is itself a finding, and suppresses nothing.
+#include <unordered_map>
+
+namespace ble::sim {
+
+class RadioDevice;
+
+struct Registry {
+    // injectable-lint: allow(D9) -- there is no rule D9
+    std::unordered_map<RadioDevice*, int> by_device_;
+
+    // injectable-lint: allow(D1)
+    std::unordered_map<const RadioDevice*, int> also_by_device_;
+};
+
+}  // namespace ble::sim

@@ -1,0 +1,20 @@
+// lint-fixture-path: src/world/runner.cpp
+//
+// Deterministic time and randomness: the scheduler clock and seeded Rng
+// streams are the only primitives trial code needs — a trial stays a pure
+// function of (config, seed).
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ble::world {
+
+std::uint64_t stamp_trial(sim::Scheduler& scheduler, Rng& rng) {
+    const TimePoint now = scheduler.now();
+    const std::uint64_t draw = rng.next_u64();
+    return static_cast<std::uint64_t>(now) + draw;
+}
+
+}  // namespace ble::world

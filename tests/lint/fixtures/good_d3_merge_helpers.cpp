@@ -1,0 +1,30 @@
+// lint-fixture-path: src/obs/aggregate.cpp
+//
+// The deterministic alternatives: integer counters merge associatively, and
+// when an FP sum is unavoidable it runs over a sorted (fixed-order) sequence
+// under an audited allow(D3).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ble::obs {
+
+std::uint64_t total_events(const std::vector<std::uint64_t>& counts) {
+    std::uint64_t events = 0;
+    for (const std::uint64_t c : counts) {
+        events += c;  // integer accumulation: associative, order-free
+    }
+    return events;
+}
+
+double mean_attempt_time(std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    double total = 0.0;
+    for (const double sample : samples) {
+        // injectable-lint: allow(D3) -- summed in sorted order, identical on every run
+        total += sample;
+    }
+    return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}
+
+}  // namespace ble::obs

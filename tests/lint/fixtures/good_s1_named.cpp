@@ -1,0 +1,30 @@
+// lint-fixture-path: src/link/timing.cpp
+//
+// The compliant shape: spec numbers live in named constexpr constants tied
+// to the Core Specification by static_asserts (constexpr declarations,
+// static_asserts and enum definitions are exactly where S1 allows bare
+// literals), and runtime code only ever mentions the names.
+#include "common/time.hpp"
+#include "link/spec.hpp"
+
+namespace ble::link {
+
+constexpr Duration kResponseGap = 150_us;
+static_assert(kResponseGap == kTifs, "Vol 6 Part B 4.1.1: T_IFS = 150 us");
+
+constexpr int kHopModulus = 37;
+static_assert(kHopModulus == kNumDataChannels, "CSA remaps onto 37 data channels");
+
+enum class TimingUnit : int {
+    kConnectionInterval = 1250,  // µs per unit, Vol 6 Part B 4.5.1
+};
+
+Duration response_deadline(TimePoint frame_end) {
+    return frame_end + kResponseGap;
+}
+
+int wrap_channel(int unmapped) {
+    return unmapped % kHopModulus;
+}
+
+}  // namespace ble::link

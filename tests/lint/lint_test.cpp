@@ -1,0 +1,242 @@
+// Self-tests for injectable_lint (tools/injectable_lint): the tokenizer, the
+// four rules against the fixture corpus under tests/lint/fixtures/, the
+// suppression grammar, and the reporting helpers.  Every bad_* fixture must
+// produce its rule's findings (the linter stays sharp) and every good_*
+// fixture must scan clean (the linter stays quiet on compliant code).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "injectable_lint/lint.hpp"
+
+namespace injectable::lint {
+namespace {
+
+std::vector<Finding> scan_fixture(const std::string& name) {
+    std::vector<Finding> findings;
+    const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+    EXPECT_TRUE(scan_file(path, findings)) << "cannot read fixture " << path;
+    return findings;
+}
+
+int count_rule(const std::vector<Finding>& findings, Rule rule, bool suppressed = false) {
+    return static_cast<int>(
+        std::count_if(findings.begin(), findings.end(), [&](const Finding& f) {
+            return f.rule == rule && f.suppressed == suppressed;
+        }));
+}
+
+// --- tokenizer ---
+
+TEST(Tokenizer, KeepsUdlAndHexAsSingleTokens) {
+    const TokenStream s = tokenize("auto d = 8_us + 0x555555;");
+    std::vector<std::string> numbers;
+    for (const Token& t : s.tokens)
+        if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+    EXPECT_EQ(numbers, (std::vector<std::string>{"8_us", "0x555555"}));
+}
+
+TEST(Tokenizer, ClosingAnglesAreSeparateTokens) {
+    // map<K, vector<V>> must lex as two '>' puncts, not one '>>' shift, so
+    // the D1 template-argument walker can balance angle depth.
+    const TokenStream s = tokenize("std::map<K, std::vector<V>> m;");
+    const auto closes = std::count_if(s.tokens.begin(), s.tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kPunct && t.text == ">";
+    });
+    EXPECT_EQ(closes, 2);
+}
+
+TEST(Tokenizer, DropsStringsCollectsComments) {
+    const TokenStream s = tokenize(
+        "// a comment with rand() inside\n"
+        "const char* p = \"steady_clock 150_us\";  /* rand() again */\n");
+    for (const Token& t : s.tokens) {
+        EXPECT_NE(t.text, "rand");
+        EXPECT_NE(t.text, "steady_clock");
+        EXPECT_NE(t.text, "150_us");
+    }
+    ASSERT_EQ(s.comments.size(), 2u);
+    EXPECT_EQ(s.comments[0].line, 1);
+    EXPECT_EQ(s.comments[1].line, 2);
+}
+
+TEST(Tokenizer, SkipsPreprocessorAndRawStrings) {
+    const TokenStream s = tokenize(
+        "#include <chrono>\n"
+        "auto r = R\"(rand() and time(0))\";\n"
+        "int live = 1;\n");
+    for (const Token& t : s.tokens) {
+        EXPECT_NE(t.text, "chrono");
+        EXPECT_NE(t.text, "rand");
+    }
+    const auto live = std::find_if(s.tokens.begin(), s.tokens.end(),
+                                   [](const Token& t) { return t.text == "live"; });
+    ASSERT_NE(live, s.tokens.end());
+    EXPECT_EQ(live->line, 3);
+}
+
+// --- fixture corpus, bad side: every rule fires where it must ---
+
+TEST(FixtureBad, D1RadioMediumRegression) {
+    // The PR 3 bug class: pointer-keyed listener map in RadioMedium.
+    const auto findings = scan_fixture("bad_d1_radio_medium.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kD1), 1);
+    EXPECT_EQ(unsuppressed_count(findings), 1);
+    const auto& f = findings.front();
+    EXPECT_EQ(f.rule, Rule::kD1);
+    EXPECT_EQ(f.line, 25);  // the listeners_ declaration
+    EXPECT_NE(f.message.find("heap-address order"), std::string::npos);
+    EXPECT_NE(f.file.find("bad_d1_radio_medium.cpp"), std::string::npos)
+        << "findings must report the real path, not the fixture's logical path";
+}
+
+TEST(FixtureBad, D2WallClockAndUnseededRandomness) {
+    const auto findings = scan_fixture("bad_d2_wall_clock.cpp");
+    // steady_clock, random_device, srand, time(, rand(
+    EXPECT_EQ(count_rule(findings, Rule::kD2), 5);
+    EXPECT_EQ(unsuppressed_count(findings), 5);
+}
+
+TEST(FixtureBad, D3FloatAccumulation) {
+    const auto findings = scan_fixture("bad_d3_float_accum.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kD3), 2);  // total +=, mean = mean +
+    EXPECT_EQ(unsuppressed_count(findings), 2);
+}
+
+TEST(FixtureBad, S1MagicNumbers) {
+    const auto findings = scan_fixture("bad_s1_magic.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kS1), 3);  // 150_us, 1250_us, 37
+    EXPECT_EQ(unsuppressed_count(findings), 3);
+}
+
+TEST(FixtureBad, MalformedSuppressionsAreFindingsAndSuppressNothing) {
+    const auto findings = scan_fixture("bad_suppression.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kBadSuppression), 2);
+    // The D1 findings the malformed directives tried to cover stay live.
+    EXPECT_EQ(count_rule(findings, Rule::kD1), 2);
+    EXPECT_EQ(unsuppressed_count(findings), 4);
+}
+
+// --- fixture corpus, good side: compliant code scans clean ---
+
+TEST(FixtureGood, D1AttachOrderAndAuditedMemo) {
+    const auto findings = scan_fixture("good_d1_attach_order.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    ASSERT_EQ(count_rule(findings, Rule::kD1, /*suppressed=*/true), 1);
+    const auto it = std::find_if(findings.begin(), findings.end(),
+                                 [](const Finding& f) { return f.suppressed; });
+    EXPECT_NE(it->suppress_reason.find("lookup-only"), std::string::npos);
+}
+
+TEST(FixtureGood, D2SimTime) {
+    const auto findings = scan_fixture("good_d2_sim_time.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(FixtureGood, D3MergeHelpers) {
+    const auto findings = scan_fixture("good_d3_merge_helpers.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_EQ(count_rule(findings, Rule::kD3, /*suppressed=*/true), 1);
+}
+
+TEST(FixtureGood, S1NamedConstants) {
+    const auto findings = scan_fixture("good_s1_named.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
+// --- rule mechanics on inline snippets ---
+
+TEST(RuleD2, MemberAccessIsExempt) {
+    const auto findings =
+        scan_source("t.cpp", "src/world/t.cpp",
+                    "long f(Stats& s, Obj* o) { return s.time(0) + o->rand(); }");
+    EXPECT_TRUE(findings.empty());
+    const auto live = scan_source("t.cpp", "src/world/t.cpp", "long g() { return time(nullptr); }");
+    EXPECT_EQ(count_rule(live, Rule::kD2), 1);
+}
+
+TEST(RuleD2, AllowlistedPrimitivesAreExempt) {
+    const std::string src = "unsigned seed() { std::random_device rd; return rd(); }";
+    EXPECT_TRUE(scan_source("rng.hpp", "src/common/rng.hpp", src).empty());
+    EXPECT_EQ(count_rule(scan_source("x.cpp", "src/world/x.cpp", src), Rule::kD2), 1);
+}
+
+TEST(RuleD3, OnlyRunsInStatsLayer) {
+    const std::string src = "double a(double x) { double s = 0; s += x; return s; }";
+    EXPECT_EQ(count_rule(scan_source("a.cpp", "src/obs/a.cpp", src), Rule::kD3), 1);
+    EXPECT_EQ(count_rule(scan_source("a.cpp", "src/world/a.cpp", src), Rule::kD3), 1);
+    EXPECT_TRUE(scan_source("a.cpp", "src/sim/a.cpp", src).empty());
+}
+
+TEST(RuleS1, OnlyRunsInPhyAndLink) {
+    const std::string src = "Duration d() { return 150_us; }";
+    EXPECT_EQ(count_rule(scan_source("t.cpp", "src/phy/t.cpp", src), Rule::kS1), 1);
+    EXPECT_EQ(count_rule(scan_source("t.cpp", "src/link/t.cpp", src), Rule::kS1), 1);
+    EXPECT_TRUE(scan_source("t.cpp", "src/sim/t.cpp", src).empty());
+}
+
+TEST(RuleS1, ConstexprScopeInheritanceExemptsBodies) {
+    // A constexpr function body is a named-constant factory: literals inside
+    // it (any brace depth) are exempt; the same body without constexpr is not.
+    const std::string body = " int f() { if (true) { return 37; } return 39; }";
+    EXPECT_TRUE(scan_source("t.cpp", "src/link/t.cpp", "constexpr" + body).empty());
+    EXPECT_EQ(count_rule(scan_source("t.cpp", "src/link/t.cpp", body), Rule::kS1), 2);
+}
+
+TEST(RuleS1, SmallTimeLiteralsCarryNoSpecMeaning) {
+    const auto findings =
+        scan_source("t.cpp", "src/link/t.cpp", "Duration z() { return 0_us + 1_us; }");
+    EXPECT_TRUE(findings.empty());
+}
+
+// --- suppression placement ---
+
+TEST(Suppression, CoversDirectiveLineAndNextLine) {
+    const auto findings = scan_source(
+        "t.cpp", "src/link/t.cpp",
+        "// injectable-lint: allow(S1) -- fixture\n"
+        "Duration a() { return 150_us; }\n"
+        "Duration b() { return 150_us; }\n");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_TRUE(findings[0].suppressed);   // line 2: covered from line 1
+    EXPECT_FALSE(findings[1].suppressed);  // line 3: out of the directive's reach
+    EXPECT_EQ(unsuppressed_count(findings), 1);
+}
+
+TEST(Suppression, MultiRuleDirective) {
+    const auto findings =
+        scan_source("t.cpp", "src/world/t.cpp",
+                    "double s; void f(double x) { s += x; (void)time(nullptr); }  // "
+                    "injectable-lint: allow(D2,D3) -- fixture covers both\n");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_EQ(count_rule(findings, Rule::kD3, /*suppressed=*/true), 1);
+    EXPECT_EQ(count_rule(findings, Rule::kD2, /*suppressed=*/true), 1);
+}
+
+// --- reporting ---
+
+TEST(Reporting, JsonlShapeAndSummaryTotals) {
+    const auto findings = scan_fixture("bad_s1_magic.cpp");
+    const std::string jsonl = to_jsonl(findings);
+    EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+    EXPECT_NE(jsonl.find("\"rule\":\"S1\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"suppressed\":false"), std::string::npos);
+    const std::string text = summary(findings, 1);
+    EXPECT_NE(text.find("[S1]"), std::string::npos);
+    EXPECT_NE(text.find("3 findings"), std::string::npos);
+}
+
+TEST(Reporting, ScanPathsWalksTheFixtureCorpus) {
+    std::vector<Finding> findings;
+    const int files = scan_paths({LINT_FIXTURE_DIR}, findings);
+    EXPECT_EQ(files, 9);  // 5 bad_* + 4 good_* fixtures
+    EXPECT_GT(unsuppressed_count(findings), 0);
+    EXPECT_EQ(scan_paths({"/nonexistent/injectable"}, findings), -1);
+}
+
+}  // namespace
+}  // namespace injectable::lint

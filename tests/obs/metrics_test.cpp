@@ -24,7 +24,9 @@ TEST(HistogramTest, Log2BucketBoundaries) {
     for (const std::uint64_t v : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
         const int b = histogram_bucket_of(v);
         EXPECT_LE(histogram_bucket_floor(b), v);
-        if (b < 64) EXPECT_GT(histogram_bucket_floor(b + 1), v);
+        if (b < 64) {
+            EXPECT_GT(histogram_bucket_floor(b + 1), v);
+        }
     }
 }
 
@@ -108,7 +110,7 @@ TEST(MetricsRegistryTest, SnapshotAndJsonAreDeterministic) {
 TEST(MetricsRegistryTest, HandlesAreStableAcrossInsertions) {
     MetricsRegistry reg;
     MetricsRegistry::Counter& c = reg.counter("first");
-    for (int i = 0; i < 100; ++i) reg.counter("other-" + std::to_string(i));
+    for (int i = 0; i < 100; ++i) (void)reg.counter("other-" + std::to_string(i));
     c.add(7);
     EXPECT_EQ(reg.snapshot().counters.at("first"), 7u);
 }

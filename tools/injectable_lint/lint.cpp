@@ -1,0 +1,653 @@
+#include "injectable_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace injectable::lint {
+
+namespace {
+
+bool is_ident_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+/// Multi-char punctuators merged by the lexer.  `>`-leading sequences are
+/// deliberately left as single chars so template-argument scanning can treat
+/// every `>` as one closing bracket (`map<K, vector<V>>` lexes as two `>`).
+constexpr std::string_view kPuncts2[] = {"::", "->", "+=", "-=", "*=", "/=", "%=",
+                                         "&=", "|=", "^=", "==", "!=", "<=", "&&",
+                                         "||", "++", "--", "<<"};
+
+}  // namespace
+
+const char* rule_name(Rule rule) noexcept {
+    switch (rule) {
+        case Rule::kD1: return "D1";
+        case Rule::kD2: return "D2";
+        case Rule::kD3: return "D3";
+        case Rule::kS1: return "S1";
+        case Rule::kBadSuppression: return "lint-suppression";
+    }
+    return "?";
+}
+
+TokenStream tokenize(std::string_view src) {
+    TokenStream out;
+    std::size_t i = 0;
+    int line = 1;
+    bool line_start = true;  // only whitespace seen since the last newline
+
+    auto advance_over = [&](std::string_view text) {
+        for (char c : text) {
+            if (c == '\n') ++line;
+        }
+        i += text.size();
+    };
+
+    while (i < src.size()) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            line_start = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: skip the whole (possibly continued) line.
+        if (c == '#' && line_start) {
+            while (i < src.size()) {
+                if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (src[i] == '\n') break;
+                ++i;
+            }
+            continue;
+        }
+        line_start = false;
+        // Comments (collected: they carry the suppression directives).
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            const std::size_t end = src.find('\n', i);
+            const std::size_t stop = end == std::string_view::npos ? src.size() : end;
+            out.comments.push_back({std::string(src.substr(i + 2, stop - i - 2)), line});
+            i = stop;
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            const int start_line = line;
+            const std::size_t end = src.find("*/", i + 2);
+            const std::size_t stop = end == std::string_view::npos ? src.size() : end + 2;
+            std::string_view body = src.substr(i + 2, (end == std::string_view::npos
+                                                           ? src.size() - i - 2
+                                                           : end - i - 2));
+            out.comments.push_back({std::string(body), start_line});
+            advance_over(src.substr(i, stop - i));
+            continue;
+        }
+        // String literal (contents can never trigger a rule: dropped).
+        if (c == '"') {
+            ++i;
+            while (i < src.size() && src[i] != '"') {
+                if (src[i] == '\\' && i + 1 < src.size()) ++i;
+                if (src[i] == '\n') ++line;
+                ++i;
+            }
+            if (i < src.size()) ++i;  // closing quote
+            continue;
+        }
+        if (c == '\'') {
+            ++i;
+            while (i < src.size() && src[i] != '\'') {
+                if (src[i] == '\\' && i + 1 < src.size()) ++i;
+                ++i;
+            }
+            if (i < src.size()) ++i;
+            continue;
+        }
+        // pp-number: digits, identifier chars, digit separators, and
+        // exponent signs — so `8_us`, `0x555555` and `1'000` stay single
+        // tokens, exactly like the real lexer's preprocessing numbers.
+        if (is_digit(c) || (c == '.' && i + 1 < src.size() && is_digit(src[i + 1]))) {
+            const std::size_t start = i;
+            ++i;
+            while (i < src.size()) {
+                const char d = src[i];
+                if (is_ident_char(d) || d == '\'' || d == '.') {
+                    ++i;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && i > start) {
+                    const char prev = src[i - 1];
+                    if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+                        ++i;
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.tokens.push_back({TokenKind::kNumber, std::string(src.substr(start, i - start)), line});
+            continue;
+        }
+        if (is_ident_start(c)) {
+            const std::size_t start = i;
+            while (i < src.size() && is_ident_char(src[i])) ++i;
+            std::string text(src.substr(start, i - start));
+            // Raw string literal: R"delim( ... )delim" — skip it whole.
+            if (i < src.size() && src[i] == '"' &&
+                (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+                const std::size_t paren = src.find('(', i + 1);
+                if (paren != std::string_view::npos) {
+                    const std::string delim(src.substr(i + 1, paren - i - 1));
+                    const std::string closer = ")" + delim + "\"";
+                    const std::size_t end = src.find(closer, paren + 1);
+                    const std::size_t stop =
+                        end == std::string_view::npos ? src.size() : end + closer.size();
+                    advance_over(src.substr(i, stop - i));
+                    continue;
+                }
+            }
+            out.tokens.push_back({TokenKind::kIdentifier, std::move(text), line});
+            continue;
+        }
+        // Punctuator: maximal munch over the two-char table.
+        if (i + 1 < src.size()) {
+            const std::string_view two = src.substr(i, 2);
+            const auto* hit = std::find(std::begin(kPuncts2), std::end(kPuncts2), two);
+            if (hit != std::end(kPuncts2)) {
+                out.tokens.push_back({TokenKind::kPunct, std::string(two), line});
+                i += 2;
+                continue;
+            }
+        }
+        out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+namespace {
+
+struct Suppression {
+    std::set<Rule> rules;
+    std::string reason;
+};
+
+std::optional<Rule> parse_rule_name(std::string_view name) {
+    if (name == "D1") return Rule::kD1;
+    if (name == "D2") return Rule::kD2;
+    if (name == "D3") return Rule::kD3;
+    if (name == "S1") return Rule::kS1;
+    return std::nullopt;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0)
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0)
+        s.remove_suffix(1);
+    return s;
+}
+
+/// Parses suppression directives — `allow(R1[,R2...]) -- reason` after the
+/// `injectable-lint:` tag — out of comments.  Tagged text that does not start
+/// with `allow` is prose, not a directive.
+std::map<int, Suppression> collect_suppressions(const std::vector<Comment>& comments,
+                                                const std::string& file,
+                                                std::vector<Finding>& findings) {
+    std::map<int, Suppression> by_line;
+    constexpr std::string_view kTag = "injectable-lint:";
+    for (const Comment& comment : comments) {
+        const std::size_t tag = comment.text.find(kTag);
+        if (tag == std::string::npos) continue;
+        std::string_view rest = trim(std::string_view(comment.text).substr(tag + kTag.size()));
+        if (!rest.starts_with("allow")) continue;  // prose, not a directive
+        auto malformed = [&](const std::string& why) {
+            findings.push_back({Rule::kBadSuppression, file, comment.line,
+                                "malformed suppression (" + why +
+                                    "); expected: injectable-lint: allow(<rule>[,<rule>]) "
+                                    "-- <reason>",
+                                false,
+                                {}});
+        };
+        rest = trim(rest.substr(5));
+        if (!rest.starts_with("(")) {
+            malformed("missing '(' after allow");
+            continue;
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string_view::npos) {
+            malformed("missing ')'");
+            continue;
+        }
+        Suppression sup;
+        std::string_view list = rest.substr(1, close - 1);
+        bool ok = !trim(list).empty();
+        while (ok && !list.empty()) {
+            const std::size_t comma = list.find(',');
+            const std::string_view name = trim(list.substr(0, comma));
+            const auto rule = parse_rule_name(name);
+            if (!rule) {
+                malformed("unknown rule '" + std::string(name) + "'");
+                ok = false;
+                break;
+            }
+            sup.rules.insert(*rule);
+            if (comma == std::string_view::npos) break;
+            list.remove_prefix(comma + 1);
+        }
+        if (!ok) continue;
+        if (sup.rules.empty()) {
+            malformed("empty rule list");
+            continue;
+        }
+        std::string_view tail = trim(rest.substr(close + 1));
+        if (!tail.starts_with("--")) {
+            malformed("missing '-- <reason>'");
+            continue;
+        }
+        tail = trim(tail.substr(2));
+        if (tail.empty()) {
+            malformed("empty reason");
+            continue;
+        }
+        sup.reason = std::string(tail);
+        by_line[comment.line] = std::move(sup);
+    }
+    return by_line;
+}
+
+bool path_contains(const std::string& path, std::string_view needle) {
+    return path.find(needle) != std::string::npos;
+}
+
+/// Numeric value of a pp-number's leading digits (hex or decimal, digit
+/// separators stripped, suffixes ignored).  nullopt for floating literals.
+std::optional<std::uint64_t> literal_value(std::string_view text) {
+    std::uint64_t value = 0;
+    std::size_t i = 0;
+    bool hex = false;
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+        hex = true;
+        i = 2;
+    }
+    bool any = false;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '\'') continue;
+        if (c == '.' || ((c == 'e' || c == 'E') && !hex)) return std::nullopt;  // float
+        int digit = -1;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (hex && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (hex && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else break;  // suffix
+        value = value * (hex ? 16u : 10u) + static_cast<std::uint64_t>(digit);
+        any = true;
+    }
+    if (!any) return std::nullopt;
+    return value;
+}
+
+/// Duration-literal suffix (common/time.hpp user-defined literals).
+bool has_time_suffix(std::string_view text) {
+    return text.ends_with("_ns") || text.ends_with("_us") || text.ends_with("_ms") ||
+           text.ends_with("_s");
+}
+
+struct Scanner {
+    const std::string& file;
+    const std::vector<Token>& toks;
+    std::vector<Finding>& findings;
+
+    void emit(Rule rule, int line, std::string message) {
+        findings.push_back({rule, file, line, std::move(message), false, {}});
+    }
+
+    const Token* at(std::size_t i) const { return i < toks.size() ? &toks[i] : nullptr; }
+    bool punct_at(std::size_t i, std::string_view p) const {
+        const Token* t = at(i);
+        return t != nullptr && t->kind == TokenKind::kPunct && t->text == p;
+    }
+
+    // D1: pointer-keyed unordered containers.  Flags the declaration — any
+    // iteration over one visits heap-address order.
+    void rule_d1() {
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier ||
+                (t.text != "unordered_map" && t.text != "unordered_set")) {
+                continue;
+            }
+            if (!punct_at(i + 1, "<")) continue;
+            const bool is_map = t.text == "unordered_map";
+            int angle = 1;
+            int paren = 0;
+            bool pointer_key = false;
+            std::string key_text;
+            for (std::size_t j = i + 2; j < toks.size() && angle > 0; ++j) {
+                const Token& u = toks[j];
+                if (u.kind == TokenKind::kPunct) {
+                    if (u.text == "<") ++angle;
+                    else if (u.text == ">") --angle;
+                    else if (u.text == "(") ++paren;
+                    else if (u.text == ")") --paren;
+                    if (angle == 0) break;
+                    if (is_map && u.text == "," && angle == 1 && paren == 0) break;
+                    if (u.text == "*" && !key_text.empty()) pointer_key = true;
+                }
+                if (key_text.size() < 48) {
+                    if (!key_text.empty()) key_text += ' ';
+                    key_text += u.text;
+                }
+            }
+            if (pointer_key) {
+                emit(Rule::kD1, t.line,
+                     "pointer-keyed std::" + t.text + "<" + key_text +
+                         ", ...>: iteration order is heap-address order and varies run to "
+                         "run; use an attach-order vector / stable-index map, or allow(D1) "
+                         "with an order-freedom argument");
+            }
+        }
+    }
+
+    // D2: wall-clock time / unseeded randomness.
+    void rule_d2() {
+        static const std::set<std::string, std::less<>> kAlways = {
+            "system_clock",  "steady_clock", "high_resolution_clock", "gettimeofday",
+            "clock_gettime", "timespec_get", "random_device",         "srand"};
+        static const std::set<std::string, std::less<>> kCalls = {"time", "rand", "clock"};
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier) continue;
+            const bool member_access =
+                i > 0 && toks[i - 1].kind == TokenKind::kPunct &&
+                (toks[i - 1].text == "." || toks[i - 1].text == "->");
+            if (kAlways.count(t.text) > 0) {
+                if (member_access) continue;  // e.g. a field named steady_clock
+                emit(Rule::kD2, t.line,
+                     "'" + t.text +
+                         "' is wall-clock/unseeded-randomness: sim time must flow from "
+                         "common/time.hpp (sim::Scheduler) and randomness from "
+                         "common/rng.hpp (seeded streams)");
+                continue;
+            }
+            if (kCalls.count(t.text) > 0 && punct_at(i + 1, "(") && !member_access) {
+                emit(Rule::kD2, t.line,
+                     "call to '" + t.text +
+                         "(': wall-clock/unseeded-randomness primitive; use the "
+                         "Scheduler clock and seeded Rng streams instead");
+            }
+        }
+    }
+
+    // D3: float/double accumulation in the stats layer.  FP addition is not
+    // associative, so accumulation order becomes part of the result.
+    void rule_d3() {
+        std::set<std::string> fp_vars;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier || (t.text != "float" && t.text != "double"))
+                continue;
+            std::size_t j = i + 1;
+            if (punct_at(j, "&")) ++j;  // reference bindings accumulate too
+            const Token* name = at(j);
+            if (name == nullptr || name->kind != TokenKind::kIdentifier) continue;
+            if (punct_at(j + 1, "(")) continue;  // function returning double
+            fp_vars.insert(name->text);
+        }
+        if (fp_vars.empty()) return;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier || fp_vars.count(t.text) == 0) continue;
+            const bool compound = punct_at(i + 1, "+=") || punct_at(i + 1, "-=");
+            const bool re_add = punct_at(i + 1, "=") && i + 2 < toks.size() &&
+                                toks[i + 2].kind == TokenKind::kIdentifier &&
+                                toks[i + 2].text == t.text &&
+                                (punct_at(i + 3, "+") || punct_at(i + 3, "-"));
+            if (compound || re_add) {
+                emit(Rule::kD3, t.line,
+                     "float/double accumulation into '" + t.text +
+                         "' in the stats layer: FP addition is order-dependent; use the "
+                         "integer merge helpers (MetricsSnapshot/HistogramSnapshot) or "
+                         "allow(D3) with a fixed-order argument");
+            }
+        }
+    }
+
+    // S1: bare spec magic numbers in src/phy / src/link.  Named constexpr
+    // declarations, static_asserts and enums are exactly where the named
+    // constants live, so literals there are exempt.
+    void rule_s1() {
+        static const std::set<std::uint64_t> kSpecValues = {37,  39,       40,
+                                                            150, 625,      1250,
+                                                            176, 0x555555, 0x8E89BED6};
+        std::vector<char> scopes = {0};
+        bool stmt_exempt = false;
+        for (const Token& t : toks) {
+            if (t.kind == TokenKind::kPunct) {
+                if (t.text == "{") {
+                    scopes.push_back(static_cast<char>(scopes.back() != 0 || stmt_exempt));
+                    stmt_exempt = false;
+                } else if (t.text == "}") {
+                    if (scopes.size() > 1) scopes.pop_back();
+                    stmt_exempt = false;
+                } else if (t.text == ";") {
+                    stmt_exempt = false;
+                }
+                continue;
+            }
+            if (t.kind == TokenKind::kIdentifier) {
+                if (t.text == "constexpr" || t.text == "constinit" || t.text == "consteval" ||
+                    t.text == "static_assert" || t.text == "enum") {
+                    stmt_exempt = true;
+                }
+                continue;
+            }
+            // Number token.
+            if (stmt_exempt || scopes.back() != 0) continue;
+            const auto value = literal_value(t.text);
+            if (!value) continue;
+            if (has_time_suffix(t.text)) {
+                if (*value < 2) continue;  // 0_us / 1_us carry no spec meaning
+                emit(Rule::kS1, t.line,
+                     "bare timing literal '" + t.text +
+                         "': spec timing must be a named constexpr tied to the Core "
+                         "Specification by a static_assert (see src/phy/spec.hpp)");
+                continue;
+            }
+            if (kSpecValues.count(*value) > 0) {
+                emit(Rule::kS1, t.line,
+                     "bare spec constant '" + t.text +
+                         "': use the named constexpr (src/phy/spec.hpp, "
+                         "src/link/spec.hpp, common/time.hpp) so the value stays tied to "
+                         "the spec by its static_assert");
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<Finding> scan_source(const std::string& file, const std::string& logical_path,
+                                 std::string_view source, const Options& options) {
+    std::vector<Finding> findings;
+    TokenStream stream = tokenize(source);
+    const auto suppressions = collect_suppressions(stream.comments, file, findings);
+
+    Scanner scanner{file, stream.tokens, findings};
+    scanner.rule_d1();
+
+    bool d2_allowlisted = false;
+    for (const std::string& allowed : options.d2_allowlist) {
+        if (path_contains(logical_path, allowed)) d2_allowlisted = true;
+    }
+    if (!d2_allowlisted) scanner.rule_d2();
+
+    if (path_contains(logical_path, "src/obs/") || path_contains(logical_path, "src/world/"))
+        scanner.rule_d3();
+    if (path_contains(logical_path, "src/phy/") || path_contains(logical_path, "src/link/"))
+        scanner.rule_s1();
+
+    // Apply suppressions: a directive on line L covers findings on L and L+1
+    // (trailing comment on the offending line, or a comment line above it).
+    for (Finding& f : findings) {
+        if (f.rule == Rule::kBadSuppression) continue;
+        for (const int directive_line : {f.line, f.line - 1}) {
+            const auto it = suppressions.find(directive_line);
+            if (it == suppressions.end() || it->second.rules.count(f.rule) == 0) continue;
+            f.suppressed = true;
+            f.suppress_reason = it->second.reason;
+            break;
+        }
+    }
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding& a, const Finding& b) { return a.line < b.line; });
+    return findings;
+}
+
+bool scan_file(const std::string& path, std::vector<Finding>& findings,
+               const Options& options) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+
+    // Fixtures impersonate a tree location for rule applicability while
+    // findings keep reporting the real path.
+    std::string logical = path;
+    constexpr std::string_view kPathTag = "// lint-fixture-path:";
+    if (source.rfind(kPathTag, 0) == 0) {
+        const std::size_t eol = source.find('\n');
+        logical = std::string(
+            trim(std::string_view(source).substr(kPathTag.size(),
+                                                 eol == std::string::npos
+                                                     ? std::string::npos
+                                                     : eol - kPathTag.size())));
+    }
+    auto file_findings = scan_source(path, logical, source, options);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+    return true;
+}
+
+int scan_paths(const std::vector<std::string>& roots, std::vector<Finding>& findings,
+               const Options& options) {
+    namespace fs = std::filesystem;
+    static const std::set<std::string, std::less<>> kExtensions = {".cpp", ".cc",  ".cxx",
+                                                                   ".hpp", ".h",   ".hh"};
+    std::vector<std::string> files;
+    for (const std::string& root : roots) {
+        std::error_code ec;
+        if (fs::is_regular_file(root, ec)) {
+            files.push_back(root);
+            continue;
+        }
+        if (!fs::is_directory(root, ec)) return -1;
+        for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+             it.increment(ec)) {
+            if (ec) return -1;
+            if (!it->is_regular_file(ec)) continue;
+            if (kExtensions.count(it->path().extension().string()) > 0)
+                files.push_back(it->path().generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    int scanned = 0;
+    for (const std::string& file : files) {
+        if (!scan_file(file, findings, options)) return -1;
+        ++scanned;
+    }
+    return scanned;
+}
+
+int unsuppressed_count(const std::vector<Finding>& findings) noexcept {
+    int n = 0;
+    for (const Finding& f : findings) {
+        if (!f.suppressed) ++n;
+    }
+    return n;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+std::string to_jsonl(const std::vector<Finding>& findings) {
+    std::string out;
+    for (const Finding& f : findings) {
+        out += "{\"rule\":";
+        append_json_string(out, rule_name(f.rule));
+        out += ",\"file\":";
+        append_json_string(out, f.file);
+        out += ",\"line\":" + std::to_string(f.line);
+        out += ",\"suppressed\":";
+        out += f.suppressed ? "true" : "false";
+        if (f.suppressed) {
+            out += ",\"reason\":";
+            append_json_string(out, f.suppress_reason);
+        }
+        out += ",\"message\":";
+        append_json_string(out, f.message);
+        out += "}\n";
+    }
+    return out;
+}
+
+std::string summary(const std::vector<Finding>& findings, int files_scanned) {
+    std::string out;
+    int suppressed = 0;
+    for (const Finding& f : findings) {
+        if (f.suppressed) {
+            ++suppressed;
+            continue;
+        }
+        out += f.file + ":" + std::to_string(f.line) + ": [" + rule_name(f.rule) + "] " +
+               f.message + "\n";
+    }
+    const int open = unsuppressed_count(findings);
+    out += "injectable_lint: " + std::to_string(files_scanned) + " files, " +
+           std::to_string(open) + " finding" + (open == 1 ? "" : "s") + " (" +
+           std::to_string(suppressed) + " suppressed with audited reasons)\n";
+    return out;
+}
+
+}  // namespace injectable::lint

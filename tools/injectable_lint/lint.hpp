@@ -1,0 +1,137 @@
+// injectable-lint: project-specific determinism & spec-invariant static
+// analysis (DESIGN.md §8).
+//
+// The reproduction's core contract is bit-identical determinism for any
+// worker count: a trial is a pure function of (config, seed).  PR 3's
+// trace-replay diff caught a real violation only *at runtime* — RadioMedium
+// delivery order leaked heap-pointer ordering through a pointer-keyed
+// unordered_map.  This linter catches that whole bug class (and its
+// relatives) statically, before a single trial runs:
+//
+//   D1  No pointer-keyed std::unordered_map / std::unordered_set: their
+//       iteration order is heap-address order, which varies run to run, so
+//       any iteration that reaches RNG draws or event emission breaks
+//       replayability.  Use attach-order vectors / stable-index maps, or
+//       suppress with an order-freedom argument.
+//   D2  No wall-clock time or unseeded randomness outside the allowlisted
+//       time/rng primitives: simulated time must flow from common/time.hpp
+//       (sim::Scheduler) and all randomness from common/rng.hpp (seeded
+//       xoshiro streams).
+//   D3  No float/double accumulation in the stats layer (src/obs, src/world):
+//       FP addition is non-associative, so accumulation order becomes part of
+//       the result.  Stats must use the integer merge helpers
+//       (MetricsSnapshot / HistogramSnapshot) or accumulate in a provably
+//       fixed order (suppress with the argument).
+//   S1  No bare spec magic numbers in src/phy / src/link: frame-layout and
+//       timing constants (TIFS 150 µs, the 1250 µs unit, 8 µs/byte LE 1M
+//       airtime, channel counts, the advertising access address, ...) must be
+//       named constexpr values tied to the Bluetooth Core Specification by a
+//       static_assert.  Literals inside constexpr declarations,
+//       static_asserts and enum definitions are exempt — that is where the
+//       named constants live.
+//
+// Suppression (audited — the reason is mandatory and lands in the JSONL):
+//
+//   // injectable-lint: allow(D1) -- memo is lookup-only, never iterated
+//
+// on the offending line or the line directly above.  A malformed directive
+// (unknown rule, missing "-- reason") is itself a finding.
+//
+// The scanner is deliberately lightweight: a real C++ tokenizer (comments,
+// string/char literals, raw strings, pp-numbers) but no preprocessor, no
+// name lookup, no libclang.  Per-translation-unit token patterns are enough
+// for every rule above, keep the tool dependency-free, and make it fast
+// enough to run as a tier-1 ctest over the whole tree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace injectable::lint {
+
+enum class Rule {
+    kD1,              ///< pointer-keyed unordered container
+    kD2,              ///< wall clock / unseeded randomness
+    kD3,              ///< float accumulation in the stats layer
+    kS1,              ///< bare spec magic number in phy/link
+    kBadSuppression,  ///< malformed injectable-lint directive
+};
+
+[[nodiscard]] const char* rule_name(Rule rule) noexcept;
+
+struct Finding {
+    Rule rule = Rule::kD1;
+    std::string file;  ///< path as reported to the user
+    int line = 0;      ///< 1-based
+    std::string message;
+    bool suppressed = false;
+    std::string suppress_reason;  ///< audited reason (valid iff suppressed)
+};
+
+struct Options {
+    /// Paths (substring match) where rule D2 never fires: the deterministic
+    /// time/rng primitives themselves.
+    std::vector<std::string> d2_allowlist = {"src/common/time.hpp", "src/common/rng."};
+};
+
+// --- tokenizer (exposed for the self-tests) ---
+
+enum class TokenKind { kIdentifier, kNumber, kPunct };
+
+struct Token {
+    TokenKind kind = TokenKind::kPunct;
+    std::string text;
+    int line = 1;
+};
+
+struct Comment {
+    std::string text;
+    int line = 1;  ///< line the comment starts on
+};
+
+struct TokenStream {
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/// Lexes C++ source: comments collected separately, string/char literals
+/// dropped (their contents can never trigger a rule), preprocessor directives
+/// skipped, numbers kept as whole pp-numbers (so `8_us` and `0x555555` are
+/// single tokens).
+[[nodiscard]] TokenStream tokenize(std::string_view source);
+
+// --- scanning ---
+
+/// Scans one translation unit.  `logical_path` drives rule applicability
+/// (which directory family the file belongs to) and may differ from the
+/// reported `file` path — fixtures use a `// lint-fixture-path:` first line
+/// to impersonate a tree location.  Returns all findings, suppressed ones
+/// included (they carry the audited reason into the JSONL).
+[[nodiscard]] std::vector<Finding> scan_source(const std::string& file,
+                                               const std::string& logical_path,
+                                               std::string_view source,
+                                               const Options& options = {});
+
+/// Reads and scans a file from disk, honouring a `// lint-fixture-path:`
+/// header.  Returns false only when the file cannot be read.
+bool scan_file(const std::string& path, std::vector<Finding>& findings,
+               const Options& options = {});
+
+/// Recursively scans every *.cpp/*.hpp/*.h/*.cc under `roots` (files are
+/// accepted directly too), in sorted path order for deterministic output.
+/// Returns the number of files scanned, or -1 if any root is missing.
+int scan_paths(const std::vector<std::string>& roots, std::vector<Finding>& findings,
+               const Options& options = {});
+
+// --- reporting ---
+
+[[nodiscard]] int unsuppressed_count(const std::vector<Finding>& findings) noexcept;
+
+/// One JSON object per finding, one per line (stable field order).
+[[nodiscard]] std::string to_jsonl(const std::vector<Finding>& findings);
+
+/// Human summary: `file:line: [rule] message` per finding plus a totals line.
+[[nodiscard]] std::string summary(const std::vector<Finding>& findings, int files_scanned);
+
+}  // namespace injectable::lint

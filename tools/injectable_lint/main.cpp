@@ -1,0 +1,99 @@
+// injectable_lint CLI: scan source trees for determinism & spec-invariant
+// violations (rules D1–D3, S1 — see lint.hpp / DESIGN.md §8).
+//
+//   injectable_lint [--jsonl FILE] [--quiet] <path>...
+//
+// exits 0 when the tree is clean (suppressed findings with audited reasons
+// are fine), 1 when any unsuppressed finding remains, 2 on usage/IO errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "injectable_lint/lint.hpp"
+
+namespace {
+
+void print_usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--jsonl FILE] [--quiet] <path>...\n"
+                 "  Scans *.cpp/*.hpp under each path for determinism and\n"
+                 "  spec-invariant violations:\n"
+                 "    D1  pointer-keyed unordered_map/unordered_set\n"
+                 "    D2  wall-clock time / unseeded randomness\n"
+                 "    D3  float/double accumulation in the stats layer\n"
+                 "    S1  bare spec magic numbers in src/phy, src/link\n"
+                 "  Suppress a finding with an audited comment on (or above)\n"
+                 "  the line:  // injectable-lint: allow(D1) -- <reason>\n"
+                 "  --jsonl FILE  also write findings as JSONL (suppressed\n"
+                 "                ones included, with their reasons)\n"
+                 "  --quiet       print only the totals line\n",
+                 argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace injectable::lint;
+
+    std::string jsonl_path;
+    bool quiet = false;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--jsonl") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --jsonl needs a file argument\n", argv[0]);
+                return 2;
+            }
+            jsonl_path = argv[++i];
+            continue;
+        }
+        if (std::strcmp(arg, "--quiet") == 0) {
+            quiet = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            print_usage(argv[0]);
+            return 0;
+        }
+        if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+            print_usage(argv[0]);
+            return 2;
+        }
+        roots.emplace_back(arg);
+    }
+    if (roots.empty()) {
+        print_usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    const int scanned = scan_paths(roots, findings);
+    if (scanned < 0) {
+        std::fprintf(stderr, "%s: could not read one of the given paths\n", argv[0]);
+        return 2;
+    }
+
+    if (!jsonl_path.empty()) {
+        std::ofstream out(jsonl_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0], jsonl_path.c_str());
+            return 2;
+        }
+        out << to_jsonl(findings);
+    }
+
+    const std::string text = summary(findings, scanned);
+    if (quiet) {
+        const std::size_t last_line = text.rfind('\n', text.size() - 2);
+        std::fputs(last_line == std::string::npos ? text.c_str()
+                                                  : text.c_str() + last_line + 1,
+                   stdout);
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return unsuppressed_count(findings) > 0 ? 1 : 0;
+}

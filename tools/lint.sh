@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the full static-analysis pass locally, mirroring the CI `lint` job:
+#
+#   1. injectable_lint (determinism & spec-invariant rules D1-D3, S1) over
+#      src/ tools/ bench/ examples/, writing the JSONL audit trail that CI
+#      uploads as an artifact.
+#   2. clang-tidy (profile in .clang-tidy) over the same trees, when a
+#      compile_commands.json and run-clang-tidy are available.
+#
+# usage: tools/lint.sh [build-dir]   (default: build)
+set -u
+
+cd "$(dirname "$0")/.."
+build_dir=${1:-build}
+
+if [[ ! -x "$build_dir/tools/injectable_lint" ]]; then
+    echo "lint.sh: building injectable_lint in $build_dir ..."
+    cmake -B "$build_dir" -S . >/dev/null || exit 2
+    cmake --build "$build_dir" --target injectable_lint -j >/dev/null || exit 2
+fi
+
+status=0
+"$build_dir/tools/injectable_lint" --jsonl "$build_dir/lint-findings.jsonl" \
+    src tools bench examples || status=$?
+echo "lint.sh: JSONL audit trail at $build_dir/lint-findings.jsonl"
+
+if command -v run-clang-tidy >/dev/null 2>&1 && [[ -f "$build_dir/compile_commands.json" ]]; then
+    echo "lint.sh: running clang-tidy (profile: .clang-tidy) ..."
+    run-clang-tidy -quiet -p "$build_dir" "src/.*|tools/.*|bench/.*|examples/.*" || status=$?
+else
+    echo "lint.sh: run-clang-tidy or $build_dir/compile_commands.json not found; skipping clang-tidy"
+fi
+
+exit $status

@@ -1,4 +1,5 @@
-// trace_replay: re-run a recorded trial trace and diff the event streams.
+// trace_replay: re-run a recorded trial trace and diff the event streams,
+// or summarize what a campaign's traces contain.
 //
 // Every JSONL trace written by run_series (INJECTABLE_TRACE_DIR) starts with
 // a meta header that reconstructs the trial's ExperimentConfig; a trial is a
@@ -6,29 +7,87 @@
 // recorded event stream byte for byte.  This tool is the determinism
 // guarantee as an executable check:
 //
-//   trace_replay [--diff] [--quiet] <trace.jsonl[.gz]>...
+//   trace_replay [--diff] [--stats] [--quiet] <trace.jsonl[.gz]>...
 //
-// exits 0 when every trace replays without divergence, 1 when any event
-// differs (printing the first divergent event of each failing trace), 2 on
-// usage / I/O / meta errors.  Reads gzip-compressed traces transparently
-// when built with zlib.
+//   --diff   (default) replay each trace and diff against the recording;
+//            exits 0 when every trace replays without divergence, 1 when any
+//            event differs (printing the first divergent event of each
+//            failing trace), 2 on usage / I/O / meta errors.
+//   --stats  no replay: tally recorded events by type ("e" field) per trace
+//            and print the aggregate table across all traces — a quick
+//            what-happened view of a campaign directory.  Exits 0, or 2 on
+//            unreadable traces.
+//
+// Reads gzip-compressed traces transparently when built with zlib.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/sinks.hpp"
 #include "world/replay.hpp"
 
 namespace {
 
 void print_usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--diff] [--quiet] <trace.jsonl[.gz]>...\n"
-                 "  Replays each recorded trial trace (seed + config from its meta\n"
-                 "  header) through the simulation and diffs the recorded event\n"
-                 "  stream against the fresh one.  --diff is the default mode and\n"
-                 "  accepted for clarity; --quiet suppresses per-trace OK lines.\n",
+                 "usage: %s [--diff] [--stats] [--quiet] <trace.jsonl[.gz]>...\n"
+                 "  --diff   replay each trace (seed + config from its meta header)\n"
+                 "           and diff the recorded event stream against the fresh\n"
+                 "           one (the default mode)\n"
+                 "  --stats  tally recorded events by type per trace and print the\n"
+                 "           aggregate counts across all traces (no replay)\n"
+                 "  --quiet  suppress per-trace OK/stat lines\n",
                  argv0);
+}
+
+/// Event name from a trace line: every line is a flat JSON object written by
+/// us, starting {"e":"<Name>",...}.  Empty string when the line is not in
+/// that shape.
+std::string event_name(const std::string& line) {
+    constexpr const char* kPrefix = "{\"e\":\"";
+    constexpr std::size_t kPrefixLen = 6;
+    if (line.rfind(kPrefix, 0) != 0) return {};
+    const std::size_t end = line.find('"', kPrefixLen);
+    if (end == std::string::npos) return {};
+    return line.substr(kPrefixLen, end - kPrefixLen);
+}
+
+int run_stats(const std::vector<std::string>& paths, bool quiet) {
+    std::map<std::string, std::uint64_t> aggregate;
+    std::uint64_t total_events = 0;
+    int errors = 0;
+    int traces = 0;
+    for (const std::string& path : paths) {
+        std::string error;
+        const std::vector<std::string> lines = ble::obs::read_jsonl_file(path, &error);
+        if (lines.empty()) {
+            std::fprintf(stderr, "ERROR %s: %s\n", path.c_str(),
+                         error.empty() ? "empty trace" : error.c_str());
+            ++errors;
+            continue;
+        }
+        ++traces;
+        std::uint64_t events = 0;
+        for (const std::string& line : lines) {
+            const std::string name = event_name(line);
+            if (name.empty() || name == "meta") continue;  // header carries no event
+            ++aggregate[name];
+            ++events;
+        }
+        total_events += events;
+        if (!quiet) {
+            std::printf("STAT %s: %llu events\n", path.c_str(),
+                        static_cast<unsigned long long>(events));
+        }
+    }
+    std::printf("event counts across %d trace%s (%llu events):\n", traces,
+                traces == 1 ? "" : "s", static_cast<unsigned long long>(total_events));
+    for (const auto& [name, count] : aggregate) {
+        std::printf("  %-24s %llu\n", name.c_str(), static_cast<unsigned long long>(count));
+    }
+    return errors > 0 ? 2 : 0;
 }
 
 }  // namespace
@@ -38,10 +97,15 @@ int main(int argc, char** argv) {
     using injectable::world::replay_trace_file;
 
     bool quiet = false;
+    bool stats = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
-        if (std::strcmp(arg, "--diff") == 0) continue;  // the default (and only) mode
+        if (std::strcmp(arg, "--diff") == 0) continue;  // the default mode
+        if (std::strcmp(arg, "--stats") == 0) {
+            stats = true;
+            continue;
+        }
         if (std::strcmp(arg, "--quiet") == 0) {
             quiet = true;
             continue;
@@ -61,6 +125,7 @@ int main(int argc, char** argv) {
         print_usage(argv[0]);
         return 2;
     }
+    if (stats) return run_stats(paths, quiet);
 
     int divergences = 0;
     int errors = 0;
