@@ -254,7 +254,8 @@ void ScenarioC::execute(std::function<void(const Result&)> done) {
             result_.attempts += attempts;
             if (!ok) {
                 // Defer the retry out of the completion callback.
-                session_.radio().scheduler().schedule_after(0, [this] { retry_(); });
+                // injectable-lint: allow(D4) -- immediate one-shot retry hop
+                (void)session_.radio().scheduler().schedule_after(0, [this] { retry_(); });
                 return;
             }
             result_.instant = instant_;
@@ -334,7 +335,8 @@ void ScenarioCSlave::execute(std::function<void(const Result&)> done) {
         request.done = [this](bool ok, int attempts) {
             result_.attempts += attempts;
             if (!ok) {
-                session_.radio().scheduler().schedule_after(0, [this] { retry_(); });
+                // injectable-lint: allow(D4) -- immediate one-shot retry hop
+                (void)session_.radio().scheduler().schedule_after(0, [this] { retry_(); });
                 return;
             }
             session_.on_event_advanced = [this](std::uint16_t counter) {
@@ -408,7 +410,8 @@ void ScenarioD::execute(std::function<void(const Result&)> done) {
         request.done = [this](bool ok, int attempts) {
             result_.attempts += attempts;
             if (!ok) {
-                session_.radio().scheduler().schedule_after(0, [this] { retry_(); });
+                // injectable-lint: allow(D4) -- immediate one-shot retry hop
+                (void)session_.radio().scheduler().schedule_after(0, [this] { retry_(); });
                 return;
             }
             session_.on_event_advanced = [this](std::uint16_t counter) {

@@ -89,7 +89,8 @@ void AdvSniffer::handle_rx(const sim::RxFrame& frame) {
         // it is the packet we are hunting.
         channel_index_ = (channel_index_ + 1) % 3;
         const sim::Channel next = kAdvChannels[channel_index_];
-        radio_.scheduler().schedule_at(
+        // injectable-lint: allow(D4) -- weak-ptr alive guard inside the lambda
+        (void)radio_.scheduler().schedule_at(
             frame.end + kTifs + 20_us,
             [alive = std::weak_ptr<char>(alive_), this, next] {
                 if (!alive.lock() || !running_) return;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/prof/profiler.hpp"
 #include "phy/frame.hpp"
 #include "phy/spec.hpp"
 
@@ -411,6 +412,8 @@ void Connection::handle_rx(const sim::RxFrame& frame) {
 
 void Connection::process_frame(const DataPdu& pdu, bool crc_ok, TimePoint /*rx_start*/,
                                TimePoint rx_end) {
+    static thread_local obs::prof::SpanSite prof_site{"link.conn.process_frame"};
+    obs::prof::Span prof_span(prof_site);
     ++report_.pdus_rx;
     if (!crc_ok) {
         ++report_.crc_errors;
@@ -630,6 +633,9 @@ void Connection::apply_instant_procedures() {
 }
 
 void Connection::schedule_next_event() {
+    // Deliberately unspanned (link.conn.process_frame and link.csa*.hop carry
+    // the connection profile): this runs once per connection event and its
+    // time reads naturally as the enclosing dispatch's self-time.
     // Connection update: the event at `instant` is reached through a transmit
     // window (paper Fig. 2), like connection setup.
     const Duration old_interval = config_.params.interval();

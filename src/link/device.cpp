@@ -103,7 +103,10 @@ void LinkLayerDevice::handle_adv_channel_rx(const sim::RxFrame& frame) {
                     sending_scan_rsp_ = true;
                     scheduler().cancel(adv_timer_);
                     const sim::Channel channel = kAdvChannels[adv_channel_index_];
-                    scheduler().schedule_at(frame.end + kTifs, [this, channel] {
+                    // Fire-and-forget: the lambda re-checks mode_, so a stale
+                    // response is a no-op and cancellation is never needed.
+                    // injectable-lint: allow(D4) -- guarded by the mode_ check
+                    (void)scheduler().schedule_at(frame.end + kTifs, [this, channel] {
                         if (mode_ != Mode::kAdvertising) return;
                         AdvDataPdu rsp;
                         rsp.type = AdvPduType::kScanRsp;
@@ -125,7 +128,8 @@ void LinkLayerDevice::handle_adv_channel_rx(const sim::RxFrame& frame) {
                 // CSA#2 when both ends advertise support (ChSel bits).
                 initiate_params_.use_csa2 = config_.support_csa2 && pdu->ch_sel;
                 const sim::Channel channel = frame.channel;
-                scheduler().schedule_at(frame.end + kTifs, [this, channel] {
+                // injectable-lint: allow(D4) -- guarded by the mode_ check
+                (void)scheduler().schedule_at(frame.end + kTifs, [this, channel] {
                     if (mode_ != Mode::kInitiating) return;
                     ConnectReqPdu req;
                     req.initiator = config_.address;
@@ -188,7 +192,8 @@ ConnectionHooks LinkLayerDevice::make_effective_hooks() {
     hooks.on_disconnected = [this, user_disconnect](DisconnectReason reason) {
         if (user_disconnect) user_disconnect(reason);
         // Defer destruction: we are inside a Connection member function.
-        scheduler().schedule_after(0, [this] { cleanup_connection(); });
+        // injectable-lint: allow(D4) -- immediate one-shot; nothing to cancel
+        (void)scheduler().schedule_after(0, [this] { cleanup_connection(); });
     };
     return hooks;
 }

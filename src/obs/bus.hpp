@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "obs/event.hpp"
+#include "obs/prof/profiler.hpp"
 
 namespace ble::obs {
 
@@ -28,6 +30,21 @@ class EventSink {
 public:
     virtual ~EventSink() = default;
     virtual void on_event(const Event& event) = 0;
+    /// Profiler span name used to attribute this sink's fanout cost (see
+    /// src/obs/prof).  Stable across processes: part of the prof.* metric
+    /// namespace, so override with a fixed literal.
+    [[nodiscard]] virtual std::string_view prof_name() const noexcept { return "obs.sink"; }
+
+    /// Cached-id span site for prof_name() — sinks are per-trial and
+    /// single-threaded like the bus itself, so a member cache (rather than a
+    /// thread-local) is safe and keeps the fanout span on the fast path.
+    [[nodiscard]] prof::SpanSite& prof_site() {
+        if (!prof_site_) prof_site_.emplace(prof_name());
+        return *prof_site_;
+    }
+
+private:
+    std::optional<prof::SpanSite> prof_site_;
 };
 
 class EventBus {
@@ -73,6 +90,10 @@ public:
     }
 
     void dispatch(const Event& event) {
+        if (prof::active() && !sinks_.empty()) {
+            dispatch_profiled(event);
+            return;
+        }
         for (EventSink* sink : sinks_) sink->on_event(event);
         for (const Subscriber& s : subscribers_) s.fn(event);
     }
@@ -82,6 +103,21 @@ private:
         Token token;
         std::function<void(const Event&)> fn;
     };
+
+    /// Copy of dispatch taken only when a profiler is installed and sinks are
+    /// attached: each sink's share of the fanout gets its own span
+    /// (prof.span.obs.sink.*), so the flamegraph attributes observation
+    /// overhead per sink per context.  Function subscribers run unspanned —
+    /// they are anonymous inline logic of the emitting trial, their time is
+    /// attributed to the enclosing span, and per-call spans for them would
+    /// dominate the profiler's own overhead on busy buses.
+    void dispatch_profiled(const Event& event) {
+        for (EventSink* sink : sinks_) {
+            prof::Span span(sink->prof_site());
+            sink->on_event(event);
+        }
+        for (const Subscriber& s : subscribers_) s.fn(event);
+    }
 
     std::vector<EventSink*> sinks_;
     std::vector<Subscriber> subscribers_;

@@ -1,0 +1,288 @@
+#include "obs/prof/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+
+namespace ble::obs::prof {
+
+namespace detail {
+
+/// The profiler's only wall-clock read.  Wall numbers are quarantined by
+/// design: they feed wall_summary() for humans and never reach the metrics
+/// registry, JSON records or any replayed/diffed artifact.
+std::uint64_t wall_now_ns() noexcept {
+    // Output is human-facing only and excluded from every deterministic artifact.
+    // injectable-lint: allow(D2) -- opt-in wall-clock span timing
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Distinguishes profiler instances for the site epoch check even when a
+/// freed instance's heap slot is reused by the next trial's profiler.  The
+/// value orders nothing and never reaches any output.
+std::atomic<std::uint64_t> g_profiler_epoch{0};
+
+/// Process-wide name→id table.  Interning is cold (once per call site per
+/// process for SpanSite/GaugeSite users; per call only on the string_view
+/// slow path), so a mutex is fine.  Id assignment order depends on which
+/// trial thread touches a name first — deterministic outputs must therefore
+/// key and sort by name, never by id, which every exporter below does.
+class NameTable {
+public:
+    int intern(std::string_view name) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+        const int id = static_cast<int>(names_.size());
+        names_.emplace_back(name);
+        ids_.emplace(std::string(name), id);
+        return id;
+    }
+    [[nodiscard]] std::vector<std::string> snapshot() const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return names_;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, int, std::less<>> ids_;
+    std::vector<std::string> names_;  // id -> name
+};
+
+NameTable& span_table() {
+    static NameTable table;
+    return table;
+}
+
+NameTable& gauge_table() {
+    static NameTable table;
+    return table;
+}
+
+}  // namespace
+
+int Profiler::intern_span_name(std::string_view name) { return span_table().intern(name); }
+int Profiler::intern_gauge_name(std::string_view name) { return gauge_table().intern(name); }
+std::vector<std::string> Profiler::span_name_snapshot() { return span_table().snapshot(); }
+std::vector<std::string> Profiler::gauge_name_snapshot() { return gauge_table().snapshot(); }
+
+Profiler::Profiler(ProfilerParams params)
+    : params_(params), epoch_(g_profiler_epoch.fetch_add(1, std::memory_order_relaxed) + 1) {
+    nodes_.reserve(64);
+    buckets_.reserve(64);
+    nodes_.push_back(PathNode{});  // synthetic root, span_id -1
+    buckets_.push_back(BucketArray{});
+    if (params_.chrome_trace) {
+        chrome_.reserve(std::min<std::size_t>(params_.max_chrome_events, 4096));
+    }
+}
+
+int Profiler::add_node(int id) {
+    const int node_index = static_cast<int>(nodes_.size());
+    nodes_[static_cast<std::size_t>(current_node_)].children.emplace_back(id, node_index);
+    nodes_.push_back(PathNode{});
+    nodes_.back().span_id = id;
+    nodes_.back().parent = current_node_;
+    buckets_.push_back(BucketArray{});
+    return node_index;
+}
+
+void Profiler::record_chrome(int span_id, TimePoint start, std::uint64_t sim_ns) {
+    if (chrome_.size() < params_.max_chrome_events) {
+        ChromeEvent ev;
+        ev.span_id = span_id;
+        ev.depth = depth_;  // already decremented: depth of the popped span's parent
+        ev.start = start;
+        ev.dur = static_cast<Duration>(sim_ns);
+        chrome_.push_back(ev);
+    } else {
+        ++chrome_dropped_;
+    }
+}
+
+void Profiler::sample_gauge(std::string_view name, std::int64_t value) {
+    const int id = intern_gauge_name(name);
+    if (gauge_cells_.size() <= static_cast<std::size_t>(id)) {
+        gauge_cells_.resize(static_cast<std::size_t>(id) + 1);
+    }
+    gauge_sample(gauge_cells_[static_cast<std::size_t>(id)], value);
+}
+
+void Profiler::stack_path(int node, const std::vector<std::string>& names,
+                          std::string& out) const {
+    const PathNode& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.parent > 0) {
+        stack_path(n.parent, names, out);
+        out.push_back(';');
+    }
+    out += names[static_cast<std::size_t>(n.span_id)];
+}
+
+std::vector<Profiler::StackLine> Profiler::collapsed_stacks() const {
+    const std::vector<std::string> names = span_name_snapshot();
+    std::vector<StackLine> lines;
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        const PathNode& node = nodes_[i];
+        if (node.count == 0) continue;  // span still open or never closed here
+        StackLine line;
+        stack_path(static_cast<int>(i), names, line.stack);
+        line.count = node.count;
+        line.sim_us = node.sim_ns / 1000;
+        lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end(),
+              [](const StackLine& a, const StackLine& b) { return a.stack < b.stack; });
+    return lines;
+}
+
+std::vector<Profiler::SpanAgg> Profiler::aggregate_spans(std::size_t size) const {
+    std::vector<SpanAgg> aggs(size);
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        const PathNode& node = nodes_[i];
+        if (node.count == 0) continue;
+        SpanAgg& agg = aggs[static_cast<std::size_t>(node.span_id)];
+        if (agg.count == 0) {
+            agg.min_us = node.min_us;
+            agg.max_us = node.max_us;
+        } else {
+            agg.min_us = node.min_us < agg.min_us ? node.min_us : agg.min_us;
+            agg.max_us = node.max_us > agg.max_us ? node.max_us : agg.max_us;
+        }
+        agg.count += node.count;
+        agg.sim_ns += node.sim_ns;
+        agg.wall_ns += node.wall_ns;
+        agg.sum_us += node.sum_us;
+        const BucketArray& node_buckets = buckets_[i];
+        for (std::size_t b = 0; b < node_buckets.size(); ++b) agg.buckets[b] += node_buckets[b];
+    }
+    return aggs;
+}
+
+std::vector<Profiler::SpanTotal> Profiler::span_totals() const {
+    // Ordered by this profiler's first use of each span (= first tree node
+    // that references it), independent of the global id assignment order.
+    const std::vector<std::string> names = span_name_snapshot();
+    std::vector<int> slot(names.size(), -1);
+    std::vector<SpanTotal> totals;
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        const PathNode& node = nodes_[i];
+        int& s = slot[static_cast<std::size_t>(node.span_id)];
+        if (s < 0) {
+            s = static_cast<int>(totals.size());
+            SpanTotal t;
+            t.name = names[static_cast<std::size_t>(node.span_id)];
+            totals.push_back(std::move(t));
+        }
+        SpanTotal& t = totals[static_cast<std::size_t>(s)];
+        t.count += node.count;
+        t.sim_ns += node.sim_ns;
+        t.wall_ns += node.wall_ns;
+    }
+    return totals;
+}
+
+void Profiler::export_metrics(MetricsRegistry& registry) const {
+    const std::vector<std::string> names = span_name_snapshot();
+    const std::vector<SpanAgg> aggs = aggregate_spans(names.size());
+    for (std::size_t id = 0; id < aggs.size(); ++id) {
+        const SpanAgg& agg = aggs[id];
+        if (agg.count == 0) continue;
+        const std::string& name = names[id];
+        registry.counter("prof.span." + name + ".count").add(agg.count);
+        registry.counter("prof.span." + name + ".sim_us").add(agg.sim_ns / 1000);
+        HistogramSnapshot hist;
+        hist.count = agg.count;
+        hist.sum = agg.sum_us;
+        hist.min = agg.min_us;
+        hist.max = agg.max_us;
+        std::copy(agg.buckets.begin(), agg.buckets.end(), hist.buckets.begin());
+        registry.histogram("prof.span." + name + ".sim_us").merge(hist);
+    }
+    for (const StackLine& line : collapsed_stacks()) {
+        registry.counter("prof.stack." + line.stack + ".count").add(line.count);
+        registry.counter("prof.stack." + line.stack + ".sim_us").add(line.sim_us);
+    }
+    const std::vector<std::string> gauge_names = gauge_name_snapshot();
+    for (std::size_t id = 0; id < gauge_cells_.size(); ++id) {
+        const GaugeCell& cell = gauge_cells_[id];
+        if (cell.samples == 0) continue;
+        GaugeSnapshot g;
+        g.samples = cell.samples;
+        g.last = cell.last;
+        g.min = cell.min;
+        g.max = cell.max;
+        registry.gauge("prof.gauge." + gauge_names[id]).merge(g);
+    }
+    if (chrome_dropped_ > 0) {
+        registry.counter("prof.chrome_events_dropped").add(chrome_dropped_);
+    }
+}
+
+std::string Profiler::chrome_trace_json() const {
+    const std::vector<std::string> names = span_name_snapshot();
+    std::string out = "{\"traceEvents\":[";
+    char buf[128];
+    bool first = true;
+    for (const ChromeEvent& ev : chrome_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += "{\"name\":\"";
+        append_json_escaped(out, names[static_cast<std::size_t>(ev.span_id)]);
+        out += '"';
+        // Sim-clock ns rendered as fractional µs with fixed 3 decimals: pure
+        // integer formatting, so the output is byte-deterministic.
+        std::snprintf(buf, sizeof(buf),
+                      ",\"cat\":\"prof\",\"ph\":\"X\",\"ts\":%" PRId64 ".%03" PRId64
+                      ",\"dur\":%" PRId64 ".%03" PRId64 ",\"pid\":1,\"tid\":%d}",
+                      static_cast<std::int64_t>(ev.start / 1000),
+                      static_cast<std::int64_t>(ev.start % 1000),
+                      static_cast<std::int64_t>(ev.dur / 1000),
+                      static_cast<std::int64_t>(ev.dur % 1000), ev.depth);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+bool Profiler::write_chrome_trace(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string json = chrome_trace_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+std::string Profiler::wall_summary() const {
+    if (!params_.wall_clock) return {};
+    std::vector<SpanTotal> totals = span_totals();
+    std::erase_if(totals, [](const SpanTotal& t) { return t.count == 0; });
+    std::sort(totals.begin(), totals.end(), [](const SpanTotal& a, const SpanTotal& b) {
+        return a.wall_ns != b.wall_ns ? a.wall_ns > b.wall_ns : a.name < b.name;
+    });
+    std::uint64_t total = 0;
+    for (const SpanTotal& t : totals) total += t.wall_ns;
+    std::string out = "wall-clock span profile (non-deterministic):\n";
+    char buf[192];
+    for (const SpanTotal& t : totals) {
+        const double pct =
+            total == 0 ? 0.0 : 100.0 * static_cast<double>(t.wall_ns) / static_cast<double>(total);
+        std::snprintf(buf, sizeof(buf), "  %-28s %10" PRIu64 " calls %12.3f ms %6.2f%%\n",
+                      t.name.c_str(), t.count, static_cast<double>(t.wall_ns) / 1e6, pct);
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace ble::obs::prof

@@ -1,0 +1,407 @@
+// Deterministic self-profiler: RAII scoped spans with dual clocks.
+//
+// A Profiler is strictly per-trial and single-threaded, exactly like the
+// EventBus it observes alongside: TrialRunner workers each install their own
+// instance for the duration of one trial (prof::Install), so there is no
+// shared mutable state and no locking on the hot path.  Two clocks feed it:
+//
+//  * Sim time — the scheduler publishes its clock into a thread-local cell on
+//    every dispatch (prof::set_sim_now), and spans attribute simulated
+//    nanoseconds from it (plus explicit add_sim() claims such as frame
+//    airtime).  Sim-time statistics are a pure function of (config, seed):
+//    exported into MetricsRegistry as prof.* series and merged in trial-index
+//    order, they are bit-identical for any BENCH_JOBS.
+//  * Wall time — optional (ProfilerParams::wall_clock), explicitly
+//    non-deterministic, and quarantined: wall numbers never reach
+//    MetricsRegistry or INJECTABLE_JSON, only the human-facing wall_summary()
+//    string.  The single steady_clock read lives in profiler.cpp behind an
+//    audited injectable-lint allow(D2).
+//
+// Span instances form a collapsed-stack tree (node children keyed by span
+// id).  Names are interned once per process into a global id table so a fresh
+// per-trial profiler pays no re-interning; because the global assignment
+// order is scheduling-dependent, every export keys and sorts by *name* and
+// per-profiler orderings derive from node-creation order, never from ids.
+// All statistics accumulate on the tree node itself (one cache line of hot
+// fields, histograms in a parallel array), and per-span flat totals are
+// aggregated at export time — the hot path never touches a second table.
+// Exports:
+//  * export_metrics(): prof.span.* counters/histograms, prof.stack.* counters
+//    (semicolon-joined paths — the flamegraph input), prof.gauge.* gauges;
+//  * chrome_trace_json(): nested "X" duration events on the sim clock for
+//    INJECTABLE_CHROME_TRACE_DIR, byte-deterministic;
+//  * wall_summary(): non-deterministic per-span wall totals for stderr.
+//
+// Instrumented code uses prof::Span unconditionally; when no profiler is
+// installed the constructor is a thread-local load and a null test.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ble::obs {
+class MetricsRegistry;
+}  // namespace ble::obs
+
+namespace ble::obs::prof {
+
+namespace detail {
+/// The profiler's only wall-clock read; defined in profiler.cpp behind the
+/// audited lint allow(D2).  Wall numbers never reach deterministic artifacts.
+[[nodiscard]] std::uint64_t wall_now_ns() noexcept;
+}  // namespace detail
+
+struct ProfilerParams {
+    /// Enables wall-clock span timing (non-deterministic; summary only).
+    bool wall_clock = false;
+    /// Buffers per-span Chrome duration events for chrome_trace_json().  Off
+    /// when nobody will read the timeline (run_series disables it without
+    /// INJECTABLE_CHROME_TRACE_DIR) — the metric/stack aggregation is
+    /// unaffected either way.
+    bool chrome_trace = true;
+    /// Bounded Chrome-event buffer; spans past the cap are counted as dropped
+    /// (the metric/stack aggregation itself is never truncated).
+    std::size_t max_chrome_events = 65536;
+};
+
+class Profiler;
+class Span;
+
+/// Per-call-site cache: declared `static thread_local` next to the Span/gauge
+/// call that uses it.  The span id is interned once per *process* in a global
+/// mutex-guarded name table (ids are process-wide and stable; their
+/// assignment order depends on thread scheduling but never reaches any output
+/// — every export keys and sorts by name).  The (parent, node) edge cache is
+/// per-profiler, revalidated by the epoch check whenever a different Profiler
+/// instance is installed, so the steady-state hot path is two integer
+/// compares — no name lookup, no child scan, and a fresh per-trial profiler
+/// costs no re-interning at all.
+class SpanSite {
+public:
+    explicit SpanSite(std::string_view name) noexcept : name_(name) {}
+
+private:
+    friend class Profiler;
+    std::string_view name_;
+    std::uint64_t epoch_ = 0;  // 0 never matches a live profiler
+    int id_ = -1;              // global, set once per process
+    int last_parent_ = -1;     // node index the cached edge hangs off
+    int last_node_ = -1;
+};
+
+/// Same mechanics for gauges (separate global id space; no tree).
+class GaugeSite {
+public:
+    explicit GaugeSite(std::string_view name) noexcept : name_(name) {}
+
+private:
+    friend class Profiler;
+    std::string_view name_;
+    std::uint64_t epoch_ = 0;
+    int id_ = -1;
+};
+
+class Profiler {
+public:
+    explicit Profiler(ProfilerParams params = {});
+    Profiler(const Profiler&) = delete;
+    Profiler& operator=(const Profiler&) = delete;
+
+    // -- hot path (called via prof::Span / prof::sample_gauge) --------------
+    //
+    // Frame state (node index, entry timestamps, claimed extra sim time)
+    // lives *inside* the Span object on the caller's stack, so entering and
+    // leaving a span touches no profiler-side stack structure at all — just
+    // the tree node's accumulators.  Definitions follow the Span class.
+    inline void enter(std::string_view name, TimePoint sim_ts, Span& span);
+    inline void enter(SpanSite& site, TimePoint sim_ts, Span& span);
+    inline void exit(Span& span, TimePoint sim_ts);
+    void sample_gauge(std::string_view name, std::int64_t value);
+    void sample_gauge(GaugeSite& site, std::int64_t value) {
+        if (site.epoch_ != epoch_) {
+            if (site.id_ < 0) site.id_ = intern_gauge_name(site.name_);
+            site.epoch_ = epoch_;
+            // First use of this site under this profiler: make the sparse
+            // global-id-indexed cell array big enough, so the hot path below
+            // needs no bounds branch.
+            if (gauge_cells_.size() <= static_cast<std::size_t>(site.id_)) {
+                gauge_cells_.resize(static_cast<std::size_t>(site.id_) + 1);
+            }
+        }
+        gauge_sample(gauge_cells_[static_cast<std::size_t>(site.id_)], value);
+    }
+
+    [[nodiscard]] bool wall_clock_enabled() const noexcept { return params_.wall_clock; }
+    [[nodiscard]] std::size_t depth() const noexcept { return static_cast<std::size_t>(depth_); }
+    [[nodiscard]] std::uint64_t chrome_events_dropped() const noexcept { return chrome_dropped_; }
+
+    // -- reporting ----------------------------------------------------------
+    /// One collapsed-stack line: "a;b;c" with aggregate count and sim-µs, the
+    /// standard flamegraph input format.  Sorted by stack string.
+    struct StackLine {
+        std::string stack;
+        std::uint64_t count = 0;
+        std::uint64_t sim_us = 0;
+    };
+    [[nodiscard]] std::vector<StackLine> collapsed_stacks() const;
+
+    /// Per-span flat totals in first-use order (aggregated over every tree
+    /// node the span appears in).
+    struct SpanTotal {
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t sim_ns = 0;
+        std::uint64_t wall_ns = 0;
+    };
+    [[nodiscard]] std::vector<SpanTotal> span_totals() const;
+
+    /// Emits prof.span.* / prof.stack.* / prof.gauge.* into `registry` (all
+    /// sim-clock data; wall numbers are deliberately excluded).
+    void export_metrics(MetricsRegistry& registry) const;
+
+    /// Chrome trace-event JSON ({"traceEvents":[...]}) of the buffered spans,
+    /// nested on the sim clock.  Byte-deterministic.
+    [[nodiscard]] std::string chrome_trace_json() const;
+    bool write_chrome_trace(const std::string& path) const;
+
+    /// Human-facing wall-clock table (empty string unless wall_clock was
+    /// enabled).  Non-deterministic by construction — never machine-parsed.
+    [[nodiscard]] std::string wall_summary() const;
+
+private:
+    struct PathNode {
+        int span_id = -1;
+        int parent = -1;
+        // (span id, node index) pairs; children counts are tiny, so a linear
+        // scan beats a tree, and lookup order never reaches any output.
+        std::vector<std::pair<int, int>> children;
+        std::uint64_t count = 0;
+        std::uint64_t sim_ns = 0;
+        std::uint64_t wall_ns = 0;
+        // Per-instance sim-µs distribution scalars, kept on the node's hot
+        // cache lines; the log2 bucket array lives in the parallel buckets_
+        // vector (bucket = bit_width(µs), mirroring HistogramSnapshot).
+        std::uint64_t sum_us = 0;
+        std::uint64_t min_us = 0;
+        std::uint64_t max_us = 0;
+    };
+    using BucketArray = std::array<std::uint64_t, 65>;
+    struct GaugeCell {
+        std::uint64_t samples = 0;
+        std::int64_t last = 0;
+        std::int64_t min = 0;
+        std::int64_t max = 0;
+    };
+    struct ChromeEvent {
+        int span_id = 0;
+        int depth = 0;
+        TimePoint start = 0;
+        Duration dur = 0;
+    };
+
+    // Process-wide name→id tables (cold: mutex-guarded, defined in the cpp).
+    // Ids are stable for the process lifetime; their assignment order is
+    // scheduling-dependent and therefore must never order any output.
+    static int intern_span_name(std::string_view name);
+    static int intern_gauge_name(std::string_view name);
+    [[nodiscard]] static std::vector<std::string> span_name_snapshot();
+    [[nodiscard]] static std::vector<std::string> gauge_name_snapshot();
+    /// Finds `id` among current_node_'s children, adding the node on first
+    /// visit of this (parent, span) pair.
+    int resolve_node(int id) {
+        const PathNode& parent = nodes_[static_cast<std::size_t>(current_node_)];
+        for (const auto& [child_id, child_node] : parent.children) {
+            if (child_id == id) return child_node;
+        }
+        return add_node(id);
+    }
+    int add_node(int id);  // cold
+    void record_chrome(int span_id, TimePoint start, std::uint64_t sim_ns);
+    static void gauge_sample(GaugeCell& cell, std::int64_t value) noexcept {
+        if (cell.samples == 0) {
+            cell.min = value;
+            cell.max = value;
+        } else {
+            cell.min = value < cell.min ? value : cell.min;
+            cell.max = value > cell.max ? value : cell.max;
+        }
+        cell.last = value;
+        ++cell.samples;
+    }
+    void stack_path(int node, const std::vector<std::string>& names, std::string& out) const;
+    /// Per-span aggregation over the node tree (export-time only), indexed by
+    /// global span id; `size` must cover every id the tree references.
+    struct SpanAgg {
+        std::uint64_t count = 0;
+        std::uint64_t sim_ns = 0;
+        std::uint64_t wall_ns = 0;
+        std::uint64_t sum_us = 0;
+        std::uint64_t min_us = 0;
+        std::uint64_t max_us = 0;
+        BucketArray buckets{};
+    };
+    [[nodiscard]] std::vector<SpanAgg> aggregate_spans(std::size_t size) const;
+
+    ProfilerParams params_;
+    std::uint64_t epoch_;          // process-unique per instance; validates sites
+    std::vector<PathNode> nodes_;      // nodes_[0] is the synthetic root
+    std::vector<BucketArray> buckets_;  // parallel to nodes_
+    int current_node_ = 0;
+    int depth_ = 0;  // open spans (frame state itself lives in the Spans)
+    std::vector<GaugeCell> gauge_cells_;  // indexed by global gauge id, sparse
+    std::vector<ChromeEvent> chrome_;
+    std::uint64_t chrome_dropped_ = 0;
+};
+
+// -- thread-local installation ----------------------------------------------
+//
+// One profiler per trial, one trial per thread at a time: a plain
+// thread-local pointer is all the indirection the hot path needs.
+namespace detail {
+inline thread_local Profiler* t_current = nullptr;
+inline thread_local TimePoint t_sim_now = 0;
+}  // namespace detail
+
+[[nodiscard]] inline Profiler* current() noexcept { return detail::t_current; }
+[[nodiscard]] inline bool active() noexcept { return detail::t_current != nullptr; }
+
+/// The scheduler stores its clock here on every dispatch; spans read it so
+/// they never need a back-pointer to the scheduler.
+inline void set_sim_now(TimePoint t) noexcept { detail::t_sim_now = t; }
+[[nodiscard]] inline TimePoint sim_now() noexcept { return detail::t_sim_now; }
+
+/// RAII install/restore of the calling thread's profiler (null is fine and
+/// makes every Span a no-op — the uninstrumented fast path).
+class Install {
+public:
+    explicit Install(Profiler* profiler) noexcept
+        : prev_(detail::t_current), prev_sim_(detail::t_sim_now) {
+        detail::t_current = profiler;
+        detail::t_sim_now = 0;
+    }
+    ~Install() {
+        detail::t_current = prev_;
+        detail::t_sim_now = prev_sim_;
+    }
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+private:
+    Profiler* prev_;
+    TimePoint prev_sim_;
+};
+
+/// RAII scoped span.  The frame state (tree-node index, entry timestamps,
+/// claimed extra sim time) is carried by the Span object itself on the
+/// caller's stack, so the profiler keeps no side stack and destruction pops
+/// the span even when unwinding through an exception — the collapsed-stack
+/// tree can never be left unbalanced.
+class Span {
+public:
+    explicit Span(std::string_view name) : prof_(detail::t_current) {
+        if (prof_ != nullptr) prof_->enter(name, detail::t_sim_now, *this);
+    }
+    Span(std::string_view name, TimePoint sim_ts) : prof_(detail::t_current) {
+        if (prof_ != nullptr) prof_->enter(name, sim_ts, *this);
+    }
+    /// Cached-id fast path; `site` must be `static thread_local` at the call
+    /// site (or otherwise single-threaded, like a per-trial sink member) so
+    /// concurrent trial workers never share a cache cell.
+    explicit Span(SpanSite& site) : prof_(detail::t_current) {
+        if (prof_ != nullptr) prof_->enter(site, detail::t_sim_now, *this);
+    }
+    Span(SpanSite& site, TimePoint sim_ts) : prof_(detail::t_current) {
+        if (prof_ != nullptr) prof_->enter(site, sim_ts, *this);
+    }
+    ~Span() {
+        if (prof_ != nullptr) prof_->exit(*this, detail::t_sim_now);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attributes extra simulated time to this span (e.g. frame airtime
+    /// claimed by the medium on top of scheduler clock movement).
+    void add_sim(Duration d) noexcept {
+        if (d > 0) extra_sim_ns_ += static_cast<std::uint64_t>(d);
+    }
+
+private:
+    friend class Profiler;
+    Profiler* prof_;
+    int node_ = 0;
+    TimePoint enter_sim_ = 0;
+    std::uint64_t extra_sim_ns_ = 0;
+    std::uint64_t enter_wall_ns_ = 0;
+};
+
+// -- Profiler hot-path definitions (need the complete Span type) ------------
+
+inline void Profiler::enter(std::string_view name, TimePoint sim_ts, Span& span) {
+    span.node_ = resolve_node(intern_span_name(name));
+    span.enter_sim_ = sim_ts;
+    if (params_.wall_clock) span.enter_wall_ns_ = detail::wall_now_ns();
+    current_node_ = span.node_;
+    ++depth_;
+}
+
+inline void Profiler::enter(SpanSite& site, TimePoint sim_ts, Span& span) {
+    if (site.epoch_ != epoch_) {
+        if (site.id_ < 0) site.id_ = intern_span_name(site.name_);
+        site.epoch_ = epoch_;
+        site.last_parent_ = -1;
+    }
+    int node_index;
+    if (site.last_parent_ == current_node_) {
+        node_index = site.last_node_;
+    } else {
+        site.last_parent_ = current_node_;
+        node_index = resolve_node(site.id_);
+        site.last_node_ = node_index;
+    }
+    span.node_ = node_index;
+    span.enter_sim_ = sim_ts;
+    if (params_.wall_clock) span.enter_wall_ns_ = detail::wall_now_ns();
+    current_node_ = node_index;
+    ++depth_;
+}
+
+inline void Profiler::exit(Span& span, TimePoint sim_ts) {
+    const std::uint64_t elapsed =
+        sim_ts >= span.enter_sim_ ? static_cast<std::uint64_t>(sim_ts - span.enter_sim_) : 0;
+    const std::uint64_t sim_ns = elapsed + span.extra_sim_ns_;
+    const std::uint64_t us = sim_ns / 1000;
+
+    PathNode& node = nodes_[static_cast<std::size_t>(span.node_)];
+    ++node.count;
+    node.sim_ns += sim_ns;
+    node.sum_us += us;
+    if (node.count == 1) {
+        node.min_us = us;
+        node.max_us = us;
+    } else {
+        node.min_us = us < node.min_us ? us : node.min_us;
+        node.max_us = us > node.max_us ? us : node.max_us;
+    }
+    ++buckets_[static_cast<std::size_t>(span.node_)][std::bit_width(us)];
+    if (params_.wall_clock) node.wall_ns += detail::wall_now_ns() - span.enter_wall_ns_;
+
+    --depth_;
+    if (params_.chrome_trace) record_chrome(node.span_id, span.enter_sim_, sim_ns);
+    current_node_ = node.parent;
+}
+
+inline void sample_gauge(std::string_view name, std::int64_t value) {
+    if (Profiler* p = detail::t_current) p->sample_gauge(name, value);
+}
+
+inline void sample_gauge(GaugeSite& site, std::int64_t value) {
+    if (Profiler* p = detail::t_current) p->sample_gauge(site, value);
+}
+
+}  // namespace ble::obs::prof

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/prof/profiler.hpp"
 #include "sim/radio_device.hpp"
 
 namespace ble::sim {
@@ -67,6 +68,9 @@ double RadioMedium::rx_power_dbm(Transmission& tx, const RadioDevice& receiver) 
 }
 
 std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFrame frame) {
+    static thread_local obs::prof::SpanSite prof_site{"medium.transmit"};
+    obs::prof::Span prof_span(prof_site);
+    prof_span.add_sim(frame.duration());  // claim the frame's airtime
     // Half-duplex: transmitting suspends any reception in progress.
     stop_listening(device);
     device.transmitting_ = true;
@@ -110,7 +114,11 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
         }
     }
 
-    scheduler_.schedule_at(stored.end, [this, id] { finish_transmission(id); });
+    // The finish event must fire even if the sender detaches mid-frame — the
+    // medium outlives every frame, and finish_transmission tolerates a gone
+    // sender, so there is never a reason to cancel it.
+    (void)scheduler_.schedule_at(  // injectable-lint: allow(D4) -- see above
+        stored.end, [this, id] { finish_transmission(id); });
     return id;
 }
 
@@ -124,6 +132,8 @@ void RadioMedium::add_tx_observer(TxObserver observer) {
 }
 
 void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
+    static thread_local obs::prof::SpanSite prof_site{"medium.deliver"};
+    obs::prof::Span prof_span(prof_site);
     const double signal_dbm = rx_power_dbm(tx, receiver);
     const double noise_mw = dbm_to_mw(params_.noise_floor_dbm);
 
@@ -214,6 +224,8 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
 }
 
 void RadioMedium::finish_transmission(std::uint64_t tx_id) {
+    // Deliberately unspanned: trivial bookkeeping whose time reads naturally
+    // as sim.dispatch self-time; medium.transmit/deliver carry the profile.
     auto it = active_.find(tx_id);
     if (it == active_.end()) return;
     Transmission& tx = it->second;

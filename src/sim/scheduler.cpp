@@ -2,7 +2,28 @@
 
 #include <utility>
 
+#include "obs/prof/profiler.hpp"
+
 namespace ble::sim {
+
+namespace {
+
+/// One dispatched event, profiled.  The "sim.dispatch" span opens at the
+/// pre-dispatch clock and closes at the event's firing time, so its sim-time
+/// duration is exactly the simulated jump the event caused; queue depth is
+/// sampled as a prof gauge.  All of it compiles down to a thread-local null
+/// test when no profiler is installed.
+inline void dispatch_profiled(TimePoint prev, TimePoint fire, std::size_t pending,
+                              const std::function<void()>& fn) {
+    obs::prof::set_sim_now(fire);
+    static thread_local obs::prof::SpanSite dispatch_site{"sim.dispatch"};
+    static thread_local obs::prof::GaugeSite depth_site{"sim.sched.queue_depth"};
+    obs::prof::Span span(dispatch_site, prev);
+    obs::prof::sample_gauge(depth_site, static_cast<std::int64_t>(pending));
+    fn();
+}
+
+}  // namespace
 
 EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
     if (t < now_) t = now_;
@@ -22,8 +43,9 @@ bool Scheduler::run_one() {
         if (it == callbacks_.end()) continue;  // cancelled
         auto fn = std::move(it->second);
         callbacks_.erase(it);
+        const TimePoint prev = now_;
         now_ = entry.t;
-        fn();
+        dispatch_profiled(prev, now_, callbacks_.size(), fn);
         return true;
     }
     return false;
@@ -42,8 +64,9 @@ void Scheduler::run_until(TimePoint t) {
         heap_.pop();
         auto fn = std::move(it->second);
         callbacks_.erase(it);
+        const TimePoint prev = now_;
         now_ = entry.t;
-        fn();
+        dispatch_profiled(prev, now_, callbacks_.size(), fn);
     }
     if (now_ < t) now_ = t;
 }

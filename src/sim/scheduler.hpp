@@ -27,8 +27,10 @@ public:
     [[nodiscard]] TimePoint now() const noexcept { return now_; }
 
     /// Schedules `fn` at absolute time `t` (clamped to `now()` if in the past).
-    EventId schedule_at(TimePoint t, std::function<void()> fn);
-    EventId schedule_after(Duration d, std::function<void()> fn) {
+    /// The returned EventId is the only way to cancel the event; discarding it
+    /// (fire-and-forget) needs an audited allow(D4) lint suppression.
+    [[nodiscard]] EventId schedule_at(TimePoint t, std::function<void()> fn);
+    [[nodiscard]] EventId schedule_after(Duration d, std::function<void()> fn) {
         return schedule_at(now_ + d, std::move(fn));
     }
 

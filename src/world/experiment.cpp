@@ -10,6 +10,7 @@
 #include "core/forge.hpp"
 #include "link/trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/sinks.hpp"
 #include "obs/timeline.hpp"
 #include "world/replay.hpp"
@@ -23,8 +24,9 @@ namespace {
 /// (nested sweeps, tests), and each series must land as one intact line.
 std::mutex g_json_mutex;
 
-/// Experiment names go into trace file names; keep them filesystem-safe.
-std::string sanitize_name(const std::string& name) {
+}  // namespace
+
+std::string sanitize_experiment_name(const std::string& name) {
     std::string out = name;
     for (char& c : out) {
         const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -34,7 +36,6 @@ std::string sanitize_name(const std::string& name) {
     if (out.empty()) out = "experiment";
     return out;
 }
-}  // namespace
 
 RunResult run_injection_experiment(const ExperimentConfig& config, std::uint64_t seed) {
     RunResult result;
@@ -186,6 +187,12 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
     const bool metrics_print = std::getenv("INJECTABLE_METRICS") != nullptr;
     const bool want_metrics =
         json_path != nullptr || metrics_print || static_cast<bool>(config.on_series_metrics);
+    // INJECTABLE_PROF=1 installs the per-trial self-profiler (src/obs/prof);
+    // its sim-time prof.* series land in the merged metrics snapshot above.
+    // INJECTABLE_PROF_WALL=1 adds wall-clock span timing whose only output is
+    // a per-trial stderr table (non-deterministic, never recorded).
+    const bool want_prof = config.profile_spans || std::getenv("INJECTABLE_PROF") != nullptr;
+    const bool prof_wall = std::getenv("INJECTABLE_PROF_WALL") != nullptr;
 
     // Per-trial metric snapshots, stored by index like the results: merging
     // them 0..runs-1 afterwards is deterministic for any worker count.
@@ -193,6 +200,7 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
         want_metrics ? static_cast<std::size_t>(runs) : 0);
 
     TrialRunner runner(config.jobs);
+    runner.set_progress_label(config.name);
     auto results = runner.map(runs, [&](int i) {
         // RunResult::wall_ms is documented non-deterministic and excluded
         // from every comparison, so the host clock is fine here.
@@ -230,17 +238,30 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
             trial_config = &instrumented_config;
         }
 
-        RunResult result =
-            run_injection_experiment_with_retry(*trial_config, base_seed, kSetupRetries);
+        std::unique_ptr<obs::prof::Profiler> profiler;
+        if (want_prof) {
+            obs::prof::ProfilerParams params;
+            params.wall_clock = prof_wall;
+            params.chrome_trace = chrome_dir != nullptr;
+            profiler = std::make_unique<obs::prof::Profiler>(params);
+        }
+        RunResult result;
+        {
+            // Install covers the whole trial (all setup retries) on this
+            // worker thread; a null profiler makes every span a no-op.
+            const obs::prof::Install install(profiler.get());
+            result = run_injection_experiment_with_retry(*trial_config, base_seed, kSetupRetries);
+        }
         result.wall_ms =
             // injectable-lint: allow(D2) -- host wall-clock cost, see above.
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
                 .count();
         if (metrics) {
             metrics->finalize();
+            if (profiler) profiler->export_metrics(*registry);
             metric_snapshots[static_cast<std::size_t>(i)] = registry->snapshot();
         }
-        const std::string stem = sanitize_name(config.name) + "-seed" +
+        const std::string stem = sanitize_experiment_name(config.name) + "-seed" +
                                  std::to_string(result.seed);
         if (trace && (trace_all || !result.success)) {
             const std::string path = std::string(trace_dir) + "/" + stem + ".jsonl" +
@@ -250,6 +271,15 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
         if (occupancy) {
             occupancy->write_chrome_trace(std::string(chrome_dir) + "/" + stem +
                                           ".trace.json");
+        }
+        if (profiler != nullptr && chrome_dir != nullptr) {
+            profiler->write_chrome_trace(std::string(chrome_dir) + "/" + stem +
+                                         ".prof.trace.json");
+        }
+        if (profiler != nullptr && prof_wall) {
+            const std::string summary = profiler->wall_summary();
+            std::fprintf(stderr, "[injectable] %s seed %llu %s", stem.c_str(),
+                         static_cast<unsigned long long>(result.seed), summary.c_str());
         }
         return result;
     });
@@ -280,7 +310,12 @@ std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>
     os << "{\"experiment\":\"" << obs::json_escape(config.name)
        << "\",\"base_seed\":" << config.base_seed
        << ",\"runs\":" << results.size() << ",\"jobs\":" << resolve_jobs()
-       << ",\"hop_interval\":" << config.world.hop_interval << ",\"trials\":[";
+       << ",\"hop_interval\":" << config.world.hop_interval
+       // The same self-describing meta object that heads every trace file:
+       // lets `trace_replay --from-json` re-run the series from this record
+       // alone (config + seed list, no stored traces needed).
+       << ",\"meta\":" << experiment_meta_json(config, config.base_seed, kSetupRetries)
+       << ",\"trials\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult& r = results[i];
         if (i) os << ',';

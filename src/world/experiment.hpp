@@ -41,6 +41,15 @@ struct ExperimentConfig {
     /// concurrency (results are index-ordered, identical for any value).
     int jobs = 0;
 
+    /// Enables the deterministic self-profiler (src/obs/prof) per trial:
+    /// prof.* sim-time span metrics join the merged series snapshot (and thus
+    /// INJECTABLE_JSON / INJECTABLE_METRICS), and nested span timelines land
+    /// next to the Chrome traces under INJECTABLE_CHROME_TRACE_DIR.
+    /// INJECTABLE_PROF=1 turns this on from the environment;
+    /// INJECTABLE_PROF_WALL=1 additionally prints per-trial wall-clock span
+    /// tables to stderr (non-deterministic, never recorded).
+    bool profile_spans = false;
+
     /// The testbed (geometry, clocks, RF, traffic, counter-measures).
     WorldSpec world{};
 
@@ -110,6 +119,11 @@ struct Stats {
 
 /// Quartile summary of the attempts-before-success samples (successes only).
 [[nodiscard]] Stats summarize(const std::vector<RunResult>& results);
+
+/// Filesystem-safe form of an experiment name, as used in trace file stems
+/// ("<name>-seed<seed>.jsonl[.gz]").  Shared with tools/campaign_report so
+/// report and recorder agree on trace paths.
+[[nodiscard]] std::string sanitize_experiment_name(const std::string& name);
 
 /// Runs one full measurement (connection + sniff + inject).
 [[nodiscard]] RunResult run_injection_experiment(const ExperimentConfig& config,

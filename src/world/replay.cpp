@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common/hex.hpp"
+#include "common/json.hpp"
 #include "link/trace.hpp"
 #include "obs/sinks.hpp"
 
@@ -491,6 +492,105 @@ ReplayDiff replay_trace_file(const std::string& path) {
         return diff;
     }
     return replay_trace_lines(lines);
+}
+
+namespace {
+
+RunResult run_result_from_json(const json::Value& trial) {
+    RunResult r;
+    r.seed = trial.u64("seed");
+    r.success = trial.boolean_at("success");
+    r.attempts = static_cast<int>(trial.i64("attempts"));
+    r.established = trial.boolean_at("established");
+    r.sniffed = trial.boolean_at("sniffed");
+    r.session_lost = trial.boolean_at("session_lost");
+    r.victim_disconnected = trial.boolean_at("victim_disconnected");
+    r.heuristic_false_positives = static_cast<int>(trial.i64("heuristic_fp"));
+    r.heuristic_false_negatives = static_cast<int>(trial.i64("heuristic_fn"));
+    return r;
+}
+
+/// Name of the first deterministic RunResult field that differs.
+std::string first_differing_field(const RunResult& a, const RunResult& b) {
+    if (a.success != b.success) return "success";
+    if (a.attempts != b.attempts) return "attempts";
+    if (a.established != b.established) return "established";
+    if (a.sniffed != b.sniffed) return "sniffed";
+    if (a.session_lost != b.session_lost) return "session_lost";
+    if (a.victim_disconnected != b.victim_disconnected) return "victim_disconnected";
+    if (a.heuristic_false_positives != b.heuristic_false_positives) return "heuristic_fp";
+    if (a.heuristic_false_negatives != b.heuristic_false_negatives) return "heuristic_fn";
+    return {};
+}
+
+}  // namespace
+
+SeriesReplay replay_series_line(const std::string& line, int jobs) {
+    SeriesReplay replay;
+    const json::ParseResult parsed = json::parse(line);
+    if (!parsed.ok) {
+        replay.error = "series line parse error: " + parsed.error;
+        return replay;
+    }
+    const json::Value& record = parsed.value;
+    if (!record.is_object()) {
+        replay.error = "series line is not a JSON object";
+        return replay;
+    }
+    replay.name = record.string_at("experiment", "series");
+    const json::Value* meta_obj = record.find("meta");
+    if (meta_obj == nullptr || !meta_obj->is_object()) {
+        replay.error =
+            "record has no \"meta\" object (written before JSON-driven replay landed?)";
+        return replay;
+    }
+    // Round-trip through the meta header parser: dump() keeps number tokens
+    // verbatim, so the reconstructed config is bit-identical to the one the
+    // recorder serialized.
+    TraceMeta meta = parse_trace_meta(meta_obj->dump());
+    if (!meta.valid) {
+        replay.error = meta.error;
+        return replay;
+    }
+    const json::Value* trials = record.find("trials");
+    if (trials == nullptr || !trials->is_array()) {
+        replay.error = "record has no \"trials\" array";
+        return replay;
+    }
+
+    std::vector<RunResult> recorded;
+    recorded.reserve(trials->array.size());
+    for (const json::Value& trial : trials->array) {
+        if (!trial.is_object()) {
+            replay.error = "non-object trial entry";
+            return replay;
+        }
+        recorded.push_back(run_result_from_json(trial));
+    }
+    replay.trials = static_cast<int>(recorded.size());
+
+    const ExperimentConfig config = std::move(meta.config);  // callbacks are empty
+    const int tries = meta.tries;
+    TrialRunner runner(jobs);
+    runner.set_progress_label(replay.name + " (replay)");
+    const std::vector<RunResult> fresh =
+        runner.map(replay.trials, [&](int i) {
+            return run_injection_experiment_with_retry(config, recorded[static_cast<std::size_t>(i)].seed,
+                                                       tries);
+        });
+
+    replay.loaded = true;
+    for (std::size_t i = 0; i < recorded.size(); ++i) {
+        if (recorded[i] == fresh[i]) continue;  // wall_ms excluded by operator==
+        ++replay.mismatches;
+        SeriesTrialDiff diff;
+        diff.seed = recorded[i].seed;
+        diff.field = first_differing_field(recorded[i], fresh[i]);
+        diff.recorded = recorded[i];
+        diff.replayed = fresh[i];
+        replay.diffs.push_back(std::move(diff));
+    }
+    return replay;
 }
 
 }  // namespace injectable::world

@@ -63,4 +63,32 @@ struct ReplayDiff {
 /// Reads `path` (gzip-transparent when built with zlib) and replays it.
 [[nodiscard]] ReplayDiff replay_trace_file(const std::string& path);
 
+// ---------------------------------------------------------------------------
+// Replay straight from INJECTABLE_JSON records: every series line embeds the
+// same self-describing "meta" object that heads each trace file, plus the
+// per-trial (seed, outcome) list — enough to re-run the whole series and diff
+// the deterministic outcome fields without any stored trace.
+
+/// One replayed trial whose deterministic outcome diverged from the record.
+struct SeriesTrialDiff {
+    std::uint64_t seed = 0;
+    std::string field;  ///< first differing RunResult field
+    RunResult recorded;
+    RunResult replayed;
+};
+
+struct SeriesReplay {
+    bool loaded = false;  ///< line parsed and the replay ran
+    std::string error;    ///< set when !loaded
+    std::string name;     ///< experiment name from the record
+    int trials = 0;
+    int mismatches = 0;
+    std::vector<SeriesTrialDiff> diffs;  ///< one entry per mismatched trial
+};
+
+/// Re-runs every (config, seed) of one INJECTABLE_JSON line and diffs the
+/// recorded vs fresh RunResult fields (wall_ms excluded, as always).  Trials
+/// fan out on a TrialRunner; `jobs` 0 resolves via BENCH_JOBS.
+[[nodiscard]] SeriesReplay replay_series_line(const std::string& line, int jobs = 0);
+
 }  // namespace injectable::world

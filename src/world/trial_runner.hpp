@@ -15,9 +15,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,12 +29,44 @@ namespace injectable::world {
 /// hardware concurrency (never less than 1).
 [[nodiscard]] int resolve_jobs(int requested = 0) noexcept;
 
+/// Opt-in campaign heartbeat: when INJECTABLE_PROGRESS=1, prints throttled
+/// "done/total (pct) elapsed eta" lines to stderr as trials complete.  Pure
+/// observer — it reads the host clock (quarantined in trial_runner.cpp) and
+/// writes stderr only, so it cannot perturb determinism: trial results,
+/// metrics and traces are identical with or without it.
+class ProgressMeter {
+public:
+    /// `label` names the campaign in each line; `total` is the trial count.
+    ProgressMeter(std::string label, int total);
+    ~ProgressMeter();
+    ProgressMeter(const ProgressMeter&) = delete;
+    ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+    /// Thread-safe; call once per completed trial.
+    void tick();
+
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+private:
+    void print_line(int done, bool final_line);
+
+    std::string label_;
+    int total_;
+    bool enabled_;
+    std::uint64_t start_ns_ = 0;
+    std::atomic<int> done_{0};
+    std::atomic<std::uint64_t> last_print_ns_{0};
+};
+
 class TrialRunner {
 public:
     /// jobs == 0 resolves via BENCH_JOBS / hardware concurrency.
     explicit TrialRunner(int jobs = 0) : jobs_(resolve_jobs(jobs)) {}
 
     [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+    /// Label used by the INJECTABLE_PROGRESS heartbeat (defaults to "trials").
+    void set_progress_label(std::string label) { progress_label_ = std::move(label); }
 
     /// Runs fn(0) .. fn(count - 1), each exactly once, and returns the
     /// results ordered by index.  fn must be safe to call concurrently from
@@ -43,9 +77,13 @@ public:
         using Result = decltype(fn(0));
         if (count <= 0) return {};
         std::vector<Result> results(static_cast<std::size_t>(count));
+        ProgressMeter progress(progress_label_, count);
         const int workers = jobs_ < count ? jobs_ : count;
         if (workers <= 1) {
-            for (int i = 0; i < count; ++i) results[static_cast<std::size_t>(i)] = fn(i);
+            for (int i = 0; i < count; ++i) {
+                results[static_cast<std::size_t>(i)] = fn(i);
+                progress.tick();
+            }
             return results;
         }
 
@@ -59,6 +97,7 @@ public:
                 if (i >= count || abort.load(std::memory_order_relaxed)) return;
                 try {
                     results[static_cast<std::size_t>(i)] = fn(i);
+                    progress.tick();
                 } catch (...) {
                     const std::lock_guard lock(error_mutex);
                     if (!error) error = std::current_exception();
@@ -77,6 +116,7 @@ public:
 
 private:
     int jobs_;
+    std::string progress_label_ = "trials";
 };
 
 }  // namespace injectable::world

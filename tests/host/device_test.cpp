@@ -120,7 +120,7 @@ TEST(DeviceTest, ScanResponseDelivered) {
             // Issue a SCAN_REQ by hand, T_IFS after the ADV_IND.
             if (const auto adv = AdvDataPdu::parse(pdu)) {
                 const DeviceAddress target = adv->advertiser;
-                bed.scheduler.schedule_at(end + kTifs, [&, target, ch] {
+                (void)bed.scheduler.schedule_at(end + kTifs, [&, target, ch] {
                     ByteWriter w(12);
                     scanner->address().write_to(w);
                     target.write_to(w);

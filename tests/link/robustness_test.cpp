@@ -29,7 +29,7 @@ public:
 
 private:
     void schedule_burst() {
-        scheduler().schedule_after(period_, [this] {
+        (void)scheduler().schedule_after(period_, [this] {
             sim::AirFrame noise;
             noise.bytes = Bytes(20, 0xFF);
             transmit(static_cast<sim::Channel>(rng().next_below(37)), noise);

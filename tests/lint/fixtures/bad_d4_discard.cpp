@@ -1,0 +1,19 @@
+// lint-fixture-path: src/core/timers.cpp
+//
+// Discarded scheduler handles: every one of these drops the EventId that is
+// the only way to cancel the scheduled event, so the callback will fire into
+// whatever state the world is in by then.  D4 must flag all four sites —
+// the bare statement calls, the unaudited (void) cast, and the brace-less
+// if-body — while the consuming uses at the bottom stay clean.
+#include "sim/scheduler.hpp"
+
+namespace ble::core {
+
+void arm_timers(sim::Scheduler& scheduler, bool urgent) {
+    scheduler.schedule_at(100, [] {});
+    scheduler.schedule_after(50, [] {});
+    (void)scheduler.schedule_after(25, [] {});
+    if (urgent) scheduler.schedule_at(1, [] {});
+}
+
+}  // namespace ble::core

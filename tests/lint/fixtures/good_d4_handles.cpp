@@ -1,0 +1,29 @@
+// lint-fixture-path: src/core/timers.cpp
+//
+// Compliant scheduler use: the EventId is stored, returned, passed on, or —
+// where fire-and-forget is genuinely safe — the (void) discard carries an
+// audited allow(D4).  Only that one suppressed finding may appear.
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace ble::core {
+
+struct Timers {
+    sim::Scheduler& scheduler;
+    sim::EventId watchdog = 0;
+    std::vector<sim::EventId> pending;
+
+    sim::EventId arm() {
+        watchdog = scheduler.schedule_at(100, [] {});
+        pending.push_back(scheduler.schedule_after(50, [] {}));
+        if (scheduler.schedule_after(10, [] {}) != watchdog) {
+            scheduler.cancel(watchdog);
+        }
+        // injectable-lint: allow(D4) -- immediate one-shot; nothing to cancel
+        (void)scheduler.schedule_after(0, [] {});
+        return scheduler.schedule_at(200, [] {});
+    }
+};
+
+}  // namespace ble::core

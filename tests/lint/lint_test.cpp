@@ -1,5 +1,5 @@
 // Self-tests for injectable_lint (tools/injectable_lint): the tokenizer, the
-// four rules against the fixture corpus under tests/lint/fixtures/, the
+// rules against the fixture corpus under tests/lint/fixtures/, the
 // suppression grammar, and the reporting helpers.  Every bad_* fixture must
 // produce its rule's findings (the linter stays sharp) and every good_*
 // fixture must scan clean (the linter stays quiet on compliant code).
@@ -111,6 +111,17 @@ TEST(FixtureBad, S1MagicNumbers) {
     EXPECT_EQ(unsuppressed_count(findings), 3);
 }
 
+TEST(FixtureBad, D4DiscardedSchedulerHandles) {
+    // Bare statement calls, an unaudited (void) cast, and a brace-less
+    // if-body: four dropped EventIds.
+    const auto findings = scan_fixture("bad_d4_discard.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kD4), 4);
+    EXPECT_EQ(unsuppressed_count(findings), 4);
+    for (const Finding& f : findings) {
+        EXPECT_NE(f.message.find("EventId"), std::string::npos);
+    }
+}
+
 TEST(FixtureBad, MalformedSuppressionsAreFindingsAndSuppressNothing) {
     const auto findings = scan_fixture("bad_suppression.cpp");
     EXPECT_EQ(count_rule(findings, Rule::kBadSuppression), 2);
@@ -142,6 +153,12 @@ TEST(FixtureGood, D3MergeHelpers) {
     EXPECT_EQ(count_rule(findings, Rule::kD3, /*suppressed=*/true), 1);
 }
 
+TEST(FixtureGood, D4StoredHandlesAndAuditedFireAndForget) {
+    const auto findings = scan_fixture("good_d4_handles.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_EQ(count_rule(findings, Rule::kD4, /*suppressed=*/true), 1);
+}
+
 TEST(FixtureGood, S1NamedConstants) {
     const auto findings = scan_fixture("good_s1_named.cpp");
     EXPECT_EQ(unsuppressed_count(findings), 0);
@@ -170,6 +187,39 @@ TEST(RuleD3, OnlyRunsInStatsLayer) {
     EXPECT_EQ(count_rule(scan_source("a.cpp", "src/obs/a.cpp", src), Rule::kD3), 1);
     EXPECT_EQ(count_rule(scan_source("a.cpp", "src/world/a.cpp", src), Rule::kD3), 1);
     EXPECT_TRUE(scan_source("a.cpp", "src/sim/a.cpp", src).empty());
+}
+
+TEST(RuleD4, ConsumedHandlesAreExempt) {
+    // Assignment, argument position, comparison, and return all hand the
+    // EventId to a consumer; declarations are parameters, not discards.
+    const std::string src =
+        "EventId f(Scheduler& s) {\n"
+        "  auto id = s.schedule_at(1, cb);\n"
+        "  keep(s.schedule_after(2, cb));\n"
+        "  if (s.schedule_at(3, cb) != id) { s.cancel(id); }\n"
+        "  return s.schedule_after(4, cb);\n"
+        "}\n"
+        "EventId schedule_at(TimePoint t, Callback fn);\n";
+    EXPECT_TRUE(scan_source("t.cpp", "src/core/t.cpp", src).empty());
+}
+
+TEST(RuleD4, FlagsDiscardsThroughReceiverChains) {
+    // The receiver may be a chained nullary call; (void) makes the discard
+    // explicit but still audited.
+    const std::string src =
+        "void f(Radio& r) {\n"
+        "  r.scheduler().schedule_at(1, cb);\n"
+        "  (void)r.scheduler().schedule_after(2, cb);\n"
+        "}\n";
+    const auto findings = scan_source("t.cpp", "src/core/t.cpp", src);
+    EXPECT_EQ(count_rule(findings, Rule::kD4), 2);
+    EXPECT_NE(findings.at(1).message.find("explicitly discarded"), std::string::npos);
+}
+
+TEST(RuleD4, AppliesOutsideSrcToo) {
+    const std::string src = "void f(Scheduler& s) { s.schedule_after(1, cb); }";
+    EXPECT_EQ(count_rule(scan_source("b.cpp", "bench/b.cpp", src), Rule::kD4), 1);
+    EXPECT_EQ(count_rule(scan_source("e.cpp", "examples/e.cpp", src), Rule::kD4), 1);
 }
 
 TEST(RuleS1, OnlyRunsInPhyAndLink) {
@@ -233,7 +283,7 @@ TEST(Reporting, JsonlShapeAndSummaryTotals) {
 TEST(Reporting, ScanPathsWalksTheFixtureCorpus) {
     std::vector<Finding> findings;
     const int files = scan_paths({LINT_FIXTURE_DIR}, findings);
-    EXPECT_EQ(files, 9);  // 5 bad_* + 4 good_* fixtures
+    EXPECT_EQ(files, 11);  // 6 bad_* + 5 good_* fixtures
     EXPECT_GT(unsuppressed_count(findings), 0);
     EXPECT_EQ(scan_paths({"/nonexistent/injectable"}, findings), -1);
 }

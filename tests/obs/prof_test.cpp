@@ -1,0 +1,210 @@
+// Self-profiler unit tests (src/obs/prof): span nesting and the collapsed
+// stack tree, sim-time attribution from the thread-local clock, exception
+// unwind, metric export naming, the byte-deterministic Chrome trace, gauges,
+// and the Install/Span thread-local contract.
+#include "obs/prof/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ble::obs::prof {
+namespace {
+
+TEST(Profiler, SpanNestingBuildsCollapsedStacks) {
+    Profiler profiler;
+    const Install install(&profiler);
+    {
+        set_sim_now(100);
+        Span outer("outer");
+        {
+            set_sim_now(150);
+            Span inner("inner");
+            set_sim_now(250);
+        }
+        {
+            set_sim_now(250);
+            Span inner("inner");
+            set_sim_now(300);
+        }
+        set_sim_now(400);
+    }
+    const auto stacks = profiler.collapsed_stacks();
+    ASSERT_EQ(stacks.size(), 2u);
+    EXPECT_EQ(stacks[0].stack, "outer");
+    EXPECT_EQ(stacks[0].count, 1u);
+    EXPECT_EQ(stacks[1].stack, "outer;inner");
+    EXPECT_EQ(stacks[1].count, 2u);
+
+    const auto totals = profiler.span_totals();
+    ASSERT_EQ(totals.size(), 2u);
+    EXPECT_EQ(totals[0].name, "outer");
+    EXPECT_EQ(totals[0].count, 1u);
+    EXPECT_EQ(totals[0].sim_ns, 300u);  // 100 -> 400
+    EXPECT_EQ(totals[1].name, "inner");
+    EXPECT_EQ(totals[1].count, 2u);
+    EXPECT_EQ(totals[1].sim_ns, 150u);  // (150->250) + (250->300)
+}
+
+TEST(Profiler, AddSimAttributesExtraTime) {
+    Profiler profiler;
+    const Install install(&profiler);
+    {
+        set_sim_now(0);
+        Span span("tx");
+        span.add_sim(176'000);  // claimed airtime on top of clock movement
+    }
+    const auto totals = profiler.span_totals();
+    ASSERT_EQ(totals.size(), 1u);
+    EXPECT_EQ(totals[0].sim_ns, 176'000u);
+}
+
+TEST(Profiler, ExceptionUnwindPopsSpans) {
+    Profiler profiler;
+    const Install install(&profiler);
+    try {
+        Span outer("outer");
+        Span inner("inner");
+        throw std::runtime_error("trial died");
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(profiler.depth(), 0u);
+    // A fresh span lands at the root again, not under a stale parent.
+    { Span next("next"); }
+    const auto stacks = profiler.collapsed_stacks();  // sorted by stack string
+    ASSERT_EQ(stacks.size(), 3u);
+    EXPECT_EQ(stacks[0].stack, "next");
+    EXPECT_EQ(stacks[1].stack, "outer");
+    EXPECT_EQ(stacks[2].stack, "outer;inner");
+}
+
+TEST(Profiler, NoInstallMeansNoOpSpans) {
+    ASSERT_FALSE(active());
+    Span span("never-recorded");  // must not crash, must record nothing
+    SUCCEED();
+}
+
+TEST(Profiler, InstallRestoresPreviousProfiler) {
+    Profiler a;
+    const Install outer(&a);
+    {
+        Profiler b;
+        set_sim_now(42);
+        const Install inner(&b);
+        EXPECT_EQ(current(), &b);
+        EXPECT_EQ(sim_now(), 0);  // fresh trial clock
+    }
+    EXPECT_EQ(current(), &a);
+    EXPECT_EQ(sim_now(), 42);
+}
+
+TEST(Profiler, ExportMetricsNaming) {
+    Profiler profiler;
+    const Install install(&profiler);
+    {
+        set_sim_now(0);
+        Span outer("sched");
+        sample_gauge("queue_depth", 7);
+        {
+            Span inner("deliver");
+            set_sim_now(5'000);
+        }
+        set_sim_now(9'000);
+    }
+    MetricsRegistry registry;
+    profiler.export_metrics(registry);
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("prof.span.sched.count"), 1u);
+    EXPECT_EQ(snap.counters.at("prof.span.sched.sim_us"), 9u);
+    EXPECT_EQ(snap.counters.at("prof.span.deliver.sim_us"), 5u);
+    EXPECT_EQ(snap.counters.at("prof.stack.sched.count"), 1u);
+    EXPECT_EQ(snap.counters.at("prof.stack.sched;deliver.count"), 1u);
+    EXPECT_EQ(snap.gauges.at("prof.gauge.queue_depth").last, 7);
+    EXPECT_EQ(snap.histograms.at("prof.span.sched.sim_us").count, 1u);
+    EXPECT_EQ(snap.counters.count("prof.chrome_events_dropped"), 0u);
+}
+
+TEST(Profiler, ChromeTraceIsValidAndDeterministic) {
+    auto run = [] {
+        Profiler profiler;
+        const Install install(&profiler);
+        {
+            set_sim_now(1'000);
+            Span outer("outer");
+            {
+                set_sim_now(1'500);
+                Span inner("inner");
+                set_sim_now(2'500);
+            }
+            set_sim_now(3'000);
+        }
+        return profiler.chrome_trace_json();
+    };
+    const std::string json = run();
+    EXPECT_EQ(json, run()) << "chrome trace must be byte-deterministic";
+    // Spot-check shape: quoted names, X events, fractional-µs timestamps.
+    EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":1.000"), std::string::npos);
+}
+
+TEST(Profiler, ChromeBufferCapCountsDrops) {
+    ProfilerParams params;
+    params.max_chrome_events = 2;
+    Profiler profiler(params);
+    const Install install(&profiler);
+    for (int i = 0; i < 5; ++i) {
+        Span span("s");
+    }
+    EXPECT_EQ(profiler.chrome_events_dropped(), 3u);
+    MetricsRegistry registry;
+    profiler.export_metrics(registry);
+    EXPECT_EQ(registry.snapshot().counters.at("prof.chrome_events_dropped"), 3u);
+}
+
+TEST(Profiler, GaugeTracksLastMinMax) {
+    Profiler profiler;
+    const Install install(&profiler);
+    sample_gauge("depth", 5);
+    sample_gauge("depth", 2);
+    sample_gauge("depth", 9);
+    MetricsRegistry registry;
+    profiler.export_metrics(registry);
+    const GaugeSnapshot g = registry.snapshot().gauges.at("prof.gauge.depth");
+    EXPECT_EQ(g.samples, 3u);
+    EXPECT_EQ(g.last, 9);
+    EXPECT_EQ(g.min, 2);
+    EXPECT_EQ(g.max, 9);
+}
+
+TEST(Profiler, WallSummaryOnlyWhenEnabled) {
+    Profiler off;
+    {
+        const Install install(&off);
+        Span span("s");
+    }
+    EXPECT_TRUE(off.wall_summary().empty());
+
+    ProfilerParams params;
+    params.wall_clock = true;
+    Profiler on(params);
+    {
+        const Install install(&on);
+        Span span("s");
+    }
+    EXPECT_NE(on.wall_summary().find('s'), std::string::npos);
+    // Wall numbers must never leak into the deterministic export.
+    MetricsRegistry registry;
+    on.export_metrics(registry);
+    for (const auto& [name, value] : registry.snapshot().counters) {
+        EXPECT_EQ(name.find("wall"), std::string::npos) << name;
+    }
+}
+
+}  // namespace
+}  // namespace ble::obs::prof

@@ -94,7 +94,7 @@ TEST_F(MediumFixture, ListeningMidFrameCannotSync) {
     auto tx = make("tx", {0, 0});
     auto rx = make("rx", {1, 0});
     tx->transmit(7, test_frame());
-    scheduler.schedule_at(20'000, [&] { rx->listen(7); });  // 20 µs in
+    (void)scheduler.schedule_at(20'000, [&] { rx->listen(7); });  // 20 µs in
     scheduler.run_all();
     EXPECT_TRUE(rx->received.empty());
 }
@@ -104,7 +104,7 @@ TEST_F(MediumFixture, ChannelSwitchDropsLock) {
     auto rx = make("rx", {1, 0});
     rx->listen(7);
     tx->transmit(7, test_frame());
-    scheduler.schedule_at(20'000, [&] { rx->listen(9); });
+    (void)scheduler.schedule_at(20'000, [&] { rx->listen(9); });
     scheduler.run_all();
     EXPECT_TRUE(rx->received.empty());
 }
@@ -115,7 +115,7 @@ TEST_F(MediumFixture, HalfDuplexTransmitterMissesFrames) {
     a->listen(7);
     // a starts transmitting; b's frame starts during a's transmission.
     a->transmit(7, test_frame(30));
-    scheduler.schedule_at(10'000, [&] { b->transmit(7, test_frame(4)); });
+    (void)scheduler.schedule_at(10'000, [&] { b->transmit(7, test_frame(4)); });
     scheduler.run_all();
     EXPECT_TRUE(a->received.empty());
 }
@@ -136,7 +136,7 @@ TEST_F(MediumFixture, ReceivingReflectsLockState) {
     EXPECT_FALSE(rx->receiving());
     tx->transmit(7, test_frame());
     bool during = false;
-    scheduler.schedule_at(50'000, [&] { during = rx->receiving(); });
+    (void)scheduler.schedule_at(50'000, [&] { during = rx->receiving(); });
     scheduler.run_all();
     EXPECT_TRUE(during);
     EXPECT_FALSE(rx->receiving());
@@ -154,7 +154,7 @@ TEST_F(MediumFixture, StrongInterfererCorruptsLockedFrame) {
         rx->received.clear();
         rx->listen(7);
         tx->transmit(7, test_frame(24));
-        scheduler.schedule_after(80'000, [&] { jam->transmit(7, test_frame(24, 0x11)); });
+        (void)scheduler.schedule_after(80'000, [&] { jam->transmit(7, test_frame(24, 0x11)); });
         scheduler.run_all();
         if (!rx->received.empty()) {
             ++delivered;
@@ -173,7 +173,7 @@ TEST_F(MediumFixture, LaterFrameNotDeliveredToLockedReceiver) {
     auto rx = make("rx", {1, 0});
     rx->listen(7);
     tx1->transmit(7, test_frame(30, 0xAA));
-    scheduler.schedule_at(30'000, [&] { tx2->transmit(7, test_frame(4, 0xBB)); });
+    (void)scheduler.schedule_at(30'000, [&] { tx2->transmit(7, test_frame(4, 0xBB)); });
     scheduler.run_all();
     // At most the first frame arrives (possibly corrupted); the second is
     // never delivered because the receiver was locked when it started.
@@ -194,7 +194,7 @@ TEST_F(MediumFixture, EqualPowerOverlapSuppressesSyncOnHeadCollision) {
         rx->received.clear();
         rx->listen(7);
         tx1->transmit(7, test_frame(20, 0xAA));
-        scheduler.schedule_after(8'000, [&] { tx2->transmit(7, test_frame(20, 0xBB)); });
+        (void)scheduler.schedule_after(8'000, [&] { tx2->transmit(7, test_frame(20, 0xBB)); });
         scheduler.run_all();
         both_delivered += rx->received.size() == 1 &&
                                   !rx->received[0].corrupted_by_medium
@@ -264,7 +264,7 @@ TEST_F(MediumFixture, BusVerdictMatchesDelivery) {
         decisions.clear();
         rx->listen(7);
         tx1->transmit(7, test_frame(20, 0xAA));
-        scheduler.schedule_after(8'000, [&] { tx2->transmit(7, test_frame(20, 0xBB)); });
+        (void)scheduler.schedule_after(8'000, [&] { tx2->transmit(7, test_frame(20, 0xBB)); });
         scheduler.run_all();
         ASSERT_EQ(decisions.size(), 1u);
         switch (decisions[0].verdict) {

@@ -10,9 +10,9 @@ namespace {
 TEST(SchedulerTest, FiresInTimeOrder) {
     Scheduler s;
     std::vector<int> order;
-    s.schedule_at(300, [&] { order.push_back(3); });
-    s.schedule_at(100, [&] { order.push_back(1); });
-    s.schedule_at(200, [&] { order.push_back(2); });
+    (void)s.schedule_at(300, [&] { order.push_back(3); });
+    (void)s.schedule_at(100, [&] { order.push_back(1); });
+    (void)s.schedule_at(200, [&] { order.push_back(2); });
     s.run_all();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(s.now(), 300);
@@ -22,7 +22,7 @@ TEST(SchedulerTest, SameTimestampKeepsInsertionOrder) {
     Scheduler s;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i) {
-        s.schedule_at(42, [&order, i] { order.push_back(i); });
+        (void)s.schedule_at(42, [&order, i] { order.push_back(i); });
     }
     s.run_all();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -38,9 +38,9 @@ TEST(SchedulerTest, SameTimestampOrderSurvivesInterleavedCancels) {
         ids.push_back(s.schedule_at(42, [&order, i] { order.push_back(i); }));
     }
     s.cancel(ids[1]);
-    s.schedule_at(42, [&order] { order.push_back(6); });
+    (void)s.schedule_at(42, [&order] { order.push_back(6); });
     s.cancel(ids[4]);
-    s.schedule_at(42, [&order] { order.push_back(7); });
+    (void)s.schedule_at(42, [&order] { order.push_back(7); });
     s.cancel(ids[0]);
     s.run_all();
     EXPECT_EQ(order, (std::vector<int>{2, 3, 5, 6, 7}));
@@ -66,8 +66,8 @@ TEST(SchedulerTest, CancelUnknownIdIsNoop) {
 TEST(SchedulerTest, RunUntilAdvancesClockExactly) {
     Scheduler s;
     int fired = 0;
-    s.schedule_at(100, [&] { ++fired; });
-    s.schedule_at(500, [&] { ++fired; });
+    (void)s.schedule_at(100, [&] { ++fired; });
+    (void)s.schedule_at(500, [&] { ++fired; });
     s.run_until(300);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(s.now(), 300);
@@ -79,17 +79,17 @@ TEST(SchedulerTest, RunUntilAdvancesClockExactly) {
 TEST(SchedulerTest, EventAtBoundaryIncludedByRunUntil) {
     Scheduler s;
     bool fired = false;
-    s.schedule_at(300, [&] { fired = true; });
+    (void)s.schedule_at(300, [&] { fired = true; });
     s.run_until(300);
     EXPECT_TRUE(fired);
 }
 
 TEST(SchedulerTest, PastEventsClampToNow) {
     Scheduler s;
-    s.schedule_at(100, [] {});
+    (void)s.schedule_at(100, [] {});
     s.run_all();
     TimePoint seen = -1;
-    s.schedule_at(5, [&] { seen = s.now(); });  // in the past
+    (void)s.schedule_at(5, [&] { seen = s.now(); });  // in the past
     s.run_all();
     EXPECT_EQ(seen, 100);
 }
@@ -97,9 +97,9 @@ TEST(SchedulerTest, PastEventsClampToNow) {
 TEST(SchedulerTest, EventsCanScheduleEvents) {
     Scheduler s;
     std::vector<TimePoint> times;
-    s.schedule_at(10, [&] {
+    (void)s.schedule_at(10, [&] {
         times.push_back(s.now());
-        s.schedule_after(15, [&] { times.push_back(s.now()); });
+        (void)s.schedule_after(15, [&] { times.push_back(s.now()); });
     });
     s.run_all();
     EXPECT_EQ(times, (std::vector<TimePoint>{10, 25}));
@@ -107,8 +107,8 @@ TEST(SchedulerTest, EventsCanScheduleEvents) {
 
 TEST(SchedulerTest, RunAllHonoursEventLimit) {
     Scheduler s;
-    std::function<void()> self = [&] { s.schedule_after(1, self); };
-    s.schedule_after(1, self);
+    std::function<void()> self = [&] { (void)s.schedule_after(1, self); };
+    (void)s.schedule_after(1, self);
     const std::size_t ran = s.run_all(1000);
     EXPECT_EQ(ran, 1000u);
 }
@@ -116,7 +116,7 @@ TEST(SchedulerTest, RunAllHonoursEventLimit) {
 TEST(SchedulerTest, PendingCountsOnlyLiveEvents) {
     Scheduler s;
     const EventId a = s.schedule_at(1, [] {});
-    s.schedule_at(2, [] {});
+    (void)s.schedule_at(2, [] {});
     EXPECT_EQ(s.pending(), 2u);
     s.cancel(a);
     EXPECT_EQ(s.pending(), 1u);

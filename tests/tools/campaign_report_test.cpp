@@ -1,0 +1,161 @@
+// campaign_report golden-output test: a tiny two-config campaign is run for
+// real (profiled, traces on), folded into a report, and the result must be
+// reproducible byte for byte — the report is a pure function of the
+// campaign's deterministic fields.  Also pins the --check gate semantics:
+// clean campaign passes, tampered trace / empty input / bad JSON fail.
+#include "campaign_report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "world/experiment.hpp"
+
+namespace injectable::report {
+namespace {
+
+using injectable::world::ExperimentConfig;
+using injectable::world::RunResult;
+using injectable::world::run_series;
+using injectable::world::to_json;
+
+/// Runs the tiny two-config campaign once per fixture instance: series
+/// records land in `json_path`, per-trial traces under `traces_dir`.
+class CampaignFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        char tmpl[] = "/tmp/campaign_report_test.XXXXXX";
+        ASSERT_NE(mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        traces_dir_ = dir_ + "/traces";
+        json_path_ = dir_ + "/results.jsonl";
+        std::filesystem::create_directories(traces_dir_);
+        ASSERT_EQ(setenv("INJECTABLE_TRACE_DIR", traces_dir_.c_str(), 1), 0);
+        ASSERT_EQ(setenv("INJECTABLE_TRACE_ALL", "1", 1), 0);
+
+        std::ofstream json(json_path_, std::ios::binary);
+        for (const int hop : {25, 50}) {
+            ExperimentConfig config;
+            config.name = "report-test-hop" + std::to_string(hop);
+            config.runs = 2;
+            config.max_attempts = 60;
+            config.base_seed = 3000 + static_cast<std::uint64_t>(hop);
+            config.jobs = 1;
+            config.profile_spans = true;
+            config.world.hop_interval = static_cast<std::uint16_t>(hop);
+            ble::obs::MetricsSnapshot merged;
+            config.on_series_metrics = [&merged](const ble::obs::MetricsSnapshot& snapshot) {
+                merged = snapshot;
+            };
+            const std::vector<RunResult> results = run_series(config);
+            json << to_json(config, results, &merged) << "\n";
+        }
+    }
+
+    void TearDown() override {
+        unsetenv("INJECTABLE_TRACE_DIR");
+        unsetenv("INJECTABLE_TRACE_ALL");
+    }
+
+    std::string dir_;
+    std::string traces_dir_;
+    std::string json_path_;
+};
+
+TEST_F(CampaignFixture, ReportIsDeterministicAndComplete) {
+    const CampaignData campaign = load_campaign({json_path_});
+    ASSERT_TRUE(campaign.errors.empty());
+    ASSERT_EQ(campaign.series.size(), 2u);
+    EXPECT_EQ(campaign.series[0].name, "report-test-hop25");
+    EXPECT_EQ(campaign.series[1].name, "report-test-hop50");
+    EXPECT_EQ(campaign.series[0].trials.size(), 2u);
+
+    const std::vector<DriftRow> drift = compute_drift(campaign, traces_dir_);
+    ASSERT_EQ(drift.size(), 2u);
+    for (const DriftRow& row : drift) {
+        EXPECT_EQ(row.traces_found, 2) << row.series;
+        EXPECT_TRUE(row.complete());
+        EXPECT_EQ(row.drift(), 0) << row.series;
+    }
+
+    const std::string md = render_markdown(campaign, drift, true);
+    EXPECT_EQ(md, render_markdown(load_campaign({json_path_}),
+                                  compute_drift(campaign, traces_dir_), true))
+        << "report must be byte-deterministic";
+    for (const char* needle :
+         {"# Campaign report", "## Series", "report-test-hop25", "report-test-hop50",
+          "## Outcome counters", "events_total", "## Event-count drift", "| 2/2 |"}) {
+        EXPECT_NE(md.find(needle), std::string::npos) << "missing: " << needle;
+    }
+    EXPECT_EQ(md.find("wall"), std::string::npos)
+        << "wall-clock values must never reach the report";
+
+    const std::string html = render_html(campaign, drift, true);
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("report-test-hop25"), std::string::npos);
+}
+
+TEST_F(CampaignFixture, CheckPassesOnCleanCampaignAndFailsOnTamperedTrace) {
+    const CampaignData campaign = load_campaign({json_path_});
+    {
+        const CheckResult ok =
+            check_campaign(campaign, compute_drift(campaign, traces_dir_));
+        EXPECT_TRUE(ok.ok) << (ok.problems.empty() ? "" : ok.problems.front());
+    }
+    // One extra event line in one trace: exactly one drift problem.
+    const std::string victim =
+        traces_dir_ + "/report-test-hop25-seed3025.jsonl";
+    std::ofstream tamper(victim, std::ios::binary | std::ios::app);
+    ASSERT_TRUE(tamper.is_open());
+    tamper << "{\"e\":\"Extra\",\"t\":1}\n";
+    tamper.close();
+    const CheckResult bad = check_campaign(campaign, compute_drift(campaign, traces_dir_));
+    EXPECT_FALSE(bad.ok);
+    ASSERT_EQ(bad.problems.size(), 1u);
+    EXPECT_NE(bad.problems[0].find("report-test-hop25"), std::string::npos);
+}
+
+TEST(CampaignReport, EmptyAndUnparsableInputsFailCheck) {
+    const CampaignData missing = load_campaign({"/nonexistent/results.jsonl"});
+    EXPECT_FALSE(check_campaign(missing, {}).ok);
+
+    char tmpl[] = "/tmp/campaign_report_test.XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string path = std::string(tmpl) + "/bad.jsonl";
+    std::ofstream out(path, std::ios::binary);
+    out << "{not json\n";
+    out.close();
+    const CampaignData bad = load_campaign({path});
+    ASSERT_EQ(bad.errors.size(), 1u);
+    EXPECT_FALSE(check_campaign(bad, {}).ok);
+}
+
+TEST(CampaignReport, FlameTreeRebuildsNestedStacks) {
+    CampaignData campaign;
+    SeriesRecord series;
+    series.counters["prof.stack.a.count"] = 10;
+    series.counters["prof.stack.a.sim_us"] = 100;
+    series.counters["prof.stack.a;b.count"] = 4;
+    series.counters["prof.stack.a;b;c.count"] = 1;
+    series.counters["prof.stack.d.count"] = 2;
+    campaign.series.push_back(series);
+    campaign.series.push_back(series);  // aggregation doubles everything
+
+    const FlameNode flame = build_flame(campaign);
+    ASSERT_EQ(flame.children.size(), 2u);
+    const FlameNode& a = flame.children.at("a");
+    EXPECT_EQ(a.count, 20u);
+    EXPECT_EQ(a.sim_us, 200u);
+    EXPECT_EQ(a.children.at("b").count, 8u);
+    EXPECT_EQ(a.children.at("b").children.at("c").count, 2u);
+    EXPECT_EQ(a.total_count(), 30u);
+    EXPECT_EQ(flame.total_count(), 34u);
+}
+
+}  // namespace
+}  // namespace injectable::report

@@ -1,0 +1,66 @@
+// The profiler half of the determinism contract: with profile_spans enabled,
+// run_series exports every prof.* series into the merged snapshot, and —
+// because span data is attributed purely on the sim clock and merged in
+// trial-index order — the result is bit-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "world/experiment.hpp"
+
+namespace injectable::world {
+namespace {
+
+std::string profiled_series_json(int jobs) {
+    ExperimentConfig config;
+    config.name = "prof-series-test";
+    config.runs = 4;
+    config.max_attempts = 60;
+    config.base_seed = 917;
+    config.jobs = jobs;
+    config.profile_spans = true;
+    std::string json;
+    config.on_series_metrics = [&json](const ble::obs::MetricsSnapshot& snapshot) {
+        json = snapshot.to_json();
+    };
+    (void)run_series(config);
+    return json;
+}
+
+TEST(ProfSeriesTest, SerialAndEightWorkerSnapshotsAreBitIdentical) {
+    const std::string serial = profiled_series_json(1);
+    const std::string parallel = profiled_series_json(8);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ProfSeriesTest, SnapshotCarriesTheInstrumentedSubsystems) {
+    const std::string json = profiled_series_json(2);
+    for (const char* name :
+         {"prof.span.sim.dispatch.count", "prof.span.medium.transmit.sim_us",
+          "prof.span.medium.deliver.count", "prof.span.link.conn.process_frame.count",
+          "prof.span.link.csa1.hop.count", "prof.span.obs.sink.metrics.count",
+          "prof.stack.sim.dispatch.count", "prof.gauge.sim.sched.queue_depth"}) {
+        EXPECT_NE(json.find(name), std::string::npos) << "missing metric " << name;
+    }
+}
+
+TEST(ProfSeriesTest, ProfilingOffLeavesMetricsUntouched) {
+    ExperimentConfig config;
+    config.name = "prof-series-off";
+    config.runs = 2;
+    config.max_attempts = 60;
+    config.base_seed = 918;
+    config.jobs = 1;
+    std::string json;
+    config.on_series_metrics = [&json](const ble::obs::MetricsSnapshot& snapshot) {
+        json = snapshot.to_json();
+    };
+    (void)run_series(config);
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.find("prof."), std::string::npos)
+        << "prof.* series must only exist when profiling was requested";
+}
+
+}  // namespace
+}  // namespace injectable::world

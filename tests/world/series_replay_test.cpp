@@ -1,0 +1,74 @@
+// Series replay from INJECTABLE_JSON records (replay_series_line): the
+// "meta" object embedded in every series line must be enough to re-run all
+// trials and reproduce the recorded outcome fields exactly — no stored
+// traces involved.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "world/experiment.hpp"
+#include "world/replay.hpp"
+
+namespace injectable::world {
+namespace {
+
+ExperimentConfig small_config() {
+    ExperimentConfig config;
+    config.name = "series-replay-test";
+    config.runs = 3;
+    config.max_attempts = 60;
+    config.base_seed = 2200;
+    config.jobs = 1;
+    return config;
+}
+
+TEST(SeriesReplay, RoundTripsFromTheJsonRecord) {
+    const ExperimentConfig config = small_config();
+    const std::vector<RunResult> results = run_series(config);
+    const std::string line = to_json(config, results);
+
+    const SeriesReplay replay = replay_series_line(line, /*jobs=*/1);
+    ASSERT_TRUE(replay.loaded) << replay.error;
+    EXPECT_EQ(replay.name, "series-replay-test");
+    EXPECT_EQ(replay.trials, 3);
+    EXPECT_EQ(replay.mismatches, 0);
+    EXPECT_TRUE(replay.diffs.empty());
+}
+
+TEST(SeriesReplay, DetectsTamperedOutcomes) {
+    const ExperimentConfig config = small_config();
+    const std::vector<RunResult> results = run_series(config);
+    std::string line = to_json(config, results);
+
+    // Flip the first trial's attempt count; the replay must localize the
+    // divergence to that seed and name the field.
+    const std::size_t at = line.find("\"attempts\":");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t num_start = at + 11;
+    const std::size_t num_end = line.find(',', num_start);
+    ASSERT_NE(num_end, std::string::npos);
+    line.replace(num_start, num_end - num_start, "777");  // > max_attempts
+    const SeriesReplay replay = replay_series_line(line, /*jobs=*/1);
+    ASSERT_TRUE(replay.loaded) << replay.error;
+    EXPECT_EQ(replay.mismatches, 1);
+    ASSERT_EQ(replay.diffs.size(), 1u);
+    EXPECT_EQ(replay.diffs[0].seed, 2200u);
+    EXPECT_EQ(replay.diffs[0].field, "attempts");
+}
+
+TEST(SeriesReplay, RejectsRecordsWithoutMeta) {
+    const SeriesReplay replay =
+        replay_series_line("{\"experiment\":\"x\",\"trials\":[]}");
+    EXPECT_FALSE(replay.loaded);
+    EXPECT_NE(replay.error.find("meta"), std::string::npos);
+}
+
+TEST(SeriesReplay, RejectsBadJson) {
+    const SeriesReplay replay = replay_series_line("{not json");
+    EXPECT_FALSE(replay.loaded);
+    EXPECT_FALSE(replay.error.empty());
+}
+
+}  // namespace
+}  // namespace injectable::world

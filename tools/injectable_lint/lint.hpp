@@ -22,6 +22,14 @@
 //       the result.  Stats must use the integer merge helpers
 //       (MetricsSnapshot / HistogramSnapshot) or accumulate in a provably
 //       fixed order (suppress with the argument).
+//   D4  No discarded sim::Scheduler handles: schedule_at()/schedule_after()
+//       return the [[nodiscard]] EventId that is the only way to cancel the
+//       scheduled event.  A statement-position call — bare, behind a (void)
+//       cast, or as the body of an if/for/while — is fire-and-forget: the
+//       event can never be cancelled, which is how stale-callback bugs (a
+//       timer firing into a torn-down connection) are born.  Store the
+//       handle, or suppress with an argument for why cancellation can never
+//       be needed.
 //   S1  No bare spec magic numbers in src/phy / src/link: frame-layout and
 //       timing constants (TIFS 150 µs, the 1250 µs unit, 8 µs/byte LE 1M
 //       airtime, channel counts, the advertising access address, ...) must be
@@ -54,6 +62,7 @@ enum class Rule {
     kD1,              ///< pointer-keyed unordered container
     kD2,              ///< wall clock / unseeded randomness
     kD3,              ///< float accumulation in the stats layer
+    kD4,              ///< discarded scheduler handle (fire-and-forget event)
     kS1,              ///< bare spec magic number in phy/link
     kBadSuppression,  ///< malformed injectable-lint directive
 };

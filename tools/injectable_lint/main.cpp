@@ -1,5 +1,5 @@
 // injectable_lint CLI: scan source trees for determinism & spec-invariant
-// violations (rules D1–D3, S1 — see lint.hpp / DESIGN.md §8).
+// violations (rules D1–D4, S1 — see lint.hpp / DESIGN.md §8).
 //
 //   injectable_lint [--jsonl FILE] [--quiet] <path>...
 //
@@ -23,6 +23,7 @@ void print_usage(const char* argv0) {
                  "    D1  pointer-keyed unordered_map/unordered_set\n"
                  "    D2  wall-clock time / unseeded randomness\n"
                  "    D3  float/double accumulation in the stats layer\n"
+                 "    D4  discarded [[nodiscard]] scheduler handles\n"
                  "    S1  bare spec magic numbers in src/phy, src/link\n"
                  "  Suppress a finding with an audited comment on (or above)\n"
                  "  the line:  // injectable-lint: allow(D1) -- <reason>\n"

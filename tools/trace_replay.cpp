@@ -18,6 +18,13 @@
 //            what-happened view of a campaign directory.  Exits 0, or 2 on
 //            unreadable traces.
 //
+//   trace_replay --from-json <results.jsonl>...
+//            replay whole series straight from INJECTABLE_JSON records: each
+//            line embeds the trace meta header plus the per-trial seed list,
+//            so every (config, seed) re-runs and the deterministic outcome
+//            fields are diffed — no stored traces needed.  Same exit codes
+//            as --diff.
+//
 // Reads gzip-compressed traces transparently when built with zlib.
 #include <cstdio>
 #include <cstring>
@@ -33,13 +40,17 @@ namespace {
 void print_usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--diff] [--stats] [--quiet] <trace.jsonl[.gz]>...\n"
-                 "  --diff   replay each trace (seed + config from its meta header)\n"
-                 "           and diff the recorded event stream against the fresh\n"
-                 "           one (the default mode)\n"
-                 "  --stats  tally recorded events by type per trace and print the\n"
-                 "           aggregate counts across all traces (no replay)\n"
-                 "  --quiet  suppress per-trace OK/stat lines\n",
-                 argv0);
+                 "       %s --from-json [--quiet] <results.jsonl>...\n"
+                 "  --diff       replay each trace (seed + config from its meta header)\n"
+                 "               and diff the recorded event stream against the fresh\n"
+                 "               one (the default mode)\n"
+                 "  --stats      tally recorded events by type per trace and print the\n"
+                 "               aggregate counts across all traces (no replay)\n"
+                 "  --from-json  re-run every series recorded in INJECTABLE_JSON files\n"
+                 "               (config + seed list from each line's meta) and diff the\n"
+                 "               deterministic per-trial outcomes, without stored traces\n"
+                 "  --quiet      suppress per-trace/per-series OK lines\n",
+                 argv0, argv0);
 }
 
 /// Event name from a trace line: every line is a flat JSON object written by
@@ -90,6 +101,51 @@ int run_stats(const std::vector<std::string>& paths, bool quiet) {
     return errors > 0 ? 2 : 0;
 }
 
+int run_from_json(const std::vector<std::string>& paths, bool quiet) {
+    using injectable::world::SeriesReplay;
+    using injectable::world::SeriesTrialDiff;
+    using injectable::world::replay_series_line;
+
+    int divergences = 0;
+    int errors = 0;
+    for (const std::string& path : paths) {
+        std::string error;
+        const std::vector<std::string> lines = ble::obs::read_jsonl_file(path, &error);
+        if (lines.empty()) {
+            std::fprintf(stderr, "ERROR %s: %s\n", path.c_str(),
+                         error.empty() ? "empty file" : error.c_str());
+            ++errors;
+            continue;
+        }
+        for (std::size_t n = 0; n < lines.size(); ++n) {
+            const SeriesReplay replay = replay_series_line(lines[n]);
+            if (!replay.loaded) {
+                std::fprintf(stderr, "ERROR %s:%zu: %s\n", path.c_str(), n + 1,
+                             replay.error.c_str());
+                ++errors;
+                continue;
+            }
+            if (replay.mismatches == 0) {
+                if (!quiet) {
+                    std::printf("OK   %s:%zu: %s, %d trial%s replayed identically\n",
+                                path.c_str(), n + 1, replay.name.c_str(), replay.trials,
+                                replay.trials == 1 ? "" : "s");
+                }
+                continue;
+            }
+            ++divergences;
+            std::printf("DIFF %s:%zu: %s, %d of %d trials diverge\n", path.c_str(), n + 1,
+                        replay.name.c_str(), replay.mismatches, replay.trials);
+            for (const SeriesTrialDiff& diff : replay.diffs) {
+                std::printf("  seed %llu: first differing field '%s'\n",
+                            static_cast<unsigned long long>(diff.seed), diff.field.c_str());
+            }
+        }
+    }
+    if (errors > 0) return 2;
+    return divergences > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,12 +154,17 @@ int main(int argc, char** argv) {
 
     bool quiet = false;
     bool stats = false;
+    bool from_json = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--diff") == 0) continue;  // the default mode
         if (std::strcmp(arg, "--stats") == 0) {
             stats = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--from-json") == 0) {
+            from_json = true;
             continue;
         }
         if (std::strcmp(arg, "--quiet") == 0) {
@@ -126,6 +187,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (stats) return run_stats(paths, quiet);
+    if (from_json) return run_from_json(paths, quiet);
 
     int divergences = 0;
     int errors = 0;
