@@ -1,0 +1,106 @@
+// Small-vector with inline capacity: the first N elements live inside the
+// object, so containers-of-containers (the medium's 40 per-channel interest
+// lists) cost zero heap traffic until a channel actually gets crowded.  A
+// freshly built world churns hundreds of tiny first-push allocations with
+// std::vector; with InlineVec the common sparse case never touches the
+// allocator, and a spilled list keeps its heap block until destruction.
+//
+// Restricted to trivially copyable element types (the medium stores raw
+// pointers) so growth is a memcpy and erase is a memmove — no per-element
+// construction bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace ble {
+
+template <typename T, std::size_t N>
+class InlineVec {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "InlineVec is a trivially-copyable-only small vector");
+    static_assert(N > 0, "inline capacity must be at least one element");
+
+public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    InlineVec() noexcept : data_(inline_storage()) {}
+    ~InlineVec() {
+        if (data_ != inline_storage()) ::operator delete(data_);
+    }
+    InlineVec(const InlineVec&) = delete;
+    InlineVec& operator=(const InlineVec&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+    /// True while the elements still live inside the object (no heap block).
+    [[nodiscard]] bool inlined() const noexcept { return data_ == inline_storage(); }
+
+    [[nodiscard]] T* begin() noexcept { return data_; }
+    [[nodiscard]] T* end() noexcept { return data_ + size_; }
+    [[nodiscard]] const T* begin() const noexcept { return data_; }
+    [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+    [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+    [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+    [[nodiscard]] T& back() noexcept { return data_[size_ - 1]; }
+    [[nodiscard]] const T& back() const noexcept { return data_[size_ - 1]; }
+
+    void push_back(T value) {
+        if (size_ == cap_) grow();
+        data_[size_++] = value;
+    }
+
+    void pop_back() noexcept { --size_; }
+
+    /// Keeps the current capacity (inline or spilled) for reuse.
+    void clear() noexcept { size_ = 0; }
+
+    /// Ordered insert before `pos` (which is invalidated by growth, so the
+    /// offset is taken first).
+    void insert(const T* pos, T value) {
+        const std::size_t index = static_cast<std::size_t>(pos - data_);
+        if (size_ == cap_) grow();
+        std::memmove(data_ + index + 1, data_ + index, (size_ - index) * sizeof(T));
+        data_[index] = value;
+        ++size_;
+    }
+
+    /// Removes the first element equal to `value`; no-op when absent.
+    void erase_value(const T& value) noexcept {
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (data_[i] == value) {
+                std::memmove(data_ + i, data_ + i + 1, (size_ - i - 1) * sizeof(T));
+                --size_;
+                return;
+            }
+        }
+    }
+
+private:
+    [[nodiscard]] T* inline_storage() noexcept { return reinterpret_cast<T*>(buf_); }
+    [[nodiscard]] const T* inline_storage() const noexcept {
+        return reinterpret_cast<const T*>(buf_);
+    }
+
+    void grow() {
+        const std::size_t new_cap = cap_ * 2;
+        T* block = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+        std::memcpy(block, data_, size_ * sizeof(T));
+        if (data_ != inline_storage()) ::operator delete(data_);
+        data_ = block;
+        cap_ = new_cap;
+    }
+
+    T* data_;
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+    alignas(T) unsigned char buf_[N * sizeof(T)];
+};
+
+}  // namespace ble

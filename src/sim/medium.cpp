@@ -25,9 +25,11 @@ RadioMedium::RadioMedium(Scheduler& scheduler, Rng rng, PathLossModel path_loss,
 void RadioMedium::attach(RadioDevice& device) {
     devices_.push_back(&device);
     device.listen_state_ = ListenState{};
+    device.listen_state_.attach_order = next_attach_order_++;
 }
 
 void RadioMedium::detach(RadioDevice& device) noexcept {
+    if (device.listen_state_.active) remove_listener(device, device.listen_state_.channel);
     std::erase(devices_, &device);
     // Any in-flight transmission keeps a sender pointer only for exclusion
     // checks; clear it so a device destroyed mid-frame cannot dangle.
@@ -36,11 +38,45 @@ void RadioMedium::detach(RadioDevice& device) noexcept {
     }
 }
 
+void RadioMedium::insert_listener(RadioDevice& device, Channel channel) {
+    ListenerList& list = listeners_[channel];
+    const std::uint64_t order = device.listen_state_.attach_order;
+    // Keep the list sorted by attach order so its walk order equals the
+    // historical all-device walk restricted to this channel.  Appending is
+    // the hot case (a device re-opening its receive window lands back where
+    // it was), so it skips the ordered insert entirely.
+    if (list.empty() || list.back()->listen_state_.attach_order < order) {
+        list.push_back(&device);
+        return;
+    }
+    const auto pos =
+        std::lower_bound(list.begin(), list.end(), order,
+                         [](const RadioDevice* d, std::uint64_t attach_order) {
+                             return d->listen_state_.attach_order < attach_order;
+                         });
+    list.insert(pos, &device);
+}
+
+void RadioMedium::remove_listener(RadioDevice& device, Channel channel) noexcept {
+    ListenerList& list = listeners_[channel];
+    if (!list.empty() && list.back() == &device) {  // mirror of the append fast path
+        list.pop_back();
+        return;
+    }
+    list.erase_value(&device);
+}
+
 void RadioMedium::start_listening(RadioDevice& device, Channel channel) {
     ListenState& state = device.listen_state_;
+    if (state.active && state.channel == channel) {
+        state.locked_tx = 0;  // re-listening on the same channel drops any sync
+        return;
+    }
+    if (state.active) remove_listener(device, state.channel);
     state.channel = channel;
     state.active = true;
     state.locked_tx = 0;  // switching channels drops any sync
+    insert_listener(device, channel);
 }
 
 bool RadioMedium::is_receiving(const RadioDevice& device) const noexcept {
@@ -49,8 +85,10 @@ bool RadioMedium::is_receiving(const RadioDevice& device) const noexcept {
 }
 
 void RadioMedium::stop_listening(RadioDevice& device) noexcept {
-    device.listen_state_.active = false;
-    device.listen_state_.locked_tx = 0;
+    ListenState& state = device.listen_state_;
+    if (state.active) remove_listener(device, state.channel);
+    state.active = false;
+    state.locked_tx = 0;
 }
 
 double RadioMedium::rx_power_dbm(Transmission& tx, const RadioDevice& receiver) {
@@ -86,6 +124,8 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
 
     auto [it, inserted] = active_.emplace(id, std::move(tx));
     Transmission& stored = it->second;
+    // Ids are monotonic, so appending keeps the per-channel view id-ordered.
+    channel_active_[channel].push_back(&stored);
 
     if (bus_.active()) {
         obs::TxStart event;
@@ -103,14 +143,28 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
     // Idle listeners on this channel lock onto the new frame if it is loud
     // enough. Listeners already locked on an earlier frame, or that started
     // listening mid-frame, cannot sync (no preamble for them) — the frame
-    // only interferes.
-    for (RadioDevice* d : devices_) {
-        if (d == &device) continue;
-        ListenState& state = d->listen_state_;
-        if (!state.active || state.channel != channel || state.locked_tx != 0) continue;
-        if (d->transmitting()) continue;
-        if (rx_power_dbm(stored, *d) >= params_.sensitivity_dbm) {
-            state.locked_tx = id;
+    // only interferes.  The interest list is the attach-order walk filtered
+    // to (active, this channel); the remaining filters match the legacy walk
+    // exactly, so both paths make identical RNG fading draws in identical
+    // order.
+    if (params_.legacy_full_scan) {
+        for (RadioDevice* d : devices_) {
+            if (d == &device) continue;
+            ListenState& state = d->listen_state_;
+            if (!state.active || state.channel != channel || state.locked_tx != 0) continue;
+            if (d->transmitting()) continue;
+            if (rx_power_dbm(stored, *d) >= params_.sensitivity_dbm) {
+                state.locked_tx = id;
+            }
+        }
+    } else {
+        for (RadioDevice* d : listeners_[channel]) {
+            if (d == &device) continue;
+            ListenState& state = d->listen_state_;
+            if (state.locked_tx != 0 || d->transmitting()) continue;
+            if (rx_power_dbm(stored, *d) >= params_.sensitivity_dbm) {
+                state.locked_tx = id;
+            }
         }
     }
 
@@ -131,6 +185,12 @@ void RadioMedium::add_tx_observer(TxObserver observer) {
     });
 }
 
+void RadioMedium::flush_rx_batch() {
+    if (rx_batch_.empty()) return;
+    bus_.emit_batch(rx_batch_.data(), rx_batch_.size());
+    rx_batch_.clear();
+}
+
 void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
     static thread_local obs::prof::SpanSite prof_site{"medium.deliver"};
     obs::prof::Span prof_span(prof_site);
@@ -143,20 +203,33 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
     // difference between the injected and legitimate signals"), with a
     // coherence time on the order of a byte — so the phase lottery is drawn
     // *per byte* below, which is what makes longer overlaps deadlier.
+    // channel_active_ is the id-ordered subsequence of active_ on this
+    // channel, so both paths visit the same interferers in the same order:
+    // same FP accumulation order, same fading draws.
     struct Interferer {
         const Transmission* tx;
         double power_mw;
     };
     std::vector<Interferer> interferers;
-    for (auto& [other_id, other] : active_) {
-        if (other_id == tx.id || other.channel != tx.channel) continue;
-        if (other.start >= tx.end || other.end <= tx.start) continue;
-        if (other.sender == &receiver) continue;  // own TX handled by half-duplex
-        interferers.push_back(
-            Interferer{&other, dbm_to_mw(rx_power_dbm(other, receiver))});
+    if (params_.legacy_full_scan) {
+        for (auto& [other_id, other] : active_) {
+            if (other_id == tx.id || other.channel != tx.channel) continue;
+            if (other.start >= tx.end || other.end <= tx.start) continue;
+            if (other.sender == &receiver) continue;  // own TX handled by half-duplex
+            interferers.push_back(
+                Interferer{&other, dbm_to_mw(rx_power_dbm(other, receiver))});
+        }
+    } else {
+        for (Transmission* other : channel_active_[tx.channel]) {
+            if (other->id == tx.id) continue;
+            if (other->start >= tx.end || other->end <= tx.start) continue;
+            if (other->sender == &receiver) continue;  // own TX handled by half-duplex
+            interferers.push_back(
+                Interferer{other, dbm_to_mw(rx_power_dbm(*other, receiver))});
+        }
     }
 
-    Bytes bytes = tx.frame.bytes;
+    Bytes bytes = pool_.acquire_copy(tx.frame.bytes);
     bool corrupted = false;
     int corrupted_bytes = 0;
     int sync_bit_errors = 0;
@@ -199,12 +272,17 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
         decision.rssi_dbm = signal_dbm;
         decision.corrupted_bytes = corrupted_bytes;
         decision.sync_bit_errors = sync_bit_errors;
-        bus_.emit(decision);
+        // Buffered, not emitted: runs of lost-sync verdicts (the common case
+        // in a crowded spectrum) fan out in one batched call per sink.  The
+        // batch is flushed before any device handler runs, so every sink
+        // still sees decisions in exactly the unbatched order.
+        rx_batch_.emplace_back(decision);
     }
     if (lost_sync) {
         // The correlator never matched: nothing is delivered, exactly like a
         // real radio that misses the access address.
         BLE_LOG_TRACE("medium: ", receiver.name(), " lost sync on tx ", tx.id);
+        pool_.release(std::move(bytes));
         return;
     }
     // A tolerated near-miss correlation outputs the *matched* sync word.
@@ -220,7 +298,27 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
     rx.rssi_dbm = signal_dbm;
     rx.corrupted_by_medium = corrupted;
     rx.transmission_id = tx.id;
+    flush_rx_batch();  // device code runs next: drain buffered verdicts first
     receiver.on_rx(rx);
+    pool_.release(std::move(rx.bytes));  // on_rx sees a const ref; reclaim after
+}
+
+void RadioMedium::collect_garbage() {
+    // Keep records around briefly so frames that overlapped them can still
+    // account for their interference, then reclaim map entry, per-channel
+    // slot, and payload buffer together.
+    const TimePoint now = scheduler_.now();
+    const TimePoint horizon = now - 10_ms;
+    for (auto it = active_.begin(); it != active_.end();) {
+        Transmission& tx = it->second;
+        if (tx.end <= now && tx.end < horizon) {
+            channel_active_[tx.channel].erase_value(&tx);
+            pool_.release(std::move(tx.frame.bytes));
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 void RadioMedium::finish_transmission(std::uint64_t tx_id) {
@@ -233,22 +331,26 @@ void RadioMedium::finish_transmission(std::uint64_t tx_id) {
     RadioDevice* sender = tx.sender;
 
     // Deliver to every receiver locked on this frame. Snapshot first: on_rx
-    // handlers may retune radios or start transmissions. Walk devices_ in
-    // attach order: delivery order decides the rng_ draw order, so heap
-    // layout must never leak into it (the PR 3 regression).
+    // handlers may retune radios or start transmissions. Walk in attach
+    // order: delivery order decides the rng_ draw order, so heap layout must
+    // never leak into it (the PR 3 regression).  A locked receiver is by
+    // invariant still a member of this channel's interest list (locks are
+    // cleared on any retune/stop), so the filtered walks agree.
     std::vector<RadioDevice*> locked;
-    for (RadioDevice* device : devices_) {
-        const ListenState& state = device->listen_state_;
-        if (state.active && state.locked_tx == tx_id) locked.push_back(device);
+    if (params_.legacy_full_scan) {
+        for (RadioDevice* device : devices_) {
+            const ListenState& state = device->listen_state_;
+            if (state.active && state.locked_tx == tx_id) locked.push_back(device);
+        }
+    } else {
+        for (RadioDevice* device : listeners_[tx.channel]) {
+            if (device->listen_state_.locked_tx == tx_id) locked.push_back(device);
+        }
     }
     for (RadioDevice* receiver : locked) deliver(tx, *receiver);
+    flush_rx_batch();  // trailing lost-sync verdicts with no on_rx after them
 
-    // Keep the record around briefly so frames that overlapped it can still
-    // account for its interference, then garbage-collect.
-    const TimePoint horizon = scheduler_.now() - 10_ms;
-    std::erase_if(active_, [&](const auto& entry) {
-        return entry.second.end <= scheduler_.now() && entry.second.end < horizon;
-    });
+    collect_garbage();
     // NOTE: `tx` may be dangling from here on.
 
     if (sender != nullptr) {

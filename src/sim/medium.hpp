@@ -16,6 +16,7 @@
 //  * Devices are half-duplex: transmitting suspends listening.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -24,6 +25,8 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/inline_vec.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "obs/bus.hpp"
@@ -83,6 +86,11 @@ struct ListenState {
     bool active = false;
     /// Transmission the receiver is locked on (0 = idle).
     std::uint64_t locked_tx = 0;
+    /// Monotonic attach sequence number, assigned once by RadioMedium::attach.
+    /// The per-channel interest lists sort by it, which makes their walk
+    /// order identical to the historical all-device attach-order walk — the
+    /// property that keeps RNG draw order (and therefore traces) bit-stable.
+    std::uint64_t attach_order = 0;
 };
 
 struct MediumParams {
@@ -92,6 +100,12 @@ struct MediumParams {
     /// accept an access address with a couple of flipped bits and output the
     /// *matched* pattern). Beyond this, the frame is silently lost.
     int max_sync_bit_errors = 2;
+    /// Disable the per-channel interest/transmission indexes and fall back to
+    /// the pre-refactor all-device / all-transmission walks.  Bit-identical
+    /// results by construction (the indexes are order-preserving caches of
+    /// exactly those walks); exists as the honest A/B baseline for the
+    /// BM_DenseWorld* speedup claim and the equivalence tests.
+    bool legacy_full_scan = false;
 };
 
 class RadioMedium {
@@ -118,6 +132,20 @@ public:
 
     /// Number of transmissions currently in flight (all channels).
     [[nodiscard]] std::size_t active_transmissions() const noexcept { return active_.size(); }
+
+    /// Per-channel interest list type: inline capacity covers the sparse
+    /// common case (a handful of listeners / frames per channel), dense
+    /// channels spill to the heap once and keep the block.
+    using ListenerList = InlineVec<RadioDevice*, 4>;
+
+    /// Devices currently listening on `channel`, in attach order (the
+    /// delivery walk order; exposed for tests).
+    [[nodiscard]] const ListenerList& listeners_on(Channel channel) const noexcept {
+        return listeners_[channel];
+    }
+
+    /// The payload-buffer freelist (delivery copies + retired frames; tests).
+    [[nodiscard]] const BufferPool& frame_pool() const noexcept { return pool_; }
 
     /// The per-world observation stream.  The medium emits obs::TxStart for
     /// every transmission and obs::RxDecision for every capture verdict; the
@@ -147,6 +175,10 @@ private:
     double rx_power_dbm(Transmission& tx, const RadioDevice& receiver);
     void finish_transmission(std::uint64_t tx_id);
     void deliver(Transmission& tx, RadioDevice& receiver);
+    void insert_listener(RadioDevice& device, Channel channel);
+    void remove_listener(RadioDevice& device, Channel channel) noexcept;
+    void flush_rx_batch();
+    void collect_garbage();
 
     Scheduler& scheduler_;
     Rng rng_;
@@ -156,13 +188,32 @@ private:
     obs::EventBus bus_;
 
     std::uint64_t next_tx_id_ = 1;
-    /// Attach order: the single iteration surface for receiver walks.
+    std::uint64_t next_attach_order_ = 1;
+    /// Attach order: the historical iteration surface for receiver walks,
+    /// still authoritative under legacy_full_scan and for detach bookkeeping.
     std::vector<RadioDevice*> devices_;
+    /// Per-channel interest lists, sorted by ListenState::attach_order — an
+    /// order-preserving index of `devices_` filtered to (active, channel).
+    /// Membership invariant: a device appears in listeners_[c] iff its
+    /// listen_state_ is {active, channel == c}; locked_tx != 0 implies
+    /// membership (locks are only granted to and cleared with listeners).
+    std::array<ListenerList, kNumChannels> listeners_;
     /// Ordered by transmission id (== start order) so interference sums —
     /// FP additions, order-sensitive — accumulate identically on every run
     /// and platform.  A handful of frames are in flight at once, so the
     /// O(log n) lookup is irrelevant.
     std::map<std::uint64_t, Transmission> active_;
+    /// Per-channel view of `active_` in the same id order (append-only in id
+    /// order; erasure preserves relative order), so interference collection
+    /// touches co-channel transmissions only.  Map node addresses are stable.
+    std::array<InlineVec<Transmission*, 4>, kNumChannels> channel_active_;
+    /// Recycles per-delivery payload copies and retired AirFrame payloads.
+    BufferPool pool_;
+    /// Capture verdicts awaiting batched fanout; always flushed before any
+    /// device code (on_rx / on_tx_complete) runs, so the views inside the
+    /// buffered events can never dangle and per-sink event order matches
+    /// unbatched dispatch exactly.
+    std::vector<obs::Event> rx_batch_;
 };
 
 }  // namespace ble::sim

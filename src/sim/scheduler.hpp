@@ -1,13 +1,25 @@
 // Discrete-event scheduler: the single source of truth for simulated time.
 //
 // Events fire in (time, insertion-order) order, so same-timestamp events are
-// deterministic.  Cancellation is O(1) (the heap entry is left in place and
-// skipped when popped).
+// deterministic.  Storage is a calendar queue: a ring of fixed-width time
+// buckets (width ~ one connection event), each an intrusive doubly-linked
+// list kept sorted by (time, id), with a bitmap of occupied buckets so the
+// drain cursor skips runs of empty windows in one countr_zero.  Cancellation
+// unlinks the node outright — no tombstones — so cancel-heavy workloads
+// (dense worlds cancelling timeout guards every event) keep storage
+// proportional to the live event count.  Nodes come from a per-scheduler
+// chunk arena whose free slots are recycled in place, so steady-state
+// schedule/cancel churn — and the first burst of a freshly built world —
+// performs one heap allocation per *chunk* of events, not per event.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
@@ -18,9 +30,70 @@ namespace ble::sim {
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
+/// Fixed-size-slot arena feeding the calendar buckets' map nodes.  Slots are
+/// carved out of chunks (one malloc per kChunkSlots events) and recycled
+/// through an intrusive free list; chunks are only returned to the system
+/// when the owning scheduler dies, so peak memory equals peak live events
+/// rounded up to a chunk.
+class EventNodePool {
+public:
+    EventNodePool() = default;
+    EventNodePool(const EventNodePool&) = delete;
+    EventNodePool& operator=(const EventNodePool&) = delete;
+
+    void* allocate(std::size_t bytes) {
+        if (slot_bytes_ == 0) slot_bytes_ = bytes;
+        if (bytes != slot_bytes_) return ::operator new(bytes);  // foreign size: bypass
+        if (free_ == nullptr) grow();
+        FreeSlot* slot = free_;
+        free_ = slot->next;
+        --free_count_;
+        return slot;
+    }
+
+    void deallocate(void* p, std::size_t bytes) noexcept {
+        if (bytes != slot_bytes_) {
+            ::operator delete(p);
+            return;
+        }
+        auto* slot = static_cast<FreeSlot*>(p);
+        slot->next = free_;
+        free_ = slot;
+        ++free_count_;
+    }
+
+    /// Recycled slots currently waiting for reuse.
+    [[nodiscard]] std::size_t free_count() const noexcept { return free_count_; }
+
+private:
+    struct FreeSlot {
+        FreeSlot* next;
+    };
+    static constexpr std::size_t kChunkSlots = 64;
+
+    void grow() {
+        const std::size_t stride =
+            (slot_bytes_ + alignof(std::max_align_t) - 1) & ~(alignof(std::max_align_t) - 1);
+        chunks_.push_back(std::make_unique<unsigned char[]>(stride * kChunkSlots));
+        unsigned char* base = chunks_.back().get();
+        for (std::size_t i = kChunkSlots; i-- > 0;) {  // thread in address order
+            auto* slot = reinterpret_cast<FreeSlot*>(base + i * stride);
+            slot->next = free_;
+            free_ = slot;
+        }
+        free_count_ += kChunkSlots;
+    }
+
+    std::size_t slot_bytes_ = 0;
+    FreeSlot* free_ = nullptr;
+    std::size_t free_count_ = 0;
+    std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+};
+
 class Scheduler {
 public:
     Scheduler() = default;
+    ~Scheduler();
     Scheduler(const Scheduler&) = delete;
     Scheduler& operator=(const Scheduler&) = delete;
 
@@ -38,8 +111,17 @@ public:
     /// harmless no-op (devices routinely cancel their timeout guards).
     void cancel(EventId id) noexcept;
 
-    [[nodiscard]] bool empty() const noexcept { return callbacks_.empty(); }
-    [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return index_.size(); }
+
+    /// Live entries actually stored in the calendar buckets.  Always equals
+    /// pending(): cancels erase their node instead of tombstoning it, which
+    /// is exactly what the churn regression test asserts.
+    [[nodiscard]] std::size_t storage_entries() const noexcept;
+
+    /// Recycled arena slots waiting for reuse (bounded by the peak live
+    /// event count, rounded up to a chunk).
+    [[nodiscard]] std::size_t pooled_nodes() const noexcept { return pool_.free_count(); }
 
     /// Runs the next event; returns false if none are pending.
     bool run_one();
@@ -53,21 +135,76 @@ public:
     std::size_t run_all(std::size_t max_events = 100'000'000);
 
 private:
-    struct HeapEntry {
+    /// Bucket width 2^20 ns (~1.05 ms), one connection event at the paper's
+    /// shortest practical interval, so a connection's worth of traffic lands
+    /// in one or two buckets and the drain cursor rarely skips.
+    static constexpr int kBucketShift = 20;
+    static constexpr std::size_t kNumBuckets = 256;
+    static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+
+    struct Key {
         TimePoint t;
         EventId id;
-        bool operator>(const HeapEntry& other) const noexcept {
-            return t != other.t ? t > other.t : id > other.id;
+        bool operator<(const Key& other) const noexcept {
+            return t != other.t ? t < other.t : id < other.id;
         }
     };
 
+    /// One pending event, arena-allocated, linked into its bucket's sorted
+    /// list.  Fixed-size by design: the arena recycles slots in place.
+    struct EventNode {
+        Key key;
+        EventNode* prev = nullptr;
+        EventNode* next = nullptr;
+        std::function<void()> fn;
+    };
+
+    /// A calendar bucket: sorted by Key, smallest at head.  Trivially
+    /// constructible, so building a scheduler costs two null stores per
+    /// bucket instead of a container construction.
+    struct Bucket {
+        EventNode* head = nullptr;
+        EventNode* tail = nullptr;
+    };
+
+    [[nodiscard]] static constexpr std::int64_t window_of(TimePoint t) noexcept {
+        return t >> kBucketShift;
+    }
+
+    /// Finds the earliest live event at or after the cursor window.  Returns
+    /// false when no events are pending.  The occupancy bitmap makes the
+    /// scan proportional to the number of *occupied* buckets, not the number
+    /// of empty windows crossed — events one connection interval apart
+    /// (dozens of empty windows) cost the same as adjacent ones.
+    bool find_next(std::int64_t& window, Bucket** bucket) noexcept;
+
+    void mark_occupied(std::size_t slot) noexcept {
+        occupancy_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
+    void mark_empty(std::size_t slot) noexcept {
+        occupancy_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+
+    void fire(Bucket& bucket);
+    void unlink(Bucket& bucket, EventNode* node, std::size_t slot) noexcept;
+    void destroy(EventNode* node) noexcept;
+
     TimePoint now_ = 0;
     EventId next_id_ = 1;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+    /// Window currently being drained; every live event has t >= now(), and
+    /// now() lies inside this window, so forward scans never miss an event.
+    std::int64_t cursor_ = 0;
+    /// Arena backing every event node.
+    EventNodePool pool_;
+    std::array<Bucket, kNumBuckets> buckets_{};
+    /// Bit b set iff buckets_[b] is non-empty; lets find_next skip runs of
+    /// empty windows with countr_zero instead of probing each list.
+    std::array<std::uint64_t, kNumBuckets / 64> occupancy_{};
     /// Keyed by the monotonically assigned EventId (a value, never a
-    /// pointer) and used for find/erase only — firing order comes from the
-    /// heap, so the map's bucket order can never reach the simulation.
-    std::unordered_map<EventId, std::function<void()>> callbacks_;
+    /// pointer) and used for O(1) cancel-and-erase only — firing order comes
+    /// from the bucket lists, so this map's bucket order can never reach the
+    /// simulation.
+    std::unordered_map<EventId, EventNode*> index_;
 };
 
 }  // namespace ble::sim

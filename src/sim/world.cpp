@@ -13,6 +13,7 @@ PathLossModel make_path_loss(const RadioWorldSpec& spec) {
 RadioWorld::RadioWorld(const RadioWorldSpec& spec, std::uint64_t seed)
     : seed(seed),
       rng(seed),
-      medium(scheduler, rng.fork(), make_path_loss(spec), CaptureModel(spec.capture)) {}
+      medium(scheduler, rng.fork(), make_path_loss(spec), CaptureModel(spec.capture),
+             spec.medium) {}
 
 }  // namespace ble::sim

@@ -24,6 +24,7 @@ struct RadioWorldSpec {
     PathLossParams path_loss{};
     std::vector<Wall> walls;
     CaptureParams capture{};
+    MediumParams medium{};
 };
 
 struct RadioWorld {

@@ -1,0 +1,166 @@
+// Dense-environment crowd: the background BLE population of a crowded
+// spectrum (ROADMAP: "hundreds of advertisers, scanners and coexisting
+// connections").
+//
+// Crowd devices are *traffic generators*, not protocol peers: their frames
+// carry real access addresses and CRCs, so victim and attacker radios
+// receive, parse and discard them exactly like real hardware ignoring a
+// neighbour's packets — but they contend for the medium (they capture idle
+// receivers, corrupt overlapping bytes, and occupy advertising channels),
+// which is precisely the interference regime the paper's injection race is
+// sensitive to.
+//
+// Determinism: the whole crowd is built from one RNG forked off the world
+// root *after* the baseline devices (medium, peripheral, central, attacker),
+// so a spec with an empty DenseEnvironment draws the exact byte-identical
+// stream the paper-baseline campaigns always drew.  Within the crowd,
+// construction order is fixed (advertisers, scanners, connections, each in
+// index order) and every timer phase, position, hop interval and access
+// address is a seeded draw.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "link/channel_selection.hpp"
+#include "sim/radio_device.hpp"
+
+namespace injectable::world {
+
+/// Declarative description of the background population.  Empty (all zero)
+/// by default: the paper-baseline world has no crowd.
+struct DenseEnvironment {
+    int advertisers = 0;  ///< ADV_NONCONN beacons rotating over 37/38/39
+    int scanners = 0;     ///< passive scanners rotating their listen channel
+    int connections = 0;  ///< coexisting master/slave pairs hopping with CSA#1
+    /// Crowd devices are placed uniformly in a disc of this radius around
+    /// the victims.
+    double area_radius_m = 10.0;
+    /// Advertising interval; each advertiser also draws the spec's 0..10 ms
+    /// pseudo-random advDelay per event.
+    ble::Duration adv_interval = ble::milliseconds(100);
+    /// Coexisting connections draw their hop interval (1.25 ms units)
+    /// uniformly from [min, max] and their CSA#1 hop increment from [5, 16].
+    std::uint16_t min_hop_interval = 24;
+    std::uint16_t max_hop_interval = 48;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return advertisers == 0 && scanners == 0 && connections == 0;
+    }
+    /// Radios the crowd adds to the world (a connection is two).
+    [[nodiscard]] int device_count() const noexcept {
+        return advertisers + scanners + 2 * connections;
+    }
+    /// The same mix at `factor` times the population (rounded down, floor 0)
+    /// — the density-sweep knob.
+    [[nodiscard]] DenseEnvironment scaled(double factor) const;
+};
+
+/// A transmit-only beacon: one ADV_NONCONN_IND per advertising event,
+/// rotating over the three advertising channels, with the spec's seeded
+/// 0..10 ms advDelay on top of the fixed interval.
+class CrowdAdvertiser final : public ble::sim::RadioDevice {
+public:
+    CrowdAdvertiser(ble::sim::Scheduler& scheduler, ble::sim::RadioMedium& medium,
+                    ble::Rng rng, ble::sim::RadioDeviceConfig config,
+                    ble::Duration adv_interval);
+    ~CrowdAdvertiser() override { scheduler().cancel(timer_); }
+
+    void on_rx(const ble::sim::RxFrame&) override {}  // never listens
+
+private:
+    void advertise();
+
+    ble::Duration adv_interval_;
+    ble::sim::AirFrame frame_;  ///< the beacon payload, built once
+    int channel_index_ = 0;
+    ble::sim::EventId timer_ = ble::sim::kInvalidEvent;
+};
+
+/// A passive scanner: rotates its listen channel over 37/38/39 every scan
+/// window.  Scanners never transmit — their load is on the interest lists
+/// (every advertising transmission must consider them as lock candidates).
+class CrowdScanner final : public ble::sim::RadioDevice {
+public:
+    CrowdScanner(ble::sim::Scheduler& scheduler, ble::sim::RadioMedium& medium,
+                 ble::Rng rng, ble::sim::RadioDeviceConfig config,
+                 ble::Duration scan_window = ble::milliseconds(10));
+    ~CrowdScanner() override { scheduler().cancel(timer_); }
+
+    void on_rx(const ble::sim::RxFrame&) override {}  // receive-and-discard
+
+private:
+    void rotate();
+
+    ble::Duration scan_window_;
+    int channel_index_ = 0;
+    ble::sim::EventId timer_ = ble::sim::kInvalidEvent;
+};
+
+/// A coexisting connection: a master/slave radio pair hopping over the data
+/// channels with CSA#1 (seeded hop increment and interval, random access
+/// address and CRC init, seeded anchor phase).  Each connection event the
+/// slave opens its window, the master transmits one small data PDU, and the
+/// slave answers T_IFS after it — enough traffic shape to collide with
+/// victim connection events on shared channels without any host stack.
+class CrowdConnection final {
+public:
+    CrowdConnection(ble::sim::Scheduler& scheduler, ble::sim::RadioMedium& medium,
+                    ble::Rng rng, const DenseEnvironment& env, int index,
+                    ble::sim::Position master_pos, ble::sim::Position slave_pos);
+    ~CrowdConnection() {
+        scheduler_.cancel(timer_);
+        scheduler_.cancel(reply_timer_);
+    }
+
+    [[nodiscard]] std::uint16_t hop_interval() const noexcept { return hop_interval_; }
+    [[nodiscard]] std::uint32_t access_address() const noexcept { return access_address_; }
+
+private:
+    /// Minimal radio: all protocol behaviour lives in CrowdConnection.
+    class Node final : public ble::sim::RadioDevice {
+    public:
+        using RadioDevice::RadioDevice;
+        void on_rx(const ble::sim::RxFrame&) override {}
+    };
+
+    void connection_event();
+
+    ble::sim::Scheduler& scheduler_;
+    std::uint16_t hop_interval_ = 36;
+    std::uint32_t access_address_ = 0;
+    std::uint32_t crc_init_ = 0;
+    std::uint16_t event_counter_ = 0;
+    ble::link::Csa1 selector_;
+    ble::sim::AirFrame master_frame_;
+    ble::sim::AirFrame slave_frame_;
+    std::unique_ptr<Node> master_;
+    std::unique_ptr<Node> slave_;
+    ble::sim::EventId timer_ = ble::sim::kInvalidEvent;
+    ble::sim::EventId reply_timer_ = ble::sim::kInvalidEvent;
+};
+
+/// The built population; owned by World, torn down with it.
+struct Crowd {
+    std::vector<std::unique_ptr<CrowdAdvertiser>> advertisers;
+    std::vector<std::unique_ptr<CrowdScanner>> scanners;
+    std::vector<std::unique_ptr<CrowdConnection>> connections;
+
+    [[nodiscard]] std::size_t device_count() const noexcept {
+        return advertisers.size() + scanners.size() + 2 * connections.size();
+    }
+};
+
+/// Builds the crowd from `crowd_rng` (fork it off the world root after every
+/// baseline device so the baseline stream stays untouched).  Timers are
+/// armed immediately; they fire once the caller runs the scheduler.
+[[nodiscard]] std::unique_ptr<Crowd> build_crowd(ble::sim::Scheduler& scheduler,
+                                                 ble::sim::RadioMedium& medium,
+                                                 ble::Rng crowd_rng,
+                                                 const DenseEnvironment& env);
+
+}  // namespace injectable::world

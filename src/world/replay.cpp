@@ -324,6 +324,17 @@ std::string experiment_meta_json(const ExperimentConfig& config, std::uint64_t s
     append_str(out, "central_name", w.central_name);
     append_str(out, "attacker_name", w.attacker_name);
     append_str(out, "gap_device_name", w.gap_device_name);
+    // Dense-environment crowd, only when enabled: baseline meta headers stay
+    // byte-identical to every previous release.
+    if (!w.dense.empty()) {
+        append_int(out, "dense_advertisers", w.dense.advertisers);
+        append_int(out, "dense_scanners", w.dense.scanners);
+        append_int(out, "dense_connections", w.dense.connections);
+        append_double(out, "dense_area_radius_m", w.dense.area_radius_m);
+        append_int(out, "dense_adv_interval_ns", w.dense.adv_interval);
+        append_int(out, "dense_min_hop_interval", w.dense.min_hop_interval);
+        append_int(out, "dense_max_hop_interval", w.dense.max_hop_interval);
+    }
     out += '}';
     return out;
 }
@@ -429,6 +440,19 @@ TraceMeta parse_trace_meta(const std::string& line) {
     w.central_name = r.str("central_name", w.central_name);
     w.attacker_name = r.str("attacker_name", w.attacker_name);
     w.gap_device_name = r.str("gap_device_name", w.gap_device_name);
+
+    // Dense keys are absent from pre-dense (and baseline) headers; the
+    // defaults are the empty crowd, so old traces parse unchanged.
+    DenseEnvironment& d = w.dense;
+    d.advertisers = static_cast<int>(r.integer("dense_advertisers", d.advertisers));
+    d.scanners = static_cast<int>(r.integer("dense_scanners", d.scanners));
+    d.connections = static_cast<int>(r.integer("dense_connections", d.connections));
+    d.area_radius_m = r.number("dense_area_radius_m", d.area_radius_m);
+    d.adv_interval = r.integer("dense_adv_interval_ns", d.adv_interval);
+    d.min_hop_interval =
+        static_cast<std::uint16_t>(r.integer("dense_min_hop_interval", d.min_hop_interval));
+    d.max_hop_interval =
+        static_cast<std::uint16_t>(r.integer("dense_max_hop_interval", d.max_hop_interval));
 
     meta.valid = true;
     return meta;

@@ -19,11 +19,41 @@ WorldSpec WorldSpec::protocol_test() {
     return spec;
 }
 
+WorldSpec WorldSpec::office() {
+    WorldSpec spec;
+    spec.dense.advertisers = 24;
+    spec.dense.scanners = 8;
+    spec.dense.connections = 6;
+    spec.dense.area_radius_m = 8.0;
+    return spec;
+}
+
+WorldSpec WorldSpec::stadium() {
+    WorldSpec spec;
+    spec.dense.advertisers = 400;
+    spec.dense.scanners = 60;
+    spec.dense.connections = 60;
+    spec.dense.area_radius_m = 50.0;
+    return spec;
+}
+
+WorldSpec WorldSpec::parking_lot() {
+    WorldSpec spec;
+    spec.dense.advertisers = 80;
+    spec.dense.scanners = 6;
+    spec.dense.connections = 4;
+    spec.dense.area_radius_m = 30.0;
+    // Keyfobs and beacons advertise lazily.
+    spec.dense.adv_interval = milliseconds(250);
+    return spec;
+}
+
 sim::RadioWorldSpec WorldSpec::rf() const {
     sim::RadioWorldSpec rf_spec;
     rf_spec.path_loss.fading_sigma_db = fading_sigma_db;
     rf_spec.walls = walls;
     rf_spec.capture = capture;
+    rf_spec.medium.legacy_full_scan = medium_legacy_full_scan;
     return rf_spec;
 }
 
@@ -74,6 +104,12 @@ World::World(WorldSpec world_spec, std::uint64_t seed)
     a_cfg.position = spec.attacker_pos;
     a_cfg.clock.sca_ppm = spec.attacker_sca_ppm;
     attacker = std::make_unique<AttackerRadio>(scheduler, medium, rng.fork(), a_cfg);
+
+    // The crowd forks *after* every baseline device, so enabling density
+    // appends to the RNG tree instead of shifting the baseline streams.
+    if (!spec.dense.empty()) {
+        crowd = build_crowd(scheduler, medium, rng.fork(), spec.dense);
+    }
 }
 
 World::World(WorldSpec world_spec) : World(world_spec, world_spec.seed) {}

@@ -30,6 +30,7 @@
 #include "host/central.hpp"
 #include "host/peripheral.hpp"
 #include "sim/world.hpp"
+#include "world/dense.hpp"
 
 namespace injectable::world {
 
@@ -74,6 +75,10 @@ struct WorldSpec {
     // log-normal fading is what re-rolls the collision outcome on every hop.
     double fading_sigma_db = 6.0;
     ble::sim::CaptureParams capture{};
+    /// A/B switch for the medium's per-channel indexes (see
+    /// MediumParams::legacy_full_scan): true re-enables the pre-refactor
+    /// all-device walks.  Bit-identical either way; benches only.
+    bool medium_legacy_full_scan = false;
 
     // Victim-side counter-measure knobs (paper §VIII).
     double widening_scale = 1.0;  ///< 1.0 = spec widening (solution 1 shrinks it)
@@ -86,6 +91,13 @@ struct WorldSpec {
     /// a real host stack.  Expressed in connection events between requests;
     /// 0 disables.  Only pumped for the kLightbulb profile.
     int master_traffic_every_events = 2;
+
+    /// Background population (empty by default — the paper's testbed).  The
+    /// crowd's RNG is forked off the world root *after* every baseline
+    /// device, so enabling it never perturbs the baseline stream, and a
+    /// paper-baseline spec with `dense` left empty stays byte-identical to
+    /// every previous release.
+    DenseEnvironment dense{};
 
     // Victim identities.
     VictimProfile profile = VictimProfile::kLightbulb;
@@ -103,6 +115,16 @@ struct WorldSpec {
     /// generous supervision timeout, master declaring its real 50 ppm bound.
     /// Every RF failure a test sees under this spec is a protocol failure.
     [[nodiscard]] static WorldSpec protocol_test();
+
+    // Dense-environment presets: the paper baseline plus a seeded crowd.
+    /// A busy open-plan office: ~40 extra radios in an 8 m radius.
+    [[nodiscard]] static WorldSpec office();
+    /// Stadium-grade density: 580 extra radios (400 advertisers, 60
+    /// scanners, 60 coexisting connections) in a 50 m radius.
+    [[nodiscard]] static WorldSpec stadium();
+    /// A parking lot of beacons/keyfobs: sparse connections, many
+    /// advertisers, 30 m radius.
+    [[nodiscard]] static WorldSpec parking_lot();
 
     [[nodiscard]] ble::sim::RadioWorldSpec rf() const;
     /// Supervision timeout field actually used (resolves the 0 sentinel).
@@ -162,6 +184,8 @@ struct World : ble::sim::RadioWorld {
     std::unique_ptr<ble::host::Peripheral> peripheral;
     std::unique_ptr<ble::host::Central> central;
     std::unique_ptr<AttackerRadio> attacker;
+    /// The background population (null when spec.dense is empty).
+    std::unique_ptr<Crowd> crowd;
     /// Installed on the peripheral iff `spec.profile == kLightbulb`.
     ble::gatt::LightbulbProfile bulb;
     /// Benign vendor attribute the traffic pump writes telemetry to (real

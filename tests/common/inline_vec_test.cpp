@@ -1,0 +1,90 @@
+#include "common/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using ble::InlineVec;
+
+// The medium stores raw pointers; int* stands in for RadioDevice*.
+int* ptr(std::uintptr_t v) { return reinterpret_cast<int*>(v * alignof(int)); }
+
+TEST(InlineVecTest, StaysInlineUpToCapacity) {
+    InlineVec<int*, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.inlined());
+    for (std::uintptr_t i = 1; i <= 4; ++i) v.push_back(ptr(i));
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_TRUE(v.inlined());  // exactly N elements still fit inside
+    for (std::uintptr_t i = 1; i <= 4; ++i) EXPECT_EQ(v[i - 1], ptr(i));
+}
+
+TEST(InlineVecTest, SpillsToHeapAndPreservesContents) {
+    InlineVec<int*, 4> v;
+    for (std::uintptr_t i = 1; i <= 9; ++i) v.push_back(ptr(i));
+    EXPECT_EQ(v.size(), 9u);
+    EXPECT_FALSE(v.inlined());
+    for (std::uintptr_t i = 1; i <= 9; ++i) EXPECT_EQ(v[i - 1], ptr(i));
+    EXPECT_EQ(v.back(), ptr(9));
+}
+
+TEST(InlineVecTest, ClearKeepsSpilledCapacity) {
+    InlineVec<int*, 2> v;
+    for (std::uintptr_t i = 1; i <= 8; ++i) v.push_back(ptr(i));
+    const std::size_t cap = v.capacity();
+    EXPECT_GE(cap, 8u);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), cap);  // the heap block is retained for reuse
+}
+
+TEST(InlineVecTest, OrderedInsertMatchesLowerBound) {
+    InlineVec<int*, 4> v;
+    std::vector<int*> model;
+    const std::uintptr_t values[] = {5, 1, 9, 3, 7, 2, 8, 4, 6};
+    for (const std::uintptr_t raw : values) {
+        int* value = ptr(raw);
+        v.insert(std::lower_bound(v.begin(), v.end(), value), value);
+        model.insert(std::lower_bound(model.begin(), model.end(), value), value);
+    }
+    ASSERT_EQ(v.size(), model.size());
+    for (std::size_t i = 0; i < model.size(); ++i) EXPECT_EQ(v[i], model[i]);
+}
+
+TEST(InlineVecTest, EraseValueRemovesFirstMatchOnly) {
+    InlineVec<int*, 4> v;
+    for (const std::uintptr_t raw : {1, 2, 3, 2, 4}) v.push_back(ptr(raw));
+    v.erase_value(ptr(2));
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], ptr(1));
+    EXPECT_EQ(v[1], ptr(3));
+    EXPECT_EQ(v[2], ptr(2));  // the second occurrence survives
+    EXPECT_EQ(v[3], ptr(4));
+    v.erase_value(ptr(42));  // absent value: no-op
+    EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(InlineVecTest, PopBackAfterSpillThenRefill) {
+    InlineVec<int*, 2> v;
+    for (std::uintptr_t i = 1; i <= 5; ++i) v.push_back(ptr(i));
+    while (!v.empty()) v.pop_back();
+    EXPECT_TRUE(v.empty());
+    // Refilling reuses the spilled block without shrinking back inline.
+    for (std::uintptr_t i = 10; i <= 14; ++i) v.push_back(ptr(i));
+    ASSERT_EQ(v.size(), 5u);
+    for (std::uintptr_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], ptr(10 + i));
+}
+
+TEST(InlineVecTest, RangeForIteratesInOrder) {
+    InlineVec<int*, 4> v;
+    for (std::uintptr_t i = 1; i <= 6; ++i) v.push_back(ptr(i));
+    std::uintptr_t expect = 1;
+    for (int* e : v) EXPECT_EQ(e, ptr(expect++));
+    EXPECT_EQ(expect, 7u);
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+// lint-fixture-path: src/obs/fanout.cpp
+//
+// D1-extension fixture: event emission from inside iteration over a
+// std::unordered_* container.  The keys here are plain ints — the original
+// pointer-key pass stays silent — but hash order is unspecified for every
+// key type, so the order the bus sees these events in varies across
+// standard libraries, hash seeds and runs.  The extension must flag both
+// loops (braced body and brace-less single statement).
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ble::obs {
+
+struct Event {
+    int id = 0;
+};
+
+struct Subscriber {
+    int priority = 0;
+};
+
+struct Bus {
+    void emit(const Event& event);
+    void dispatch(const Event& event);
+};
+
+class Fanout {
+public:
+    void flush(const Event& event);
+
+private:
+    std::unordered_map<int, Subscriber> subs_;
+    std::unordered_set<int> armed_;
+    Bus bus_;
+};
+
+void Fanout::flush(const Event& event) {
+    for (const auto& [id, sub] : subs_) {
+        (void)id;
+        (void)sub;
+        bus_.emit(event);
+    }
+    for (int id : armed_) bus_.dispatch(Event{id});
+}
+
+}  // namespace ble::obs

@@ -92,6 +92,17 @@ TEST(FixtureBad, D1RadioMediumRegression) {
         << "findings must report the real path, not the fixture's logical path";
 }
 
+TEST(FixtureBad, D1UnorderedEmissionLoops) {
+    // The D1 extension: int-keyed containers (the pointer-key pass stays
+    // silent) iterated into bus emission — one braced loop, one brace-less.
+    const auto findings = scan_fixture("bad_d1_unordered_emit.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kD1), 2);
+    EXPECT_EQ(unsuppressed_count(findings), 2);
+    for (const Finding& f : findings) {
+        EXPECT_NE(f.message.find("hash order is unspecified"), std::string::npos);
+    }
+}
+
 TEST(FixtureBad, D2WallClockAndUnseededRandomness) {
     const auto findings = scan_fixture("bad_d2_wall_clock.cpp");
     // steady_clock, random_device, srand, time(, rand(
@@ -141,6 +152,14 @@ TEST(FixtureGood, D1AttachOrderAndAuditedMemo) {
     EXPECT_NE(it->suppress_reason.find("lookup-only"), std::string::npos);
 }
 
+TEST(FixtureGood, D1OrderedEmission) {
+    // Attach-order vector for emission + lookup-only unordered index (even
+    // iterated, as long as no emit rides the loop) scans fully clean.
+    const auto findings = scan_fixture("good_d1_ordered_emit.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
 TEST(FixtureGood, D2SimTime) {
     const auto findings = scan_fixture("good_d2_sim_time.cpp");
     EXPECT_EQ(unsuppressed_count(findings), 0);
@@ -166,6 +185,18 @@ TEST(FixtureGood, S1NamedConstants) {
 }
 
 // --- rule mechanics on inline snippets ---
+
+TEST(RuleD1, EmissionInsideUnorderedIterationFlagged) {
+    // A loop that emits is flagged; the same loop doing arithmetic is not.
+    const std::string src =
+        "void f(Bus& bus, std::unordered_set<int> live, long& sum) {\n"
+        "  for (int id : live) bus.emit(make(id));\n"
+        "  for (int id : live) sum += id;\n"
+        "}\n";
+    const auto findings = scan_source("t.cpp", "src/obs/t.cpp", src);
+    EXPECT_EQ(count_rule(findings, Rule::kD1), 1);
+    EXPECT_EQ(findings.at(0).line, 2);
+}
 
 TEST(RuleD2, MemberAccessIsExempt) {
     const auto findings =
@@ -283,7 +314,7 @@ TEST(Reporting, JsonlShapeAndSummaryTotals) {
 TEST(Reporting, ScanPathsWalksTheFixtureCorpus) {
     std::vector<Finding> findings;
     const int files = scan_paths({LINT_FIXTURE_DIR}, findings);
-    EXPECT_EQ(files, 11);  // 6 bad_* + 5 good_* fixtures
+    EXPECT_EQ(files, 13);  // 7 bad_* + 6 good_* fixtures
     EXPECT_GT(unsuppressed_count(findings), 0);
     EXPECT_EQ(scan_paths({"/nonexistent/injectable"}, findings), -1);
 }

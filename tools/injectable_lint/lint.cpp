@@ -367,6 +367,95 @@ struct Scanner {
         }
     }
 
+    // D1 (extension): event emission from inside iteration over *any*
+    // std::unordered_* container.  The declaration pass above only catches
+    // pointer keys, but hash order is unspecified for every key type — it
+    // varies across standard libraries, hash seeds and runs — so an emit /
+    // dispatch inside such a loop reorders the trace even when the key
+    // compares deterministically.
+    void rule_d1_unordered_emit() {
+        static const std::set<std::string, std::less<>> kEmitters = {
+            "emit", "emit_batch", "dispatch", "on_event", "on_events"};
+        // Pass 1: names declared (member, local or parameter) with an
+        // unordered container type.
+        std::set<std::string> unordered_vars;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier || !t.text.starts_with("unordered_"))
+                continue;
+            if (!punct_at(i + 1, "<")) continue;
+            int angle = 1;
+            std::size_t j = i + 2;
+            for (; j < toks.size() && angle > 0; ++j) {
+                if (punct_at(j, "<")) ++angle;
+                else if (punct_at(j, ">")) --angle;
+            }
+            while (j < toks.size() && toks[j].kind == TokenKind::kPunct &&
+                   (toks[j].text == "&" || toks[j].text == "*")) {
+                ++j;
+            }
+            const Token* name = at(j);
+            if (name != nullptr && name->kind == TokenKind::kIdentifier)
+                unordered_vars.insert(name->text);
+        }
+        if (unordered_vars.empty()) return;
+        // Pass 2: range-for statements whose range expression mentions one
+        // of those names and whose body reaches an emitter call.  (`::`
+        // lexes merged, so a single `:` at paren depth 1 is the range colon.)
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].kind != TokenKind::kIdentifier || toks[i].text != "for") continue;
+            if (!punct_at(i + 1, "(")) continue;
+            int depth = 0;
+            std::size_t colon = 0;
+            std::size_t close = i + 1;
+            for (; close < toks.size(); ++close) {
+                if (punct_at(close, "(")) ++depth;
+                else if (punct_at(close, ")")) {
+                    if (--depth == 0) break;
+                } else if (depth == 1 && punct_at(close, ":")) {
+                    colon = close;
+                }
+            }
+            if (close >= toks.size() || colon == 0) continue;  // not a range-for
+            std::string range_var;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (toks[j].kind == TokenKind::kIdentifier &&
+                    unordered_vars.count(toks[j].text) > 0) {
+                    range_var = toks[j].text;
+                    break;
+                }
+            }
+            if (range_var.empty()) continue;
+            // Body extent: braced block, or a single statement up to ';'.
+            std::size_t body_begin = close + 1;
+            std::size_t body_end = body_begin;
+            if (punct_at(body_begin, "{")) {
+                int braces = 0;
+                for (; body_end < toks.size(); ++body_end) {
+                    if (punct_at(body_end, "{")) ++braces;
+                    else if (punct_at(body_end, "}") && --braces == 0) break;
+                }
+            } else {
+                while (body_end < toks.size() && !punct_at(body_end, ";")) ++body_end;
+            }
+            for (std::size_t j = body_begin; j < body_end && j < toks.size(); ++j) {
+                const Token& u = toks[j];
+                if (u.kind == TokenKind::kIdentifier && kEmitters.count(u.text) > 0 &&
+                    punct_at(j + 1, "(")) {
+                    emit(Rule::kD1, toks[i].line,
+                         "event emission ('" + u.text +
+                             "') inside iteration over std::unordered_* container '" +
+                             range_var +
+                             "': hash order is unspecified and varies run to run, so "
+                             "the emitted event order is nondeterministic; iterate an "
+                             "ordered or attach-order view, or allow(D1) with an "
+                             "order-freedom argument");
+                    break;
+                }
+            }
+        }
+    }
+
     // D2: wall-clock time / unseeded randomness.
     void rule_d2() {
         static const std::set<std::string, std::less<>> kAlways = {
@@ -597,6 +686,7 @@ std::vector<Finding> scan_source(const std::string& file, const std::string& log
 
     Scanner scanner{file, stream.tokens, findings};
     scanner.rule_d1();
+    scanner.rule_d1_unordered_emit();
     scanner.rule_d4();
 
     bool d2_allowlisted = false;

@@ -12,7 +12,11 @@
 //       iteration order is heap-address order, which varies run to run, so
 //       any iteration that reaches RNG draws or event emission breaks
 //       replayability.  Use attach-order vectors / stable-index maps, or
-//       suppress with an order-freedom argument.
+//       suppress with an order-freedom argument.  Extension: event emission
+//       (emit / emit_batch / dispatch / on_event) from inside a range-for
+//       over *any* std::unordered_* container is flagged regardless of key
+//       type — hash order is unspecified for every key, so the emitted
+//       event order would vary across standard libraries and runs.
 //   D2  No wall-clock time or unseeded randomness outside the allowlisted
 //       time/rng primitives: simulated time must flow from common/time.hpp
 //       (sim::Scheduler) and all randomness from common/rng.hpp (seeded

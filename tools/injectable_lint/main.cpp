@@ -20,7 +20,8 @@ void print_usage(const char* argv0) {
                  "usage: %s [--jsonl FILE] [--quiet] <path>...\n"
                  "  Scans *.cpp/*.hpp under each path for determinism and\n"
                  "  spec-invariant violations:\n"
-                 "    D1  pointer-keyed unordered_map/unordered_set\n"
+                 "    D1  pointer-keyed unordered_map/unordered_set, and event\n"
+                 "        emission inside iteration over any unordered container\n"
                  "    D2  wall-clock time / unseeded randomness\n"
                  "    D3  float/double accumulation in the stats layer\n"
                  "    D4  discarded [[nodiscard]] scheduler handles\n"
