@@ -1,0 +1,61 @@
+// Result cache: the leader's crash-safe buffer between wire and merger.
+//
+// Every task's wire traffic is buffered here between TaskStart and TaskDone.
+// Only TaskDone commits a task; a stream that dies first (worker crash,
+// dropped connection, torn frame) leaves the task pending and its partial
+// buffer is discarded by abandon(), so the leader re-issues the task instead
+// of silently dropping trials — the invariant the fault-injection tests pin.
+//
+// The cache is NOT internally synchronized: the leader serializes access
+// with its own mutex (one lock around accept() per decoded frame).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/wire.hpp"
+
+namespace injectable::campaign {
+
+/// Everything one completed task produced.
+struct TaskOutput {
+    int task = -1;
+    std::vector<world::RunResult> results;
+    ble::obs::MetricsSnapshot metrics;
+    bool have_metrics = false;
+    std::vector<world::TrialArtifact> artifacts;
+    bool started = false;  ///< TaskStart seen this attempt
+    bool done = false;     ///< TaskDone seen — output is committed
+};
+
+class ResultCache {
+public:
+    explicit ResultCache(const CampaignPlan& plan);
+
+    /// Applies one decoded wire message.  Returns false (with *error) on
+    /// protocol violations: unknown task ids, results outside a
+    /// TaskStart/TaskDone window, wrong trial counts, duplicate completion.
+    [[nodiscard]] bool accept(const WireMessage& message, std::string* error = nullptr);
+
+    /// Discards any uncommitted partial state for `task`, returning it to
+    /// the pending pool.  Committed (done) tasks are untouched.
+    void abandon(int task);
+
+    /// Tasks with no committed output, in id order.
+    [[nodiscard]] std::vector<int> pending() const;
+
+    [[nodiscard]] bool complete() const;
+    [[nodiscard]] int done_count() const;
+
+    /// Committed output for `task` (valid only once done).
+    [[nodiscard]] const TaskOutput& output(int task) const {
+        return outputs_[static_cast<std::size_t>(task)];
+    }
+
+private:
+    std::vector<TaskOutput> outputs_;   // indexed by task id
+    std::vector<int> expected_counts_;  // trial count each task must deliver
+};
+
+}  // namespace injectable::campaign

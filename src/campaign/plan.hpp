@@ -1,0 +1,79 @@
+// CampaignPlan / ShardTask: a configuration grid split into deterministic,
+// re-issuable units of work.
+//
+// A campaign is an ordered list of series (ExperimentConfig, e.g. the
+// Experiment-1 hop-interval grid) plus a task table that tiles every series'
+// trials into contiguous slices.  The tiling is fixed at *plan* time — it
+// depends only on (series runs, shard count), never on worker count,
+// transport, or scheduling — which is what makes the merge deterministic:
+//
+//  * trial seeds are base_seed + global trial index (SeriesSlice semantics),
+//    so any worker executing task t produces exactly the trials a
+//    single-process run would;
+//  * per-task metric partials are merged in task order, and because each task
+//    is a contiguous in-order slice and MetricsSnapshot::merge is
+//    grouping-associative, the result equals the sequential trial-index merge;
+//  * a lost task re-executes bit-identically, so re-issue is safe.
+//
+// The plan serializes to one self-describing JSON document (reusing the
+// trace meta header codec for each series config, %.17g doubles), which is
+// what `campaign_ctl plan` writes and spawned workers load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "world/experiment.hpp"
+
+namespace injectable::campaign {
+
+/// Bumped when the plan document schema changes incompatibly.
+inline constexpr int kCampaignPlanVersion = 1;
+
+/// One unit of re-issuable work: trials [first, first+count) of one series.
+struct ShardTask {
+    int id = 0;      ///< dense 0..tasks-1, assignment + cache key
+    int series = 0;  ///< index into CampaignPlan::series
+    int first = 0;   ///< first trial index within the series
+    int count = 0;   ///< number of trials
+
+    friend bool operator==(const ShardTask&, const ShardTask&) = default;
+};
+
+struct CampaignPlan {
+    std::string name = "campaign";
+    /// What every worker produces (series_record is the merger's job and
+    /// wall_clock is forced off for bit-identical shard outputs; both are
+    /// normalized by plan_campaign).
+    world::ResultChannels channels;
+    std::vector<world::ExperimentConfig> series;
+    std::vector<ShardTask> tasks;
+
+    [[nodiscard]] int total_trials() const noexcept;
+    /// Task ids of one series, in slice order (ascending `first`).
+    [[nodiscard]] std::vector<int> series_tasks(int series_index) const;
+};
+
+/// Splits every series into at most `shards` contiguous slices (fewer when a
+/// series has fewer runs) and normalizes the configs for campaign execution:
+/// jobs pinned to 1 (the record's "jobs" field must not depend on the host),
+/// wall_clock off, series_record reserved for the merger.
+[[nodiscard]] CampaignPlan plan_campaign(std::string name,
+                                         std::vector<world::ExperimentConfig> series,
+                                         int shards, world::ResultChannels channels = {});
+
+/// One JSON document (single line) describing the whole plan.
+[[nodiscard]] std::string plan_to_json(const CampaignPlan& plan);
+
+/// Parses plan_to_json() output.  Returns false and sets *error on malformed
+/// or version-mismatched documents.
+[[nodiscard]] bool plan_from_json(const std::string& text, CampaignPlan& out,
+                                  std::string* error = nullptr);
+
+/// The paper's Experiment-1 grid (Fig. 9): hop interval sweep over
+/// {25, 50, 75, 100, 125, 150} with the bench's clock/drift parameters and
+/// per-hop base seeds — the reference campaign for CI's sharded-vs-single
+/// byte-identity gate.
+[[nodiscard]] std::vector<world::ExperimentConfig> experiment1_grid(int runs = 25);
+
+}  // namespace injectable::campaign

@@ -1,0 +1,59 @@
+#include "common/framing.hpp"
+
+#include <cstring>
+
+namespace ble::common {
+
+namespace {
+
+void append_u32le(std::string& out, std::uint32_t value) {
+    out.push_back(static_cast<char>(value & 0xffu));
+    out.push_back(static_cast<char>((value >> 8) & 0xffu));
+    out.push_back(static_cast<char>((value >> 16) & 0xffu));
+    out.push_back(static_cast<char>((value >> 24) & 0xffu));
+}
+
+std::uint32_t read_u32le(const char* p) {
+    const auto b = [&](int i) { return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])); };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::uint32_t type, std::string_view payload) {
+    append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+    append_u32le(out, type);
+    out.append(payload);
+}
+
+std::string encode_frame(std::uint32_t type, std::string_view payload) {
+    std::string out;
+    out.reserve(8 + payload.size());
+    append_frame(out, type, payload);
+    return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+    if (!error_.empty()) return;
+    buffer_.append(bytes);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    if (!error_.empty()) return std::nullopt;
+    if (buffer_.size() < 8) return std::nullopt;
+    const std::uint32_t payload_len = read_u32le(buffer_.data());
+    if (payload_len > kMaxFramePayload) {
+        error_ = "frame payload length " + std::to_string(payload_len) + " exceeds limit " +
+                 std::to_string(kMaxFramePayload);
+        return std::nullopt;
+    }
+    const std::size_t total = 8 + static_cast<std::size_t>(payload_len);
+    if (buffer_.size() < total) return std::nullopt;
+    Frame frame;
+    frame.type = read_u32le(buffer_.data() + 4);
+    frame.payload.assign(buffer_, 8, payload_len);
+    buffer_.erase(0, total);
+    return frame;
+}
+
+}  // namespace ble::common

@@ -28,6 +28,10 @@
 
 #include "obs/bus.hpp"
 
+namespace ble::json {
+class Value;
+}
+
 namespace ble::obs {
 
 /// Number of log2 buckets: bit_width of a uint64 is 0..64.
@@ -123,6 +127,13 @@ private:
 
 /// Prints a short human-readable digest (one line per metric) to stdout.
 void print_metrics_summary(const MetricsSnapshot& snapshot, const std::string& label);
+
+/// Parses the MetricsSnapshot::to_json() format back into a snapshot — the
+/// inverse the campaign wire protocol relies on (shard partials travel as
+/// JSON and must merge bit-identically).  Returns false and sets *error on a
+/// malformed document; a missing top-level section is treated as empty.
+bool metrics_snapshot_from_json(const json::Value& value, MetricsSnapshot& out,
+                                std::string* error = nullptr);
 
 struct MetricsSinkParams {
     /// Receiver sensitivity used for the per-capture power-margin histogram

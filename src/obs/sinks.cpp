@@ -281,15 +281,14 @@ bool trace_compression_available() noexcept {
 #endif
 }
 
-bool JsonlTraceSink::write_file(const std::string& path, bool gzip) const {
+bool write_text_file(const std::string& path, std::string_view content, bool gzip) {
 #if BLE_OBS_HAS_ZLIB
     if (gzip) {
         gzFile gz = gzopen(path.c_str(), "wb");
         if (gz == nullptr) return false;
-        const std::string doc = str();
-        bool ok = doc.empty() ||
-                  gzwrite(gz, doc.data(), static_cast<unsigned>(doc.size())) ==
-                      static_cast<int>(doc.size());
+        bool ok = content.empty() ||
+                  gzwrite(gz, content.data(), static_cast<unsigned>(content.size())) ==
+                      static_cast<int>(content.size());
         if (gzclose(gz) != Z_OK) ok = false;
         return ok;
     }
@@ -298,10 +297,13 @@ bool JsonlTraceSink::write_file(const std::string& path, bool gzip) const {
 #endif
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    const std::string doc = str();
-    bool ok = doc.empty() || std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    bool ok = content.empty() || std::fwrite(content.data(), 1, content.size(), f) == content.size();
     if (std::fclose(f) != 0) ok = false;
     return ok;
+}
+
+bool JsonlTraceSink::write_file(const std::string& path, bool gzip) const {
+    return write_text_file(path, str(), gzip);
 }
 
 std::vector<std::string> read_jsonl_file(const std::string& path, std::string* error) {

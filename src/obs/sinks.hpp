@@ -43,6 +43,13 @@ void append_json_escaped(std::string& out, std::string_view s);
 /// transparent .gz reading) is available.
 [[nodiscard]] bool trace_compression_available() noexcept;
 
+/// Writes `content` to `path` (truncating); with gzip=true the stream is
+/// gzip-compressed when trace_compression_available(), and written plain
+/// otherwise (graceful fallback).  Returns false on I/O error.  This is the
+/// one file-writing primitive every result channel shares, so artifact bytes
+/// are identical no matter which sink routed them.
+bool write_text_file(const std::string& path, std::string_view content, bool gzip = false);
+
 /// Reads a JSONL file into lines (without the trailing newlines).  Reads
 /// gzip-compressed files transparently when built with zlib (plain files work
 /// either way).  On failure returns an empty vector and sets *error.

@@ -2,9 +2,7 @@
 
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
 #include "core/forge.hpp"
@@ -18,13 +16,6 @@
 namespace injectable::world {
 
 using namespace ble;
-
-namespace {
-/// Guards INJECTABLE_JSON appends: run_series() may execute concurrently
-/// (nested sweeps, tests), and each series must land as one intact line.
-std::mutex g_json_mutex;
-
-}  // namespace
 
 std::string sanitize_experiment_name(const std::string& name) {
     std::string out = name;
@@ -164,49 +155,44 @@ RunResult run_injection_experiment_with_retry(const ExperimentConfig& config,
     return result;
 }
 
-std::vector<RunResult> run_series(const ExperimentConfig& config) {
-    int runs = config.runs;
-    // INJECTABLE_RUNS overrides the paper's 25 runs/configuration (e.g. for
-    // smoother statistics or a quicker smoke pass).
-    if (const char* env = std::getenv("INJECTABLE_RUNS")) {
-        const int parsed = std::atoi(env);
-        if (parsed > 0) runs = parsed;
-    }
-    // INJECTABLE_TRACE_DIR streams a replayable JSONL event trace per failed
-    // trial (INJECTABLE_TRACE_ALL=1 keeps the successes too), keyed by the
-    // trial's reproducing seed, next to the INJECTABLE_JSON records.
-    // INJECTABLE_TRACE_COMPRESS=1 gzips the traces (no-op without zlib).
-    const char* trace_dir = std::getenv("INJECTABLE_TRACE_DIR");
-    const bool trace_all = std::getenv("INJECTABLE_TRACE_ALL") != nullptr;
-    const bool trace_gzip = std::getenv("INJECTABLE_TRACE_COMPRESS") != nullptr &&
-                            obs::trace_compression_available();
-    // INJECTABLE_CHROME_TRACE_DIR writes a chrome://tracing-loadable timeline
-    // per trial; INJECTABLE_METRICS=1 prints the merged metrics summary.
-    const char* chrome_dir = std::getenv("INJECTABLE_CHROME_TRACE_DIR");
-    const char* json_path = std::getenv("INJECTABLE_JSON");
-    const bool metrics_print = std::getenv("INJECTABLE_METRICS") != nullptr;
-    const bool want_metrics =
-        json_path != nullptr || metrics_print || static_cast<bool>(config.on_series_metrics);
-    // INJECTABLE_PROF=1 installs the per-trial self-profiler (src/obs/prof);
-    // its sim-time prof.* series land in the merged metrics snapshot above.
-    // INJECTABLE_PROF_WALL=1 adds wall-clock span timing whose only output is
-    // a per-trial stderr table (non-deterministic, never recorded).
-    const bool want_prof = config.profile_spans || std::getenv("INJECTABLE_PROF") != nullptr;
-    const bool prof_wall = std::getenv("INJECTABLE_PROF_WALL") != nullptr;
+std::vector<RunResult> run_series(const ExperimentConfig& config, ResultSink& sink,
+                                  SeriesSlice slice) {
+    const ResultChannels& ch = sink.channels();
+
+    // Resolve the slice against the series length: trials [first, first+count)
+    // of config.runs, seeds keyed by the *global* trial index.
+    const int total_runs = config.runs;
+    int first = std::clamp(slice.first, 0, total_runs);
+    int count = slice.count < 0 ? total_runs - first
+                                : std::min(slice.count, total_runs - first);
+    if (count < 0) count = 0;
+
+    const bool want_metrics = ch.metrics || static_cast<bool>(config.on_series_metrics);
+    const bool want_prof = config.profile_spans || ch.profile;
 
     // Per-trial metric snapshots, stored by index like the results: merging
-    // them 0..runs-1 afterwards is deterministic for any worker count.
+    // them in slice order afterwards is deterministic for any worker count.
     std::vector<obs::MetricsSnapshot> metric_snapshots(
-        want_metrics ? static_cast<std::size_t>(runs) : 0);
+        want_metrics ? static_cast<std::size_t>(count) : 0);
 
     TrialRunner runner(config.jobs);
     runner.set_progress_label(config.name);
-    auto results = runner.map(runs, [&](int i) {
+    // Always installed, so the runner's environment-gated default meter never
+    // engages: progress is entirely the sink's channel.
+    runner.set_progress([&](int done, int total) {
+        if (ch.progress) sink.on_progress(config.name, done, total);
+    });
+    auto results = runner.map(count, [&](int i) {
         // RunResult::wall_ms is documented non-deterministic and excluded
-        // from every comparison, so the host clock is fine here.
+        // from every comparison, so the host clock is fine here; campaign
+        // sinks turn the channel off for bit-identical shard outputs.
         // injectable-lint: allow(D2) -- measures host wall-clock cost only
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto base_seed = config.base_seed + static_cast<std::uint64_t>(i);
+        std::chrono::steady_clock::time_point t0{};
+        if (ch.wall_clock) {
+            // injectable-lint: allow(D2) -- host wall-clock cost, see above.
+            t0 = std::chrono::steady_clock::now();
+        }
+        const auto base_seed = config.base_seed + static_cast<std::uint64_t>(first + i);
 
         const ExperimentConfig* trial_config = &config;
         ExperimentConfig instrumented_config;
@@ -214,12 +200,12 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
         std::shared_ptr<obs::MetricsRegistry> registry;
         std::shared_ptr<obs::MetricsSink> metrics;
         std::shared_ptr<obs::ChannelOccupancySink> occupancy;
-        if (trace_dir != nullptr || chrome_dir != nullptr || want_metrics) {
+        if (ch.traces || ch.timelines || want_metrics) {
             instrumented_config = config;
             // Each setup retry builds a fresh world (and bus): restart every
             // sink so they hold exactly the surviving world's events.
             instrumented_config.per_trial_sinks = [&](obs::EventBus& bus, std::uint64_t seed) {
-                if (trace_dir != nullptr) {
+                if (ch.traces) {
                     trace = std::make_shared<obs::JsonlTraceSink>(link::describe_frame);
                     trace->set_header(experiment_meta_json(config, base_seed, kSetupRetries));
                     bus.attach(*trace);
@@ -229,7 +215,7 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
                     metrics = std::make_shared<obs::MetricsSink>(*registry);
                     bus.attach(*metrics);
                 }
-                if (chrome_dir != nullptr) {
+                if (ch.timelines) {
                     occupancy = std::make_shared<obs::ChannelOccupancySink>();
                     bus.attach(*occupancy);
                 }
@@ -241,8 +227,8 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
         std::unique_ptr<obs::prof::Profiler> profiler;
         if (want_prof) {
             obs::prof::ProfilerParams params;
-            params.wall_clock = prof_wall;
-            params.chrome_trace = chrome_dir != nullptr;
+            params.wall_clock = ch.profile_wall;
+            params.chrome_trace = ch.timelines;
             profiler = std::make_unique<obs::prof::Profiler>(params);
         }
         RunResult result;
@@ -252,10 +238,12 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
             const obs::prof::Install install(profiler.get());
             result = run_injection_experiment_with_retry(*trial_config, base_seed, kSetupRetries);
         }
-        result.wall_ms =
-            // injectable-lint: allow(D2) -- host wall-clock cost, see above.
-            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-                .count();
+        if (ch.wall_clock) {
+            result.wall_ms =
+                // injectable-lint: allow(D2) -- host wall-clock cost, see above.
+                std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+        }
         if (metrics) {
             metrics->finalize();
             if (profiler) profiler->export_metrics(*registry);
@@ -263,20 +251,25 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
         }
         const std::string stem = sanitize_experiment_name(config.name) + "-seed" +
                                  std::to_string(result.seed);
-        if (trace && (trace_all || !result.success)) {
-            const std::string path = std::string(trace_dir) + "/" + stem + ".jsonl" +
-                                     (trace_gzip ? ".gz" : "");
-            trace->write_file(path, trace_gzip);
+        auto emit_artifact = [&](ArtifactKind kind, std::string content) {
+            TrialArtifact artifact;
+            artifact.kind = kind;
+            artifact.stem = stem;
+            artifact.seed = result.seed;
+            artifact.success = result.success;
+            artifact.content = std::move(content);
+            sink.on_artifact(artifact);
+        };
+        if (trace && (ch.trace_all || !result.success)) {
+            emit_artifact(ArtifactKind::kEventTrace, trace->str());
         }
         if (occupancy) {
-            occupancy->write_chrome_trace(std::string(chrome_dir) + "/" + stem +
-                                          ".trace.json");
+            emit_artifact(ArtifactKind::kChromeTimeline, occupancy->chrome_trace_json());
         }
-        if (profiler != nullptr && chrome_dir != nullptr) {
-            profiler->write_chrome_trace(std::string(chrome_dir) + "/" + stem +
-                                         ".prof.trace.json");
+        if (profiler != nullptr && ch.timelines) {
+            emit_artifact(ArtifactKind::kProfTimeline, profiler->chrome_trace_json());
         }
-        if (profiler != nullptr && prof_wall) {
+        if (profiler != nullptr && ch.profile_wall) {
             const std::string summary = profiler->wall_summary();
             std::fprintf(stderr, "[injectable] %s seed %llu %s", stem.c_str(),
                          static_cast<unsigned long long>(result.seed), summary.c_str());
@@ -288,18 +281,47 @@ std::vector<RunResult> run_series(const ExperimentConfig& config) {
     if (want_metrics) {
         for (const auto& snapshot : metric_snapshots) series_metrics.merge(snapshot);
         if (config.on_series_metrics) config.on_series_metrics(series_metrics);
-        if (metrics_print) obs::print_metrics_summary(series_metrics, config.name);
     }
-    if (json_path != nullptr) {
-        std::string line = to_json(config, results, want_metrics ? &series_metrics : nullptr);
-        line.push_back('\n');
-        const std::lock_guard lock(g_json_mutex);
-        if (FILE* f = std::fopen(json_path, "a")) {
-            std::fwrite(line.data(), 1, line.size(), f);
-            std::fclose(f);
-        }
+    if (ch.series_record) {
+        const SeriesSlice resolved{first, count};
+        sink.on_series_record(config, resolved, results,
+                              want_metrics ? &series_metrics : nullptr);
     }
     return results;
+}
+
+std::vector<RunResult> run_series(const ExperimentConfig& config) {
+    // The classic flow is now just edge wiring: environment variables become
+    // a PathsResultSink (and a run-count override) right here, and the core
+    // above never touches the environment.
+    ExperimentConfig effective = config;
+    effective.runs = env_runs_override(config.runs);
+    PathsResultSink sink(sink_paths_from_env());
+    return run_series(effective, sink);
+}
+
+void append_run_result_json(std::string& out, const RunResult& r) {
+    // wall_ms formats like `ostream << double` (%g, precision 6) so the
+    // record bytes match every previously written campaign file.
+    char wall[40];
+    std::snprintf(wall, sizeof(wall), "%g", r.wall_ms);
+    out += "{\"seed\":" + std::to_string(r.seed);
+    out += ",\"success\":";
+    out += r.success ? "true" : "false";
+    out += ",\"attempts\":" + std::to_string(r.attempts);
+    out += ",\"established\":";
+    out += r.established ? "true" : "false";
+    out += ",\"sniffed\":";
+    out += r.sniffed ? "true" : "false";
+    out += ",\"session_lost\":";
+    out += r.session_lost ? "true" : "false";
+    out += ",\"victim_disconnected\":";
+    out += r.victim_disconnected ? "true" : "false";
+    out += ",\"heuristic_fp\":" + std::to_string(r.heuristic_false_positives);
+    out += ",\"heuristic_fn\":" + std::to_string(r.heuristic_false_negatives);
+    out += ",\"wall_ms\":";
+    out += wall;
+    out += '}';
 }
 
 std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>& results,
@@ -309,25 +331,19 @@ std::string to_json(const ExperimentConfig& config, const std::vector<RunResult>
     // escape them like every other observability string.
     os << "{\"experiment\":\"" << obs::json_escape(config.name)
        << "\",\"base_seed\":" << config.base_seed
-       << ",\"runs\":" << results.size() << ",\"jobs\":" << resolve_jobs()
+       << ",\"runs\":" << results.size() << ",\"jobs\":" << resolve_jobs(config.jobs)
        << ",\"hop_interval\":" << config.world.hop_interval
        // The same self-describing meta object that heads every trace file:
        // lets `trace_replay --from-json` re-run the series from this record
        // alone (config + seed list, no stored traces needed).
        << ",\"meta\":" << experiment_meta_json(config, config.base_seed, kSetupRetries)
        << ",\"trials\":[";
+    std::string trial;
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const RunResult& r = results[i];
         if (i) os << ',';
-        os << "{\"seed\":" << r.seed << ",\"success\":" << (r.success ? "true" : "false")
-           << ",\"attempts\":" << r.attempts
-           << ",\"established\":" << (r.established ? "true" : "false")
-           << ",\"sniffed\":" << (r.sniffed ? "true" : "false")
-           << ",\"session_lost\":" << (r.session_lost ? "true" : "false")
-           << ",\"victim_disconnected\":" << (r.victim_disconnected ? "true" : "false")
-           << ",\"heuristic_fp\":" << r.heuristic_false_positives
-           << ",\"heuristic_fn\":" << r.heuristic_false_negatives << ",\"wall_ms\":"
-           << r.wall_ms << "}";
+        trial.clear();
+        append_run_result_json(trial, results[i]);
+        os << trial;
     }
     os << "]";
     if (metrics != nullptr) os << ",\"metrics\":" << metrics->to_json();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "world/result_sink.hpp"
 #include "world/trial_runner.hpp"
 #include "world/world.hpp"
 
@@ -134,15 +135,22 @@ struct Stats {
 [[nodiscard]] RunResult run_injection_experiment_with_retry(const ExperimentConfig& config,
                                                             std::uint64_t seed, int tries);
 
-/// Runs `config.runs` measurements with consecutive seeds on a TrialRunner
-/// (BENCH_JOBS workers; INJECTABLE_RUNS overrides the run count).  When
-/// INJECTABLE_JSON names a file, appends one machine-readable JSON line per
-/// series to it, including the merged per-series metrics snapshot.
-/// Other observability env vars (see DESIGN.md §7): INJECTABLE_TRACE_DIR /
-/// INJECTABLE_TRACE_ALL / INJECTABLE_TRACE_COMPRESS write seed-keyed,
-/// replayable (optionally gzipped) JSONL traces; INJECTABLE_METRICS=1 prints
-/// the merged metrics summary; INJECTABLE_CHROME_TRACE_DIR writes a Chrome
-/// trace-event timeline per trial.
+/// Runs the trials of one series through an explicit ResultSink — the core
+/// entry every campaign path uses.  `slice` selects trials
+/// [first, first+count) of config.runs (the default is the whole series);
+/// trial seeds are base_seed + global trial index, so a slice executed
+/// anywhere produces exactly the trials a single-process run would.  The
+/// sink's channels gate what each trial produces (traces, timelines, metrics,
+/// profiler spans, wall-clock timing); artifacts, the series record and
+/// progress heartbeats are delivered through the sink.  Reads no environment
+/// variables.
+[[nodiscard]] std::vector<RunResult> run_series(const ExperimentConfig& config, ResultSink& sink,
+                                                SeriesSlice slice = {});
+
+/// Legacy edge wrapper: resolves the classic INJECTABLE_* environment
+/// variables into a PathsResultSink (INJECTABLE_RUNS overrides the run
+/// count; see DESIGN.md §7 for the variable set) and runs the full series
+/// through it.  Environment reads happen in result_sink.cpp only.
 [[nodiscard]] std::vector<RunResult> run_series(const ExperimentConfig& config);
 
 /// One JSON object per series: config identity plus per-trial records, plus
@@ -151,6 +159,11 @@ struct Stats {
 [[nodiscard]] std::string to_json(const ExperimentConfig& config,
                                   const std::vector<RunResult>& results,
                                   const ble::obs::MetricsSnapshot* metrics = nullptr);
+
+/// Appends one trial object — the element format of the "trials" array in
+/// to_json().  Shared with the campaign wire protocol (src/campaign) so a
+/// shard result re-serializes byte-identically wherever it lands.
+void append_run_result_json(std::string& out, const RunResult& r);
 
 /// Prints one row of a paper-style results table.
 void print_stats_row(const std::string& label, const Stats& stats);

@@ -518,8 +518,6 @@ ReplayDiff replay_trace_file(const std::string& path) {
     return replay_trace_lines(lines);
 }
 
-namespace {
-
 RunResult run_result_from_json(const json::Value& trial) {
     RunResult r;
     r.seed = trial.u64("seed");
@@ -531,8 +529,11 @@ RunResult run_result_from_json(const json::Value& trial) {
     r.victim_disconnected = trial.boolean_at("victim_disconnected");
     r.heuristic_false_positives = static_cast<int>(trial.i64("heuristic_fp"));
     r.heuristic_false_negatives = static_cast<int>(trial.i64("heuristic_fn"));
+    r.wall_ms = trial.number("wall_ms");
     return r;
 }
+
+namespace {
 
 /// Name of the first deterministic RunResult field that differs.
 std::string first_differing_field(const RunResult& a, const RunResult& b) {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "world/result_sink.hpp"
+
 namespace injectable::world {
 
 int resolve_jobs(int requested) noexcept {
@@ -34,23 +36,34 @@ std::uint64_t host_now_ns() {
 
 }  // namespace
 
-ProgressMeter::ProgressMeter(std::string label, int total)
-    : label_(std::move(label)),
-      total_(total),
-      enabled_(total > 0 && std::getenv("INJECTABLE_PROGRESS") != nullptr) {
+bool TrialRunner::default_progress_enabled() { return env_progress_enabled(); }
+
+ProgressMeter::ProgressMeter(std::string label, int total, bool enabled)
+    : label_(std::move(label)), total_(total), enabled_(total > 0 && enabled) {
     if (enabled_) start_ns_ = host_now_ns();
 }
 
 ProgressMeter::~ProgressMeter() {
-    // Always close with a final 100% line (or wherever an aborted campaign
-    // stopped), so the last heartbeat never understates progress.
-    if (enabled_) print_line(done_.load(std::memory_order_relaxed), true);
+    // Close with a final line wherever an aborted campaign stopped, so the
+    // last heartbeat never understates progress (a completed campaign already
+    // printed its closing line from report()).
+    if (enabled_ && !closed_.load(std::memory_order_relaxed)) {
+        print_line(done_.load(std::memory_order_relaxed), true);
+    }
 }
 
-void ProgressMeter::tick() {
+void ProgressMeter::report(int done) {
     if (!enabled_) return;
-    const int done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (done >= total_) return;  // the destructor prints the closing line
+    // Monotone maximum: workers report out of order near the end.
+    int prev = done_.load(std::memory_order_relaxed);
+    while (prev < done &&
+           !done_.compare_exchange_weak(prev, done, std::memory_order_relaxed)) {
+    }
+    if (done >= total_) {
+        // One closing line, printed by whoever reaches the total first.
+        if (!closed_.exchange(true, std::memory_order_relaxed)) print_line(done, true);
+        return;
+    }
     const std::uint64_t now = host_now_ns();
     std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
     if (now - last < kProgressIntervalNs) return;

@@ -1,0 +1,82 @@
+// Shared test helpers: an in-memory ResultSink and single-process reference
+// outputs for byte-identity assertions against campaign runs.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "obs/metrics.hpp"
+#include "world/experiment.hpp"
+#include "world/result_sink.hpp"
+
+namespace injectable::campaign::testutil {
+
+/// Captures every channel in memory; artifact order is normalized by (kind,
+/// stem) so concurrent trial completion doesn't affect comparisons.
+class CaptureSink final : public world::ResultSink {
+public:
+    explicit CaptureSink(world::ResultChannels channels) : channels_(channels) {}
+
+    [[nodiscard]] const world::ResultChannels& channels() const noexcept override {
+        return channels_;
+    }
+
+    void on_artifact(const world::TrialArtifact& artifact) override {
+        const std::lock_guard lock(mutex_);
+        artifacts_.push_back(artifact);
+    }
+
+    void on_series_record(const world::ExperimentConfig& config,
+                          const world::SeriesSlice& slice,
+                          const std::vector<world::RunResult>& results,
+                          const ble::obs::MetricsSnapshot* metrics) override {
+        (void)slice;
+        records_.push_back(world::to_json(config, results, metrics));
+    }
+
+    void on_progress(const std::string&, int, int) override {}
+
+    /// Series record lines, in call order (== series order).
+    [[nodiscard]] const std::vector<std::string>& records() const { return records_; }
+
+    /// "kind/stem" -> content, sorted, for order-insensitive comparison.
+    [[nodiscard]] std::vector<std::pair<std::string, std::string>> sorted_artifacts() const {
+        std::vector<std::pair<std::string, std::string>> out;
+        for (const world::TrialArtifact& artifact : artifacts_) {
+            out.emplace_back(std::to_string(static_cast<int>(artifact.kind)) + "/" +
+                                 artifact.stem,
+                             artifact.content);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+private:
+    world::ResultChannels channels_;
+    std::mutex mutex_;
+    std::vector<world::TrialArtifact> artifacts_;
+    std::vector<std::string> records_;
+};
+
+/// The channels a campaign's *edge* sink uses in these tests: what the plan
+/// produces plus the merged series record.
+inline world::ResultChannels edge_channels(const CampaignPlan& plan) {
+    world::ResultChannels channels = plan.channels;
+    channels.series_record = true;
+    channels.wall_clock = false;
+    return channels;
+}
+
+/// Single-process reference: the same plan executed inline, series by
+/// series, into `sink` (construct it with edge_channels(plan)).
+inline void run_reference(const CampaignPlan& plan, CaptureSink& sink) {
+    for (const world::ExperimentConfig& config : plan.series) {
+        (void)world::run_series(config, sink);
+    }
+}
+
+}  // namespace injectable::campaign::testutil

@@ -1,0 +1,66 @@
+// Length-prefixed frame codec: the campaign wire's byte-level contract.
+#include "common/framing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ble::common {
+namespace {
+
+TEST(Framing, RoundTripsFramesAcrossArbitraryChunkBoundaries) {
+    std::string stream;
+    append_frame(stream, 1, "");
+    append_frame(stream, 2, "hello");
+    append_frame(stream, 3, std::string("\x00\xff\n", 3));
+
+    // Feed one byte at a time: the decoder must reassemble exactly.
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    for (const char byte : stream) {
+        decoder.feed(std::string_view(&byte, 1));
+        while (auto frame = decoder.next()) frames.push_back(*frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0], (Frame{1, ""}));
+    EXPECT_EQ(frames[1], (Frame{2, "hello"}));
+    EXPECT_EQ(frames[2], (Frame{3, std::string("\x00\xff\n", 3)}));
+    EXPECT_TRUE(decoder.error().empty());
+    EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(Framing, EncodeFrameMatchesAppendFrame) {
+    std::string appended;
+    append_frame(appended, 7, "payload");
+    EXPECT_EQ(encode_frame(7, "payload"), appended);
+}
+
+TEST(Framing, TornTrailingFrameIsDetectedNotDelivered) {
+    std::string stream = encode_frame(2, "complete");
+    const std::string torn = encode_frame(3, "never-finished");
+    stream.append(torn.data(), torn.size() - 5);  // drop the tail mid-payload
+
+    FrameDecoder decoder;
+    decoder.feed(stream);
+    const auto first = decoder.next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->payload, "complete");
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.mid_frame());  // the leader treats this as a torn stream
+    EXPECT_TRUE(decoder.error().empty());
+}
+
+TEST(Framing, OversizePayloadPoisonsTheDecoder) {
+    std::string header;
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+    header += std::string(4, '\0');  // type 0
+    FrameDecoder decoder;
+    decoder.feed(header);
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_FALSE(decoder.error().empty());
+    // Poisoned for good: further feeds never yield frames.
+    decoder.feed(encode_frame(1, "x"));
+    EXPECT_FALSE(decoder.next().has_value());
+}
+
+}  // namespace
+}  // namespace ble::common

@@ -1,0 +1,35 @@
+// lint-fixture-path: src/world/deep_harness.cpp
+//
+// E1 fixture: environment reads deep inside src/, outside the edge-wiring
+// allowlist.  This is exactly the ambient-global plumbing the ResultSink
+// refactor removed — a spawned shard worker would not inherit any of it,
+// so the same config would silently produce different outputs depending on
+// which process ran it.  Both the std-qualified and unqualified spellings
+// must be flagged; a member access of the same name must not be.
+#include <cstdlib>
+#include <string>
+
+namespace injectable::world {
+
+struct FakeEnv {
+    const char* getenv(const char* name) const;
+};
+
+std::string trace_dir_from_ambient() {
+    std::string dir;
+    if (const char* env = std::getenv("INJECTABLE_TRACE_DIR")) dir = env;
+    return dir;
+}
+
+bool metrics_from_ambient() { return getenv("INJECTABLE_METRICS") != nullptr; }
+
+bool secure_probe() { return secure_getenv("INJECTABLE_PROF") != nullptr; }
+
+std::string mock_lookup(const FakeEnv& env) {
+    // Member access: a mock's method named getenv is not an environment
+    // read and must stay clean.
+    const char* value = env.getenv("INJECTABLE_JSON");
+    return value == nullptr ? std::string() : std::string(value);
+}
+
+}  // namespace injectable::world

@@ -1,0 +1,27 @@
+// lint-fixture-path: src/world/result_sink.cpp
+//
+// The compliant counterpart to bad_e1_env_read.cpp: the same environment
+// reads, but in the one file that owns the INJECTABLE_* contract — the
+// edge wiring that folds the classic variables into an explicit SinkPaths.
+// The E1 allowlist covers this path, so it scans fully clean with no
+// suppression directives at all.
+#include <cstdlib>
+#include <string>
+
+namespace injectable::world {
+
+struct SinkPathsLike {
+    std::string json_path;
+    std::string trace_dir;
+    bool metrics_print = false;
+};
+
+SinkPathsLike sink_paths_from_env_like() {
+    SinkPathsLike paths;
+    if (const char* env = std::getenv("INJECTABLE_JSON")) paths.json_path = env;
+    if (const char* env = std::getenv("INJECTABLE_TRACE_DIR")) paths.trace_dir = env;
+    paths.metrics_print = std::getenv("INJECTABLE_METRICS") != nullptr;
+    return paths;
+}
+
+}  // namespace injectable::world

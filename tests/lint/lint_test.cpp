@@ -103,6 +103,28 @@ TEST(FixtureBad, D1UnorderedEmissionLoops) {
     }
 }
 
+TEST(FixtureBad, D1UnorderedSerializationLoops) {
+    // The D1 serializer extension: values leaving an unordered container in
+    // hash order straight into to_json / append_json_escaped / encode_frame.
+    const auto findings = scan_fixture("bad_d1_unordered_serialize.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kD1), 3);
+    EXPECT_EQ(unsuppressed_count(findings), 3);
+    for (const Finding& f : findings) {
+        EXPECT_NE(f.message.find("serialized byte stream"), std::string::npos);
+    }
+}
+
+TEST(FixtureBad, E1EnvironmentReadsOutsideEdgeWiring) {
+    // std::getenv, unqualified getenv, and secure_getenv deep in src/; the
+    // mock's member declaration and member call must stay clean.
+    const auto findings = scan_fixture("bad_e1_env_read.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kE1), 3);
+    EXPECT_EQ(unsuppressed_count(findings), 3);
+    for (const Finding& f : findings) {
+        EXPECT_NE(f.message.find("ResultSink"), std::string::npos);
+    }
+}
+
 TEST(FixtureBad, D2WallClockAndUnseededRandomness) {
     const auto findings = scan_fixture("bad_d2_wall_clock.cpp");
     // steady_clock, random_device, srand, time(, rand(
@@ -160,6 +182,22 @@ TEST(FixtureGood, D1OrderedEmission) {
     EXPECT_TRUE(findings.empty());
 }
 
+TEST(FixtureGood, D1OrderedSerialization) {
+    // Trial-index vector + key-sorted std::map for serialization, with the
+    // unordered index iterated only for an order-free count: fully clean.
+    const auto findings = scan_fixture("good_d1_ordered_serialize.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(FixtureGood, E1EdgeWiringAllowlisted) {
+    // The same getenv calls as the bad fixture, but in the file that owns
+    // the env contract (src/world/result_sink.cpp): allowlisted, clean.
+    const auto findings = scan_fixture("good_e1_edge_env.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
 TEST(FixtureGood, D2SimTime) {
     const auto findings = scan_fixture("good_d2_sim_time.cpp");
     EXPECT_EQ(unsuppressed_count(findings), 0);
@@ -196,6 +234,41 @@ TEST(RuleD1, EmissionInsideUnorderedIterationFlagged) {
     const auto findings = scan_source("t.cpp", "src/obs/t.cpp", src);
     EXPECT_EQ(count_rule(findings, Rule::kD1), 1);
     EXPECT_EQ(findings.at(0).line, 2);
+}
+
+TEST(RuleD1, SerializationInsideUnorderedIterationFlagged) {
+    // A loop that serializes is flagged; the same loop counting is not.
+    const std::string src =
+        "std::string f(std::unordered_map<int, R> results, long& n) {\n"
+        "  std::string out;\n"
+        "  for (const auto& [k, r] : results) out += to_json(r);\n"
+        "  for (const auto& [k, r] : results) n += k;\n"
+        "  return out;\n"
+        "}\n";
+    const auto findings = scan_source("t.cpp", "src/campaign/t.cpp", src);
+    EXPECT_EQ(count_rule(findings, Rule::kD1), 1);
+    EXPECT_EQ(findings.at(0).line, 3);
+}
+
+TEST(RuleE1, OnlyRunsInSrcOutsideTheAllowlist) {
+    const std::string src = "bool f() { return std::getenv(\"X\") != nullptr; }";
+    EXPECT_EQ(count_rule(scan_source("t.cpp", "src/campaign/t.cpp", src), Rule::kE1), 1);
+    EXPECT_EQ(count_rule(scan_source("t.cpp", "src/obs/t.cpp", src), Rule::kE1), 1);
+    // The edge wiring and the non-src trees (tool mains, tests, examples)
+    // are exactly where env reads belong.
+    EXPECT_TRUE(scan_source("t.cpp", "src/world/result_sink.cpp", src).empty());
+    EXPECT_TRUE(scan_source("t.cpp", "src/world/trial_runner.cpp", src).empty());
+    EXPECT_TRUE(scan_source("t.cpp", "tools/campaign_ctl/main.cpp", src).empty());
+    EXPECT_TRUE(scan_source("t.cpp", "examples/quickstart.cpp", src).empty());
+}
+
+TEST(RuleE1, SuppressionIsAuditedLikeEveryOtherRule) {
+    const std::string src =
+        "// injectable-lint: allow(E1) -- container probe, affects no result channel\n"
+        "bool f() { return std::getenv(\"CI\") != nullptr; }\n";
+    const auto findings = scan_source("t.cpp", "src/campaign/t.cpp", src);
+    EXPECT_EQ(count_rule(findings, Rule::kE1, /*suppressed=*/true), 1);
+    EXPECT_EQ(unsuppressed_count(findings), 0);
 }
 
 TEST(RuleD2, MemberAccessIsExempt) {
@@ -314,7 +387,7 @@ TEST(Reporting, JsonlShapeAndSummaryTotals) {
 TEST(Reporting, ScanPathsWalksTheFixtureCorpus) {
     std::vector<Finding> findings;
     const int files = scan_paths({LINT_FIXTURE_DIR}, findings);
-    EXPECT_EQ(files, 13);  // 7 bad_* + 6 good_* fixtures
+    EXPECT_EQ(files, 17);  // 9 bad_* + 8 good_* fixtures
     EXPECT_GT(unsuppressed_count(findings), 0);
     EXPECT_EQ(scan_paths({"/nonexistent/injectable"}, findings), -1);
 }

@@ -157,5 +157,118 @@ TEST(CampaignReport, FlameTreeRebuildsNestedStacks) {
     EXPECT_EQ(flame.total_count(), 34u);
 }
 
+TEST(CampaignReport, BudgetFileParsesAndRejectsMalformedEntries) {
+    char tmpl[] = "/tmp/campaign_report_test.XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+
+    const std::string good = dir + "/budgets.json";
+    std::ofstream(good, std::ios::binary)
+        << R"({"e":"campaign-budgets","budgets":[)"
+        << R"({"span":"sim.dispatch","max_share":0.9},)"
+        << R"({"span":"medium.transmit","max_share":0.5}]})" << "\n";
+    std::vector<std::string> errors;
+    const std::vector<SpanBudget> budgets = load_budgets(good, errors);
+    EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+    ASSERT_EQ(budgets.size(), 2u);
+    EXPECT_EQ(budgets[0].span, "sim.dispatch");
+    EXPECT_DOUBLE_EQ(budgets[1].max_share, 0.5);
+
+    // Missing file, wrong envelope tag, out-of-range share: all loud.
+    errors.clear();
+    EXPECT_TRUE(load_budgets(dir + "/absent.json", errors).empty());
+    EXPECT_FALSE(errors.empty());
+
+    const std::string bad = dir + "/bad.json";
+    std::ofstream(bad, std::ios::binary)
+        << R"({"e":"campaign-budgets","budgets":[{"span":"x","max_share":1.5}]})" << "\n";
+    errors.clear();
+    EXPECT_TRUE(load_budgets(bad, errors).empty());
+    EXPECT_FALSE(errors.empty());
+}
+
+TEST(CampaignReport, SpanBudgetGateFailsOnRegressionStaleSpanAndMissingProfile) {
+    CampaignData campaign;
+    SeriesRecord series;
+    // Root span "a" covers all profiled time; nested "a;b" takes 40% of it.
+    series.counters["prof.stack.a.count"] = 10;
+    series.counters["prof.stack.a.sim_us"] = 600;
+    series.counters["prof.stack.a;b.count"] = 4;
+    series.counters["prof.stack.a;b.sim_us"] = 400;
+    series.counters["prof.span.a.count"] = 10;
+    series.counters["prof.span.a.sim_us"] = 1000;  // inclusive
+    series.counters["prof.span.b.count"] = 4;
+    series.counters["prof.span.b.sim_us"] = 400;
+    campaign.series.push_back(series);
+
+    EXPECT_TRUE(check_span_budgets(campaign, {{"b", 0.5}}).ok);
+
+    const CheckResult regressed = check_span_budgets(campaign, {{"b", 0.25}});
+    ASSERT_FALSE(regressed.ok);
+    EXPECT_NE(regressed.problems[0].find("'b'"), std::string::npos);
+    EXPECT_NE(regressed.problems[0].find("exceeds budget"), std::string::npos);
+
+    const CheckResult stale = check_span_budgets(campaign, {{"vanished", 0.5}});
+    ASSERT_FALSE(stale.ok);
+    EXPECT_NE(stale.problems[0].find("stale"), std::string::npos);
+
+    const CheckResult unprofiled = check_span_budgets(CampaignData{}, {{"b", 0.5}});
+    ASSERT_FALSE(unprofiled.ok);
+    EXPECT_NE(unprofiled.problems[0].find("no profiler data"), std::string::npos);
+
+    // No budgets at all: nothing to gate on, trivially ok.
+    EXPECT_TRUE(check_span_budgets(campaign, {}).ok);
+}
+
+namespace {
+
+SeriesRecord diff_series(const std::string& name, std::uint64_t seed,
+                         const std::vector<int>& attempts_on_success) {
+    SeriesRecord series;
+    series.name = name;
+    series.base_seed = seed;
+    series.hop_interval = "50";
+    for (std::size_t i = 0; i < attempts_on_success.size(); ++i) {
+        TrialRecord trial;
+        trial.seed = seed + i;
+        trial.success = attempts_on_success[i] > 0;
+        trial.attempts = trial.success ? attempts_on_success[i] : 7;
+        series.trials.push_back(trial);
+    }
+    series.runs = static_cast<int>(series.trials.size());
+    return series;
+}
+
+}  // namespace
+
+TEST(CampaignReport, DiffReportsOutcomeDeltasAndUnmatchedSeries) {
+    CampaignData a;
+    a.series.push_back(diff_series("same", 100, {2, 3, 4, 5}));
+    a.series.push_back(diff_series("shift", 200, {2, 2, 2, 2}));
+    a.series.push_back(diff_series("only-a", 300, {1}));
+
+    CampaignData b;
+    b.series.push_back(diff_series("same", 100, {2, 3, 4, 5}));
+    b.series.push_back(diff_series("shift", 200, {4, 4, 0, 0}));
+    b.series.push_back(diff_series("only-b", 400, {1}));
+
+    const std::string md = render_diff(a, b);
+    // Identical series: zero deltas.
+    EXPECT_NE(md.find("| same|hop=50|seed100 | 4 | 100.0% → 100.0% (0) |"),
+              std::string::npos);
+    // Changed series: success rate dropped, median attempts moved 2 → 4.
+    EXPECT_NE(md.find("100.0% → 50.0% (-2)"), std::string::npos);
+    EXPECT_NE(md.find("2 → 4 (+2)"), std::string::npos);
+    // Unmatched series called out on both sides.
+    EXPECT_NE(md.find("Only in A"), std::string::npos);
+    EXPECT_NE(md.find("only-a|hop=50|seed300"), std::string::npos);
+    EXPECT_NE(md.find("Only in B"), std::string::npos);
+    EXPECT_NE(md.find("only-b|hop=50|seed400"), std::string::npos);
+    EXPECT_NE(md.find("2 series matched, 1 with outcome deltas"), std::string::npos);
+
+    // The diff is a pure function of its inputs.
+    EXPECT_EQ(md, render_diff(a, b));
+}
+
 }  // namespace
 }  // namespace injectable::report

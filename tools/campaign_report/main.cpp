@@ -2,7 +2,8 @@
 // optionally, its trace directory) into one self-contained report.
 //
 //   campaign_report [--traces DIR] [--md FILE] [--html FILE] [--check]
-//                   <results.jsonl[.gz]>...
+//                   [--budgets FILE] <results.jsonl[.gz]>...
+//   campaign_report --diff <A.jsonl[.gz]> <B.jsonl[.gz]> [--md FILE]
 //
 //   --traces DIR  also check recorded-vs-expected event counts against the
 //                 per-trial traces under DIR (INJECTABLE_TRACE_DIR output)
@@ -13,6 +14,10 @@
 //   --check       gate mode: exit 1 when the campaign is empty, any input
 //                 line is unparsable, or any complete trace set disagrees
 //                 with its series' events_total counter
+//   --budgets F   with --check: also gate prof.span.* sim-time shares
+//                 against the budget file (bench/campaign_budgets.json)
+//   --diff A B    differential mode: per-series outcome deltas (success
+//                 rate, attempt percentiles) between two campaigns
 //
 // exits 0 on success, 1 on --check failure, 2 on usage/IO errors.
 #include <cstdio>
@@ -28,7 +33,8 @@ namespace {
 void print_usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--traces DIR] [--md FILE] [--html FILE] [--check]\n"
-                 "       %*s <results.jsonl[.gz]>...\n"
+                 "       %*s [--budgets FILE] <results.jsonl[.gz]>...\n"
+                 "       campaign_report --diff <A.jsonl> <B.jsonl> [--md FILE]\n"
                  "  Aggregates INJECTABLE_JSON campaign records into one report:\n"
                  "  per-series tables, counters, log2 histograms, the profiler\n"
                  "  flamegraph, and (with --traces) event-count drift.\n",
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
     std::string md_path;
     std::string html_path;
     bool check = false;
+    bool diff = false;
+    std::string budgets_path;
     std::vector<std::string> json_paths;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -83,6 +91,16 @@ int main(int argc, char** argv) {
             check = true;
             continue;
         }
+        if (std::strcmp(arg, "--diff") == 0) {
+            diff = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--budgets") == 0) {
+            const char* v = value_of("--budgets");
+            if (v == nullptr) return 2;
+            budgets_path = v;
+            continue;
+        }
         if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
             print_usage(argv[0]);
             return 0;
@@ -97,6 +115,29 @@ int main(int argc, char** argv) {
     if (json_paths.empty()) {
         print_usage(argv[0]);
         return 2;
+    }
+
+    if (diff) {
+        if (json_paths.size() != 2) {
+            std::fprintf(stderr, "%s: --diff needs exactly two campaign files\n", argv[0]);
+            return 2;
+        }
+        const CampaignData a = load_campaign({json_paths[0]});
+        const CampaignData b = load_campaign({json_paths[1]});
+        for (const CampaignData* c : {&a, &b}) {
+            for (const std::string& e : c->errors) {
+                std::fprintf(stderr, "%s: %s\n", argv[0], e.c_str());
+            }
+        }
+        if (!a.errors.empty() || !b.errors.empty()) return 2;
+        const std::string md = render_diff(a, b);
+        if (md_path.empty()) {
+            std::fputs(md.c_str(), stdout);
+        } else if (!write_file(md_path, md)) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0], md_path.c_str());
+            return 2;
+        }
+        return 0;
     }
 
     const CampaignData campaign = load_campaign(json_paths);
@@ -119,7 +160,18 @@ int main(int argc, char** argv) {
     }
 
     if (check) {
-        const CheckResult result = check_campaign(campaign, drift);
+        CheckResult result = check_campaign(campaign, drift);
+        if (!budgets_path.empty()) {
+            std::vector<std::string> budget_errors;
+            const std::vector<SpanBudget> budgets = load_budgets(budgets_path, budget_errors);
+            for (const std::string& e : budget_errors) {
+                result.problems.push_back("budgets: " + e);
+            }
+            const CheckResult budget_result = check_span_budgets(campaign, budgets);
+            result.problems.insert(result.problems.end(), budget_result.problems.begin(),
+                                   budget_result.problems.end());
+            result.ok = result.problems.empty();
+        }
         if (!result.ok) {
             for (const std::string& problem : result.problems) {
                 std::fprintf(stderr, "CHECK %s\n", problem.c_str());

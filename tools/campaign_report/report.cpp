@@ -608,4 +608,178 @@ CheckResult check_campaign(const CampaignData& campaign, const std::vector<Drift
     return result;
 }
 
+std::vector<SpanBudget> load_budgets(const std::string& path,
+                                     std::vector<std::string>& errors) {
+    std::vector<SpanBudget> budgets;
+    std::string error;
+    const std::vector<std::string> lines = ble::obs::read_jsonl_file(path, &error);
+    if (lines.empty()) {
+        errors.push_back(path + ": " + (error.empty() ? "empty budget file" : error));
+        return budgets;
+    }
+    std::string text;
+    for (const std::string& line : lines) text += line;  // allow pretty-printed JSON
+    const json::ParseResult parsed = json::parse(text);
+    if (!parsed.ok || !parsed.value.is_object()) {
+        errors.push_back(path + ": unparsable budget document");
+        return budgets;
+    }
+    if (parsed.value.string_at("e") != "campaign-budgets") {
+        errors.push_back(path + ": not a campaign-budgets document");
+        return budgets;
+    }
+    const json::Value* entries = parsed.value.find("budgets");
+    if (entries == nullptr || !entries->is_array()) {
+        errors.push_back(path + ": no \"budgets\" array");
+        return budgets;
+    }
+    for (const json::Value& entry : entries->array) {
+        SpanBudget budget;
+        budget.span = entry.is_object() ? entry.string_at("span") : "";
+        budget.max_share = entry.is_object() ? entry.number("max_share", -1.0) : -1.0;
+        if (budget.span.empty() || budget.max_share < 0.0 || budget.max_share > 1.0) {
+            errors.push_back(path + ": bad budget entry (need span + max_share in [0,1])");
+            continue;
+        }
+        budgets.push_back(std::move(budget));
+    }
+    return budgets;
+}
+
+CheckResult check_span_budgets(const CampaignData& campaign,
+                               const std::vector<SpanBudget>& budgets) {
+    CheckResult result;
+    if (budgets.empty()) {
+        result.ok = true;
+        return result;
+    }
+    const std::map<std::string, SpanAgg> spans = aggregate_spans(campaign);
+    const std::uint64_t profiled_total = build_flame(campaign).total_sim_us();
+    if (profiled_total == 0) {
+        result.problems.emplace_back(
+            "budgets given but the campaign has no profiler data (prof.* counters)");
+        result.ok = false;
+        return result;
+    }
+    for (const SpanBudget& budget : budgets) {
+        const auto it = spans.find(budget.span);
+        if (it == spans.end()) {
+            result.problems.push_back("budgeted span '" + budget.span +
+                                      "' not found in campaign (stale budget file?)");
+            continue;
+        }
+        const double share = static_cast<double>(it->second.sim_us) /
+                             static_cast<double>(profiled_total);
+        if (share > budget.max_share) {
+            char buffer[160];
+            std::snprintf(buffer, sizeof(buffer),
+                          "span '%s' share %.4f exceeds budget %.4f (%" PRIu64
+                          " / %" PRIu64 " sim-us)",
+                          budget.span.c_str(), share, budget.max_share, it->second.sim_us,
+                          profiled_total);
+            result.problems.emplace_back(buffer);
+        }
+    }
+    result.ok = result.problems.empty();
+    return result;
+}
+
+namespace {
+
+/// Diff matching key: the config identity fields a sweep varies.
+std::string series_key(const SeriesRecord& series) {
+    return series.name + "|hop=" + series.hop_interval + "|seed" +
+           u64_str(series.base_seed);
+}
+
+struct OutcomeSummary {
+    int trials = 0;
+    int successes = 0;
+    int p25 = 0, p50 = 0, p75 = 0;
+};
+
+OutcomeSummary summarize_outcomes(const SeriesRecord& series) {
+    OutcomeSummary summary;
+    summary.trials = static_cast<int>(series.trials.size());
+    std::vector<int> attempts;
+    for (const TrialRecord& trial : series.trials) {
+        if (!trial.success) continue;
+        summary.successes++;
+        attempts.push_back(trial.attempts);
+    }
+    summary.p25 = attempts_percentile(attempts, 25);
+    summary.p50 = attempts_percentile(attempts, 50);
+    summary.p75 = attempts_percentile(attempts, 75);
+    return summary;
+}
+
+std::string signed_delta(int a, int b) {
+    const int d = b - a;
+    if (d == 0) return "0";
+    return (d > 0 ? "+" : "") + std::to_string(d);
+}
+
+std::string rate_str(int successes, int trials) {
+    if (trials == 0) return "n/a";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                  100.0 * static_cast<double>(successes) / static_cast<double>(trials));
+    return buffer;
+}
+
+}  // namespace
+
+std::string render_diff(const CampaignData& a, const CampaignData& b) {
+    std::string out = "# campaign diff\n\n";
+    std::map<std::string, const SeriesRecord*> b_by_key;
+    for (const SeriesRecord& series : b.series) b_by_key[series_key(series)] = &series;
+
+    out += "| series | trials | success A → B (Δ) | p25 att A → B (Δ) | "
+           "p50 att A → B (Δ) | p75 att A → B (Δ) |\n";
+    out += "|---|---|---|---|---|---|\n";
+    int matched = 0;
+    int changed = 0;
+    std::vector<std::string> only_a;
+    for (const SeriesRecord& series : a.series) {
+        const auto it = b_by_key.find(series_key(series));
+        if (it == b_by_key.end()) {
+            only_a.push_back(series_key(series));
+            continue;
+        }
+        matched++;
+        const OutcomeSummary sa = summarize_outcomes(series);
+        const OutcomeSummary sb = summarize_outcomes(*it->second);
+        const bool differs = sa.successes != sb.successes || sa.trials != sb.trials ||
+                             sa.p25 != sb.p25 || sa.p50 != sb.p50 || sa.p75 != sb.p75;
+        if (differs) changed++;
+        out += "| " + series_key(series) + " | " + std::to_string(sa.trials);
+        if (sa.trials != sb.trials) out += " → " + std::to_string(sb.trials);
+        out += " | " + rate_str(sa.successes, sa.trials) + " → " +
+               rate_str(sb.successes, sb.trials) + " (" +
+               signed_delta(sa.successes, sb.successes) + ")";
+        out += " | " + std::to_string(sa.p25) + " → " + std::to_string(sb.p25) + " (" +
+               signed_delta(sa.p25, sb.p25) + ")";
+        out += " | " + std::to_string(sa.p50) + " → " + std::to_string(sb.p50) + " (" +
+               signed_delta(sa.p50, sb.p50) + ")";
+        out += " | " + std::to_string(sa.p75) + " → " + std::to_string(sb.p75) + " (" +
+               signed_delta(sa.p75, sb.p75) + ")";
+        out += " |\n";
+        b_by_key.erase(it);
+    }
+    out += "\n" + std::to_string(matched) + " series matched, " + std::to_string(changed) +
+           " with outcome deltas.\n";
+    if (!only_a.empty()) {
+        out += "\nOnly in A:\n";
+        for (const std::string& key : only_a) out += "  - " + key + "\n";
+    }
+    if (!b_by_key.empty()) {
+        out += "\nOnly in B:\n";
+        for (const auto& [key, series] : b_by_key) {
+            (void)series;
+            out += "  - " + key + "\n";
+        }
+    }
+    return out;
+}
+
 }  // namespace injectable::report

@@ -139,4 +139,31 @@ struct CheckResult {
 [[nodiscard]] CheckResult check_campaign(const CampaignData& campaign,
                                          const std::vector<DriftRow>& drift);
 
+/// One sim-time budget line (bench/campaign_budgets.json): the campaign-wide
+/// prof.span.<span>.sim_us total divided by the total profiled sim time (the
+/// flamegraph root) must stay at or below max_share.  Spans nest, so a share
+/// is "fraction of all profiled time attributed to this span (inclusive)" —
+/// it regresses when the span grows relative to everything else.
+struct SpanBudget {
+    std::string span;
+    double max_share = 1.0;
+};
+
+/// Parses {"e":"campaign-budgets","budgets":[{"span":S,"max_share":X},...]}.
+/// Unreadable files / malformed entries land in `errors`.
+[[nodiscard]] std::vector<SpanBudget> load_budgets(const std::string& path,
+                                                   std::vector<std::string>& errors);
+
+/// The `--budgets` gate: every budgeted span must exist in the campaign (a
+/// vanished span means the budget file is stale — that fails loudly, not
+/// silently) and hold its share.  A campaign with no profiler data at all
+/// fails too: budgets imply the run was expected to profile.
+[[nodiscard]] CheckResult check_span_budgets(const CampaignData& campaign,
+                                             const std::vector<SpanBudget>& budgets);
+
+/// `--diff A B`: per-series outcome deltas between two campaigns — success
+/// rates and attempt percentiles (p25/p50/p75), series matched by
+/// name + hop interval + base seed; unmatched series are listed.  Markdown.
+[[nodiscard]] std::string render_diff(const CampaignData& a, const CampaignData& b);
+
 }  // namespace injectable::report

@@ -37,6 +37,7 @@ const char* rule_name(Rule rule) noexcept {
         case Rule::kD2: return "D2";
         case Rule::kD3: return "D3";
         case Rule::kD4: return "D4";
+        case Rule::kE1: return "E1";
         case Rule::kS1: return "S1";
         case Rule::kBadSuppression: return "lint-suppression";
     }
@@ -194,6 +195,7 @@ std::optional<Rule> parse_rule_name(std::string_view name) {
     if (name == "D2") return Rule::kD2;
     if (name == "D3") return Rule::kD3;
     if (name == "D4") return Rule::kD4;
+    if (name == "E1") return Rule::kE1;
     if (name == "S1") return Rule::kS1;
     return std::nullopt;
 }
@@ -375,7 +377,14 @@ struct Scanner {
     // compares deterministically.
     void rule_d1_unordered_emit() {
         static const std::set<std::string, std::less<>> kEmitters = {
-            "emit", "emit_batch", "dispatch", "on_event", "on_events"};
+            // Event emission: the order the bus sees events in becomes the
+            // trace, so it must not be hash order.
+            "emit", "emit_batch", "dispatch", "on_event", "on_events",
+            // Result serialization: the order values hit the byte stream
+            // becomes the record / wire frame, which the campaign merge
+            // (DESIGN.md §11) must reproduce bit-identically.
+            "to_json", "to_jsonl", "json_escape", "append_json_escaped",
+            "encode_frame", "append_frame", "on_artifact", "on_series_record"};
         // Pass 1: names declared (member, local or parameter) with an
         // unordered container type.
         std::set<std::string> unordered_vars;
@@ -443,13 +452,13 @@ struct Scanner {
                 if (u.kind == TokenKind::kIdentifier && kEmitters.count(u.text) > 0 &&
                     punct_at(j + 1, "(")) {
                     emit(Rule::kD1, toks[i].line,
-                         "event emission ('" + u.text +
+                         "event emission / result serialization ('" + u.text +
                              "') inside iteration over std::unordered_* container '" +
                              range_var +
                              "': hash order is unspecified and varies run to run, so "
-                             "the emitted event order is nondeterministic; iterate an "
-                             "ordered or attach-order view, or allow(D1) with an "
-                             "order-freedom argument");
+                             "the emitted event order (or serialized byte stream) is "
+                             "nondeterministic; iterate an ordered or attach-order "
+                             "view, or allow(D1) with an order-freedom argument");
                     break;
                 }
             }
@@ -624,6 +633,36 @@ struct Scanner {
         }
     }
 
+    // E1: environment reads in src/ outside the edge-wiring allowlist.  The
+    // result refactor moved every output channel behind an explicit
+    // ResultSink; the INJECTABLE_* variables survive only as one concrete
+    // sink built at the edge (sink_paths_from_env).  Any other getenv is
+    // ambient configuration a shard worker would silently not inherit.
+    void rule_e1() {
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier ||
+                (t.text != "getenv" && t.text != "secure_getenv")) {
+                continue;
+            }
+            // Skip member accesses (a mock's method of that name) and
+            // declaration position (`const char* getenv(...)` in a mock):
+            // neither reads the process environment.
+            const bool not_a_read =
+                i > 0 && toks[i - 1].kind == TokenKind::kPunct &&
+                (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                 toks[i - 1].text == "*");
+            if (not_a_read) continue;
+            emit(Rule::kE1, t.line,
+                 "environment read ('" + t.text +
+                     "') outside the edge wiring: output channels are explicit "
+                     "ResultSink configuration (src/world/result_sink.hpp); read the "
+                     "variable in sink_paths_from_env()/the tool main and pass it "
+                     "down, or allow(E1) with an argument for why this must stay "
+                     "ambient");
+        }
+    }
+
     // S1: bare spec magic numbers in src/phy / src/link.  Named constexpr
     // declarations, static_asserts and enums are exactly where the named
     // constants live, so literals there are exempt.
@@ -697,6 +736,14 @@ std::vector<Finding> scan_source(const std::string& file, const std::string& log
 
     if (path_contains(logical_path, "src/obs/") || path_contains(logical_path, "src/world/"))
         scanner.rule_d3();
+
+    if (path_contains(logical_path, "src/")) {
+        bool e1_allowlisted = false;
+        for (const std::string& allowed : options.e1_allowlist) {
+            if (path_contains(logical_path, allowed)) e1_allowlisted = true;
+        }
+        if (!e1_allowlisted) scanner.rule_e1();
+    }
     if (path_contains(logical_path, "src/phy/") || path_contains(logical_path, "src/link/"))
         scanner.rule_s1();
 

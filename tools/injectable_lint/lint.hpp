@@ -13,10 +13,16 @@
 //       any iteration that reaches RNG draws or event emission breaks
 //       replayability.  Use attach-order vectors / stable-index maps, or
 //       suppress with an order-freedom argument.  Extension: event emission
-//       (emit / emit_batch / dispatch / on_event) from inside a range-for
-//       over *any* std::unordered_* container is flagged regardless of key
-//       type — hash order is unspecified for every key, so the emitted
-//       event order would vary across standard libraries and runs.
+//       (emit / emit_batch / dispatch / on_event) *or result serialization*
+//       (to_json / to_jsonl / json_escape / append_json_escaped /
+//       encode_frame / append_frame / on_artifact / on_series_record) from
+//       inside a range-for over *any* std::unordered_* container is flagged
+//       regardless of key type — hash order is unspecified for every key,
+//       so the emitted event order or serialized byte stream would vary
+//       across standard libraries and runs.  The campaign layer's
+//       bit-identical-merge contract (DESIGN.md §11) dies exactly here:
+//       a worker serializing results out of hash order produces frames a
+//       leader cannot reproduce.
 //   D2  No wall-clock time or unseeded randomness outside the allowlisted
 //       time/rng primitives: simulated time must flow from common/time.hpp
 //       (sim::Scheduler) and all randomness from common/rng.hpp (seeded
@@ -34,6 +40,13 @@
 //       timer firing into a torn-down connection) are born.  Store the
 //       handle, or suppress with an argument for why cancellation can never
 //       be needed.
+//   E1  No environment reads (getenv / secure_getenv) in src/ outside the
+//       edge-wiring allowlist: every output channel flows through an
+//       explicit ResultSink (src/world/result_sink.hpp), and the classic
+//       INJECTABLE_* variables are exactly one concrete sink built at the
+//       edge by sink_paths_from_env().  A getenv anywhere else re-creates
+//       the ambient-global plumbing the campaign layer had to remove —
+//       config a worker process would silently not inherit.
 //   S1  No bare spec magic numbers in src/phy / src/link: frame-layout and
 //       timing constants (TIFS 150 µs, the 1250 µs unit, 8 µs/byte LE 1M
 //       airtime, channel counts, the advertising access address, ...) must be
@@ -67,6 +80,7 @@ enum class Rule {
     kD2,              ///< wall clock / unseeded randomness
     kD3,              ///< float accumulation in the stats layer
     kD4,              ///< discarded scheduler handle (fire-and-forget event)
+    kE1,              ///< environment read outside the edge-wiring allowlist
     kS1,              ///< bare spec magic number in phy/link
     kBadSuppression,  ///< malformed injectable-lint directive
 };
@@ -86,6 +100,10 @@ struct Options {
     /// Paths (substring match) where rule D2 never fires: the deterministic
     /// time/rng primitives themselves.
     std::vector<std::string> d2_allowlist = {"src/common/time.hpp", "src/common/rng."};
+    /// Paths (substring match) where rule E1 never fires: the edge wiring
+    /// that owns the INJECTABLE_* / BENCH_JOBS environment contract.
+    std::vector<std::string> e1_allowlist = {"src/world/result_sink.cpp",
+                                             "src/world/trial_runner.cpp"};
 };
 
 // --- tokenizer (exposed for the self-tests) ---
