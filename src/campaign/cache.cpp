@@ -19,7 +19,8 @@ bool ResultCache::accept(const WireMessage& message, std::string* error) {
     switch (message.type) {
         case WireType::kHello:
         case WireType::kWorkerDone:
-        case WireType::kProgress: return true;  // informational, no task state
+        case WireType::kProgress:
+        case WireType::kTelemetry: return true;  // informational, no task state
         case WireType::kError: return fail("worker error: " + message.message);
         default: break;
     }

@@ -165,6 +165,7 @@ public:
             const std::string worker_id = std::to_string(options_.worker.worker_id);
             const std::string jobs = std::to_string(options_.worker.jobs);
             const std::string crash = std::to_string(options_.worker.crash_after_trials);
+            const std::string heartbeat = std::to_string(options_.worker.heartbeat_ms);
             const char* argv[] = {options_.binary.c_str(),
                                   "worker",
                                   "--plan",
@@ -177,6 +178,8 @@ public:
                                   jobs.c_str(),
                                   "--crash-after-trials",
                                   crash.c_str(),
+                                  "--heartbeat-ms",
+                                  heartbeat.c_str(),
                                   nullptr};
             ::execv(options_.binary.c_str(), const_cast<char* const*>(argv));
             _exit(127);

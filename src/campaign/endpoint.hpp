@@ -65,7 +65,7 @@ enum class SocketKind { kUds, kTcp };
 struct SpawnOptions {
     std::string binary;     ///< campaign_ctl executable path
     std::string plan_path;  ///< plan JSON on disk (the child re-reads it)
-    WorkerOptions worker;   ///< worker_id / jobs / crash_after_trials
+    WorkerOptions worker;   ///< worker_id / jobs / crash_after_trials / heartbeat_ms
 };
 
 /// fork/exec `binary worker --plan ... --tasks ...`; frames on child stdout.

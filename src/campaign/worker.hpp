@@ -29,6 +29,12 @@ struct WorkerOptions {
     /// worker writes a torn partial frame and calls _exit(2).  -1 disables.
     /// Only meaningful for spawned workers.
     int crash_after_trials = -1;
+    /// Telemetry heartbeat period (ms of host wall time): the worker ships a
+    /// Telemetry frame at most this often while trials complete, plus one
+    /// final compact-snapshot frame per task.  0 = every trial completion
+    /// (tests), -1 disables telemetry entirely (the default keeps legacy
+    /// streams byte-for-byte unchanged).
+    int heartbeat_ms = -1;
 };
 
 /// Runs `task_ids` from `plan` and streams frames onto `stream`.  Returns

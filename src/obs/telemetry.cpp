@@ -1,0 +1,489 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/sinks.hpp"
+
+namespace ble::obs {
+
+namespace {
+
+// The telemetry log and the status document quote campaign/reason strings
+// that ultimately come from CLI flags and plan files — escape like every
+// other JSON emitter in the tree.
+void append_quoted(std::string& out, std::string_view s) {
+    out += '"';
+    append_json_escaped(out, s);
+    out += '"';
+}
+
+void append_fixed1(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    out += buf;
+}
+
+}  // namespace
+
+const char* shard_state_name(ShardState state) noexcept {
+    switch (state) {
+        case ShardState::kIssued: return "issued";
+        case ShardState::kReissued: return "reissued";
+        case ShardState::kAccepted: return "accepted";
+        case ShardState::kRunning: return "running";
+        case ShardState::kDone: return "done";
+        case ShardState::kLost: return "lost";
+    }
+    return "?";
+}
+
+std::string worker_telemetry_to_json(const WorkerTelemetry& hb) {
+    std::string out = "{\"worker\":" + std::to_string(hb.worker);
+    out += ",\"task\":" + std::to_string(hb.task);
+    out += ",\"t_ms\":" + std::to_string(hb.t_ms);
+    out += ",\"trials_done\":" + std::to_string(hb.trials_done);
+    out += ",\"trials_total\":" + std::to_string(hb.trials_total);
+    out += ",\"tx_frames\":" + std::to_string(hb.tx_frames);
+    out += ",\"tx_bytes\":" + std::to_string(hb.tx_bytes);
+    out += ",\"final\":";
+    out += hb.final_snapshot ? "true" : "false";
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : hb.counters) {
+        if (!first) out += ',';
+        first = false;
+        append_quoted(out, name);
+        out += ':' + std::to_string(value);
+    }
+    out += "},\"hists\":{";
+    first = true;
+    for (const auto& [name, h] : hb.hists) {
+        if (!first) out += ',';
+        first = false;
+        append_quoted(out, name);
+        out += ":{\"n\":" + std::to_string(h.n) + ",\"sum\":" + std::to_string(h.sum) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+void compact_snapshot(const MetricsSnapshot& snapshot, WorkerTelemetry& out) {
+    for (const auto& [name, value] : snapshot.counters) out.counters[name] += value;
+    for (const auto& [name, hist] : snapshot.histograms) {
+        HistTotal& t = out.hists[name];
+        t.n += hist.count;
+        t.sum += hist.sum;
+    }
+}
+
+CampaignTelemetrySink::CampaignTelemetrySink(TelemetrySinkParams params)
+    : params_(std::move(params)) {
+    if (!params_.jsonl_path.empty()) {
+        // Truncate: one campaign per log.
+        std::ofstream out(params_.jsonl_path, std::ios::trunc);
+    }
+}
+
+CampaignTelemetrySink::~CampaignTelemetrySink() {
+    // Tests drive a fake clock through close(); a sink destroyed without an
+    // explicit close gets a best-effort summary stamped "t_ms":-1 rather than
+    // sneaking in a clock read here.
+    close(-1);
+}
+
+CampaignTelemetrySink::ShardRecord& CampaignTelemetrySink::shard_slot(int task) {
+    if (task >= static_cast<int>(shards_.size())) shards_.resize(task + 1);
+    ShardRecord& shard = shards_[task];
+    shard.task = task;
+    return shard;
+}
+
+void CampaignTelemetrySink::write_line_locked(const std::string& line) {
+    if (params_.jsonl_path.empty()) {
+        jsonl_buffer_ += line;
+        jsonl_buffer_ += '\n';
+        return;
+    }
+    std::ofstream out(params_.jsonl_path, std::ios::app);
+    out << line << '\n';
+}
+
+void CampaignTelemetrySink::lifecycle_line_locked(const ShardRecord& shard,
+                                                  std::int64_t now_ms,
+                                                  const std::string& extra) {
+    std::string line = "{\"e\":\"shard\",\"campaign\":";
+    append_quoted(line, params_.campaign);
+    line += ",\"task\":" + std::to_string(shard.task);
+    line += ",\"series\":" + std::to_string(shard.series);
+    line += ",\"worker\":" + std::to_string(shard.worker);
+    line += ",\"round\":" + std::to_string(shard.round);
+    line += ",\"state\":";
+    append_quoted(line, shard_state_name(shard.state));
+    line += ",\"attempt\":" + std::to_string(shard.attempts);
+    line += ",\"t_ms\":" + std::to_string(now_ms);
+    line += extra;
+    line += '}';
+    write_line_locked(line);
+}
+
+void CampaignTelemetrySink::shard_issued(int task, int series, int trials, int worker,
+                                         int round, std::int64_t now_ms, bool reissue) {
+    std::lock_guard lock(mutex_);
+    if (first_event_ms_ < 0) first_event_ms_ = now_ms;
+    ShardRecord& shard = shard_slot(task);
+    shard.series = series;
+    shard.trials = trials;
+    shard.worker = worker;
+    shard.round = round;
+    shard.state = reissue ? ShardState::kReissued : ShardState::kIssued;
+    shard.issued_ms = now_ms;
+    shard.elapsed_ms = 0;
+    shard.attempts += 1;
+    shard.flagged = false;
+    registry_.counter("telemetry.shards.issued").add();
+    if (reissue) registry_.counter("telemetry.shards.reissued").add();
+    lifecycle_line_locked(shard, now_ms, "");
+}
+
+void CampaignTelemetrySink::shard_accepted(int task, int worker, int round,
+                                           std::int64_t now_ms) {
+    std::lock_guard lock(mutex_);
+    ShardRecord& shard = shard_slot(task);
+    if (shard.state == ShardState::kDone) return;  // late frame after commit
+    shard.worker = worker;
+    shard.round = round;
+    shard.state = ShardState::kAccepted;
+    registry_.counter("telemetry.shards.accepted").add();
+    lifecycle_line_locked(shard, now_ms, "");
+}
+
+void CampaignTelemetrySink::shard_running(int task, int worker, int round,
+                                          std::int64_t now_ms) {
+    std::lock_guard lock(mutex_);
+    ShardRecord& shard = shard_slot(task);
+    if (shard.state == ShardState::kRunning || shard.state == ShardState::kDone) return;
+    shard.worker = worker;
+    shard.round = round;
+    shard.state = ShardState::kRunning;
+    lifecycle_line_locked(shard, now_ms, "");
+}
+
+void CampaignTelemetrySink::shard_done(int task, int worker, int round,
+                                       std::int64_t now_ms) {
+    std::lock_guard lock(mutex_);
+    ShardRecord& shard = shard_slot(task);
+    if (shard.state == ShardState::kDone) return;
+    shard.worker = worker;
+    shard.round = round;
+    shard.state = ShardState::kDone;
+    shard.elapsed_ms = std::max<std::int64_t>(0, now_ms - shard.issued_ms);
+    registry_.counter("telemetry.shards.done").add();
+    registry_.histogram("telemetry.shard.latency_ms")
+        .record(static_cast<std::uint64_t>(shard.elapsed_ms));
+    WorkerState& w = workers_[worker];
+    w.tasks_done += 1;
+    w.trials_credited += static_cast<std::uint64_t>(shard.trials);
+    w.busy_ms += shard.elapsed_ms;
+    lifecycle_line_locked(shard, now_ms,
+                          ",\"elapsed_ms\":" + std::to_string(shard.elapsed_ms));
+}
+
+void CampaignTelemetrySink::shard_lost(int task, int worker, int round,
+                                       std::int64_t now_ms, const std::string& reason) {
+    std::lock_guard lock(mutex_);
+    ShardRecord& shard = shard_slot(task);
+    if (shard.state == ShardState::kDone || shard.state == ShardState::kLost) return;
+    shard.worker = worker;
+    shard.round = round;
+    shard.state = ShardState::kLost;
+    shard.elapsed_ms = std::max<std::int64_t>(0, now_ms - shard.issued_ms);
+    registry_.counter("telemetry.shards.lost").add();
+    std::string extra = ",\"elapsed_ms\":" + std::to_string(shard.elapsed_ms);
+    extra += ",\"reason\":";
+    append_quoted(extra, reason);
+    lifecycle_line_locked(shard, now_ms, extra);
+}
+
+void CampaignTelemetrySink::transport_read(int worker, std::uint64_t bytes,
+                                           std::uint64_t frames) {
+    std::lock_guard lock(mutex_);
+    registry_.counter("telemetry.rx.bytes").add(bytes);
+    registry_.counter("telemetry.rx.frames").add(frames);
+    WorkerState& w = workers_[worker];
+    w.rx_bytes += bytes;
+    w.rx_frames += frames;
+}
+
+void CampaignTelemetrySink::worker_heartbeat(const WorkerTelemetry& hb,
+                                             std::int64_t now_ms) {
+    std::lock_guard lock(mutex_);
+    registry_.counter("telemetry.heartbeats").add();
+    WorkerState& w = workers_[hb.worker];
+    if (w.first_seen_ms == 0) w.first_seen_ms = now_ms;
+    w.last_hb_ms = now_ms;
+    w.heartbeats += 1;
+    w.task = hb.task;
+    w.trials_done = hb.trials_done;
+    w.trials_total = hb.trials_total;
+    // tx counters are cumulative per stream; a drop marks a fresh stream.
+    if (hb.tx_frames < w.stream_tx_frames) {
+        w.total_tx_frames += w.stream_tx_frames;
+        w.total_tx_bytes += w.stream_tx_bytes;
+    }
+    w.stream_tx_frames = hb.tx_frames;
+    w.stream_tx_bytes = hb.tx_bytes;
+    // Worker stamps t_ms from the same monotonic host clock (one machine),
+    // so the delta is the transport + queueing latency of the heartbeat.
+    const std::int64_t latency = std::max<std::int64_t>(0, now_ms - hb.t_ms);
+    registry_.histogram("telemetry.endpoint.w" + std::to_string(hb.worker) + ".rtt_ms")
+        .record(static_cast<std::uint64_t>(latency));
+    std::string line = "{\"e\":\"heartbeat\",\"campaign\":";
+    append_quoted(line, params_.campaign);
+    line += ",\"rx_ms\":" + std::to_string(now_ms);
+    line += ",\"latency_ms\":" + std::to_string(latency);
+    line += ",\"hb\":" + worker_telemetry_to_json(hb);
+    line += '}';
+    write_line_locked(line);
+    if (hb.final_snapshot && !hb.counters.empty()) {
+        // Fold the worker's compact snapshot into the telemetry namespace so
+        // the summary can attribute sim work (trials, events) per worker
+        // without touching the deterministic metrics.* merge.
+        for (const auto& [name, value] : hb.counters)
+            registry_.counter("telemetry.worker." + std::to_string(hb.worker) + "." + name)
+                .add(value);
+    }
+}
+
+void CampaignTelemetrySink::stream_closed(int worker, int round, bool ok, bool torn,
+                                          bool timeout) {
+    std::lock_guard lock(mutex_);
+    (void)round;
+    if (ok) registry_.counter("telemetry.streams.ok").add();
+    if (torn) registry_.counter("telemetry.streams.torn").add();
+    if (timeout) registry_.counter("telemetry.streams.timeout").add();
+    if (!ok) registry_.counter("telemetry.streams.failed").add();
+    // A closed stream stops heartbeats; freeze the worker's task display.
+    WorkerState& w = workers_[worker];
+    if (!ok) w.task = -1;
+}
+
+std::int64_t CampaignTelemetrySink::median_done_latency_locked() const {
+    std::vector<std::int64_t> done;
+    for (const ShardRecord& shard : shards_)
+        if (shard.state == ShardState::kDone) done.push_back(shard.elapsed_ms);
+    if (done.empty()) return 0;
+    const std::size_t mid = done.size() / 2;
+    std::nth_element(done.begin(), done.begin() + static_cast<std::ptrdiff_t>(mid), done.end());
+    return done[mid];
+}
+
+int CampaignTelemetrySink::campaign_trials_done_locked() const {
+    // Committed shards count in full; the in-flight shard of each worker
+    // contributes its heartbeat progress.
+    int done = 0;
+    for (const ShardRecord& shard : shards_)
+        if (shard.state == ShardState::kDone) done += shard.trials;
+    for (const auto& [id, w] : workers_) {
+        (void)id;
+        if (w.task < 0 || w.task >= static_cast<int>(shards_.size())) continue;
+        const ShardRecord& shard = shards_[w.task];
+        if (shard.state != ShardState::kDone) done += w.trials_done;
+    }
+    return done;
+}
+
+std::vector<StragglerFlag> CampaignTelemetrySink::check_stragglers(std::int64_t now_ms) {
+    std::lock_guard lock(mutex_);
+    std::vector<StragglerFlag> flags;
+    if (params_.straggler_factor <= 0) return flags;
+    int done_count = 0;
+    for (const ShardRecord& shard : shards_)
+        if (shard.state == ShardState::kDone) ++done_count;
+    if (done_count < params_.min_done_for_watchdog) return flags;
+    const std::int64_t median = median_done_latency_locked();
+    if (median <= 0) return flags;
+    const std::int64_t limit =
+        static_cast<std::int64_t>(params_.straggler_factor * static_cast<double>(median));
+    for (ShardRecord& shard : shards_) {
+        const bool in_flight = shard.state == ShardState::kIssued ||
+                               shard.state == ShardState::kReissued ||
+                               shard.state == ShardState::kAccepted ||
+                               shard.state == ShardState::kRunning;
+        if (!in_flight) continue;
+        const std::int64_t elapsed = now_ms - shard.issued_ms;
+        if (elapsed <= limit) continue;
+        StragglerFlag flag;
+        flag.task = shard.task;
+        flag.worker = shard.worker;
+        flag.round = shard.round;
+        flag.elapsed_ms = elapsed;
+        flag.median_ms = median;
+        flags.push_back(flag);
+        if (shard.flagged) continue;  // log each shard attempt once
+        shard.flagged = true;
+        flagged_.push_back(flag);
+        registry_.counter("telemetry.watchdog.stragglers").add();
+        std::string line = "{\"e\":\"straggler\",\"campaign\":";
+        append_quoted(line, params_.campaign);
+        line += ",\"task\":" + std::to_string(shard.task);
+        line += ",\"worker\":" + std::to_string(shard.worker);
+        line += ",\"round\":" + std::to_string(shard.round);
+        line += ",\"elapsed_ms\":" + std::to_string(elapsed);
+        line += ",\"median_ms\":" + std::to_string(median);
+        line += ",\"limit_ms\":" + std::to_string(limit);
+        line += ",\"t_ms\":" + std::to_string(now_ms);
+        line += '}';
+        write_line_locked(line);
+    }
+    return flags;
+}
+
+std::string CampaignTelemetrySink::status_fields_json(std::int64_t now_ms) const {
+    std::lock_guard lock(mutex_);
+    int counts[6] = {0, 0, 0, 0, 0, 0};
+    for (const ShardRecord& shard : shards_)
+        if (shard.attempts > 0) counts[static_cast<int>(shard.state)] += 1;
+    const int trials_done = campaign_trials_done_locked();
+    std::string out = ",\"trials_done\":" + std::to_string(trials_done);
+    out += ",\"shards\":{\"issued\":" +
+           std::to_string(counts[0] + counts[1] + counts[2] + counts[3]);
+    out += ",\"running\":" + std::to_string(counts[3]);
+    out += ",\"done\":" + std::to_string(counts[4]);
+    out += ",\"lost\":" + std::to_string(counts[5]);
+    out += ",\"reissued\":" +
+           std::to_string(counter_unlocked("telemetry.shards.reissued"));
+    out += '}';
+    out += ",\"workers\":[";
+    bool first = true;
+    for (const auto& [id, w] : workers_) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"worker\":" + std::to_string(id);
+        out += ",\"task\":" + std::to_string(w.task);
+        out += ",\"trials_done\":" + std::to_string(w.trials_done);
+        out += ",\"trials_total\":" + std::to_string(w.trials_total);
+        out += ",\"tasks_done\":" + std::to_string(w.tasks_done);
+        out += ",\"trials\":" + std::to_string(w.trials_credited);
+        const std::int64_t hb_age = w.last_hb_ms > 0 ? now_ms - w.last_hb_ms : -1;
+        out += ",\"hb_age_ms\":" + std::to_string(hb_age);
+        const std::int64_t active_ms =
+            w.first_seen_ms > 0 ? std::max<std::int64_t>(1, now_ms - w.first_seen_ms) : 0;
+        double tps = 0.0;
+        if (active_ms > 0)
+            tps = static_cast<double>(w.trials_credited + static_cast<std::uint64_t>(
+                                                              std::max(0, w.trials_done))) *
+                  1000.0 / static_cast<double>(active_ms);
+        out += ",\"tps\":";
+        append_fixed1(out, tps);
+        out += '}';
+    }
+    out += "],\"stragglers\":[";
+    first = true;
+    for (const StragglerFlag& flag : flagged_) {
+        if (!first) out += ',';
+        first = false;
+        out += std::to_string(flag.task);
+    }
+    out += ']';
+    // ETA from campaign-wide trial throughput since the first issue.
+    const std::int64_t elapsed = first_event_ms_ >= 0 ? now_ms - first_event_ms_ : 0;
+    std::int64_t eta_ms = -1;
+    if (trials_done > 0 && elapsed > 0 && params_.total_trials > trials_done)
+        eta_ms = elapsed * (params_.total_trials - trials_done) / trials_done;
+    out += ",\"elapsed_ms\":" + std::to_string(elapsed);
+    out += ",\"eta_ms\":" + std::to_string(eta_ms);
+    return out;
+}
+
+void CampaignTelemetrySink::close(std::int64_t now_ms) {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    // Fold in-flight stream tx counters into the totals.
+    for (auto& [id, w] : workers_) {
+        (void)id;
+        w.total_tx_frames += w.stream_tx_frames;
+        w.total_tx_bytes += w.stream_tx_bytes;
+        w.stream_tx_frames = 0;
+        w.stream_tx_bytes = 0;
+        registry_.counter("telemetry.tx.frames").add(w.total_tx_frames);
+        registry_.counter("telemetry.tx.bytes").add(w.total_tx_bytes);
+    }
+    std::string line = "{\"e\":\"summary\",\"campaign\":";
+    append_quoted(line, params_.campaign);
+    line += ",\"t_ms\":" + std::to_string(now_ms);
+    line += ",\"total_trials\":" + std::to_string(params_.total_trials);
+    line += ",\"elapsed_ms\":" +
+            std::to_string(first_event_ms_ >= 0 && now_ms >= 0 ? now_ms - first_event_ms_
+                                                               : -1);
+    line += ",\"workers\":[";
+    bool first = true;
+    for (const auto& [id, w] : workers_) {
+        if (!first) line += ',';
+        first = false;
+        line += "{\"worker\":" + std::to_string(id);
+        line += ",\"tasks_done\":" + std::to_string(w.tasks_done);
+        line += ",\"trials\":" + std::to_string(w.trials_credited);
+        line += ",\"heartbeats\":" + std::to_string(w.heartbeats);
+        line += ",\"tx_frames\":" + std::to_string(w.total_tx_frames);
+        line += ",\"tx_bytes\":" + std::to_string(w.total_tx_bytes);
+        line += ",\"rx_frames\":" + std::to_string(w.rx_frames);
+        line += ",\"rx_bytes\":" + std::to_string(w.rx_bytes);
+        line += ",\"busy_ms\":" + std::to_string(w.busy_ms);
+        line += '}';
+    }
+    line += "],\"shards\":[";
+    first = true;
+    for (const ShardRecord& shard : shards_) {
+        if (shard.attempts == 0) continue;
+        if (!first) line += ',';
+        first = false;
+        line += "{\"task\":" + std::to_string(shard.task);
+        line += ",\"series\":" + std::to_string(shard.series);
+        line += ",\"worker\":" + std::to_string(shard.worker);
+        line += ",\"round\":" + std::to_string(shard.round);
+        line += ",\"state\":";
+        append_quoted(line, shard_state_name(shard.state));
+        line += ",\"attempts\":" + std::to_string(shard.attempts);
+        line += ",\"elapsed_ms\":" + std::to_string(shard.elapsed_ms);
+        line += '}';
+    }
+    line += "],\"stragglers\":" + std::to_string(flagged_.size());
+    line += ",\"metrics\":" + registry_.snapshot().to_json();
+    line += '}';
+    write_line_locked(line);
+}
+
+std::vector<CampaignTelemetrySink::ShardRecord> CampaignTelemetrySink::shards() const {
+    std::lock_guard lock(mutex_);
+    std::vector<ShardRecord> out;
+    for (const ShardRecord& shard : shards_)
+        if (shard.attempts > 0) out.push_back(shard);
+    return out;
+}
+
+MetricsSnapshot CampaignTelemetrySink::telemetry_metrics() const {
+    std::lock_guard lock(mutex_);
+    return registry_.snapshot();
+}
+
+std::uint64_t CampaignTelemetrySink::counter(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    return counter_unlocked(name);
+}
+
+std::uint64_t CampaignTelemetrySink::counter_unlocked(std::string_view name) const {
+    const MetricsSnapshot snap = registry_.snapshot();
+    const auto it = snap.counters.find(std::string(name));
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
+int CampaignTelemetrySink::straggler_count() const {
+    std::lock_guard lock(mutex_);
+    return static_cast<int>(flagged_.size());
+}
+
+}  // namespace ble::obs

@@ -161,11 +161,18 @@ TEST(CampaignFault, SpawnedWorkerKilledMidShardReissuesAndStaysBitIdentical) {
     const std::string plan_path = ::testing::TempDir() + "/fault_plan.json";
     ASSERT_TRUE(ble::obs::write_text_file(plan_path, plan_to_json(plan)));
 
+    // External telemetry sink: the kill must surface as a lost lifecycle
+    // span plus a re-issue, without disturbing the merged output.
+    ble::obs::TelemetrySinkParams telemetry_params;
+    telemetry_params.campaign = plan.name;
+    ble::obs::CampaignTelemetrySink telemetry(telemetry_params);
+
     CaptureSink merged(edge_channels(plan));
     LeaderOptions options;
     options.workers = 2;
     options.max_rounds = 3;
     options.read_timeout_ms = 30000;
+    options.telemetry = &telemetry;
     const CampaignOutcome outcome = run_campaign(
         plan,
         [&](int worker, int round) {
@@ -173,6 +180,7 @@ TEST(CampaignFault, SpawnedWorkerKilledMidShardReissuesAndStaysBitIdentical) {
             so.binary = binary;
             so.plan_path = plan_path;
             so.worker.worker_id = worker;
+            so.worker.heartbeat_ms = 0;  // heartbeat every trial completion
             // Worker 0's first incarnation dies after one trial, leaving a
             // torn frame on its pipe; every later incarnation is healthy.
             if (worker == 0 && round == 0) so.worker.crash_after_trials = 1;
@@ -186,6 +194,19 @@ TEST(CampaignFault, SpawnedWorkerKilledMidShardReissuesAndStaysBitIdentical) {
 
     EXPECT_EQ(merged.records(), reference.records());
     EXPECT_EQ(merged.sorted_artifacts(), reference.sorted_artifacts());
+
+    // The killed worker's shards went through lost → reissued → done.
+    EXPECT_GE(telemetry.counter("telemetry.shards.lost"), 1u);
+    EXPECT_GE(telemetry.counter("telemetry.shards.reissued"), 1u);
+    EXPECT_GE(telemetry.counter("telemetry.streams.torn") +
+                  telemetry.counter("telemetry.streams.failed"),
+              1u);
+    bool saw_reissue = false;
+    for (const auto& shard : telemetry.shards()) {
+        EXPECT_EQ(shard.state, ble::obs::ShardState::kDone);
+        if (shard.attempts > 1) saw_reissue = true;
+    }
+    EXPECT_TRUE(saw_reissue);
 }
 
 }  // namespace

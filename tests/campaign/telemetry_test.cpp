@@ -1,0 +1,259 @@
+// Campaign telemetry: shard lifecycle spans, the straggler watchdog (driven
+// by a fake clock — the sink never reads a clock itself), transport counter
+// folding, and a live inprocess campaign whose telemetry log gains spans and
+// heartbeats while the merged output stays bit-identical to the reference.
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/leader.hpp"
+#include "capture_sink.hpp"
+#include "obs/sinks.hpp"
+
+namespace injectable::campaign {
+namespace {
+
+using ble::obs::CampaignTelemetrySink;
+using ble::obs::ShardState;
+using ble::obs::StragglerFlag;
+using ble::obs::TelemetrySinkParams;
+using ble::obs::WorkerTelemetry;
+using testutil::CaptureSink;
+using testutil::edge_channels;
+using testutil::run_reference;
+
+TelemetrySinkParams fake_clock_params(const std::string& jsonl_path) {
+    TelemetrySinkParams params;
+    params.campaign = "telemetry";
+    params.jsonl_path = jsonl_path;
+    params.total_trials = 8;
+    params.straggler_factor = 2.0;
+    params.min_done_for_watchdog = 3;
+    return params;
+}
+
+TEST(CampaignTelemetrySinkTest, LifecycleSpansAndWatchdogUnderFakeClock) {
+    const std::string log = ::testing::TempDir() + "/telemetry_lifecycle.jsonl";
+    CampaignTelemetrySink sink(fake_clock_params(log));
+
+    // Four shards issued at t=0; three finish in 100 ms, task 3 lingers.
+    for (int task = 0; task < 4; ++task) {
+        sink.shard_issued(task, 0, 2, task % 2, 0, 0, /*reissue=*/false);
+        sink.shard_accepted(task, task % 2, 0, 10);
+        sink.shard_running(task, task % 2, 0, 20);
+    }
+    for (int task = 0; task < 3; ++task) sink.shard_done(task, task % 2, 0, 100);
+
+    // Watchdog limit = 2.0 x median(100) = 200 ms: quiet at 150, flags at 250.
+    EXPECT_TRUE(sink.check_stragglers(150).empty());
+    const std::vector<StragglerFlag> flags = sink.check_stragglers(250);
+    ASSERT_EQ(flags.size(), 1u);
+    EXPECT_EQ(flags[0].task, 3);
+    EXPECT_EQ(flags[0].median_ms, 100);
+    EXPECT_EQ(sink.counter("telemetry.watchdog.stragglers"), 1u);
+    // Still over the limit later, but each shard attempt is flagged once.
+    EXPECT_EQ(sink.check_stragglers(300).size(), 1u);
+    EXPECT_EQ(sink.counter("telemetry.watchdog.stragglers"), 1u);
+    EXPECT_EQ(sink.straggler_count(), 1);
+
+    // The straggler's stream dies; the task is lost, re-issued, and redone.
+    sink.shard_lost(3, 1, 0, 400, "stream torn");
+    sink.shard_issued(3, 0, 2, 0, 1, 420, /*reissue=*/true);
+    sink.shard_done(3, 0, 1, 500);
+    EXPECT_EQ(sink.counter("telemetry.shards.lost"), 1u);
+    EXPECT_EQ(sink.counter("telemetry.shards.reissued"), 1u);
+    EXPECT_EQ(sink.counter("telemetry.shards.done"), 4u);
+
+    const auto shards = sink.shards();
+    ASSERT_EQ(shards.size(), 4u);
+    for (const auto& shard : shards) EXPECT_EQ(shard.state, ShardState::kDone);
+    EXPECT_EQ(shards[3].attempts, 2);
+    EXPECT_EQ(shards[3].elapsed_ms, 80);  // 500 - 420, the committed attempt
+
+    sink.close(600);
+    const std::vector<std::string> lines = ble::obs::read_jsonl_file(log);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back().rfind("{\"e\":\"summary\"", 0), 0u);
+    EXPECT_NE(lines.back().find("\"stragglers\":1"), std::string::npos);
+    EXPECT_NE(lines.back().find("\"state\":\"done\""), std::string::npos);
+    // One lost lifecycle line with its reason made it to the log.
+    int lost_lines = 0;
+    for (const std::string& line : lines) {
+        if (line.find("\"state\":\"lost\"") != std::string::npos) ++lost_lines;
+    }
+    EXPECT_EQ(lost_lines, 1);
+    std::remove(log.c_str());
+}
+
+TEST(CampaignTelemetrySinkTest, HeartbeatsFoldStreamCumulativeTxCounters) {
+    CampaignTelemetrySink sink(fake_clock_params(""));  // in-memory log
+
+    WorkerTelemetry hb;
+    hb.worker = 1;
+    hb.task = 0;
+    hb.t_ms = 90;
+    hb.tx_frames = 10;
+    hb.tx_bytes = 100;
+    sink.worker_heartbeat(hb, 100);
+    hb.t_ms = 190;
+    hb.tx_frames = 20;
+    hb.tx_bytes = 200;
+    sink.worker_heartbeat(hb, 200);
+    // Counters drop below the last value: a fresh stream (re-issued round).
+    hb.t_ms = 290;
+    hb.tx_frames = 5;
+    hb.tx_bytes = 50;
+    sink.worker_heartbeat(hb, 300);
+    sink.transport_read(1, 64, 3);
+    sink.close(400);
+
+    EXPECT_EQ(sink.counter("telemetry.heartbeats"), 3u);
+    EXPECT_EQ(sink.counter("telemetry.tx.frames"), 25u);  // 20 folded + 5 live
+    EXPECT_EQ(sink.counter("telemetry.tx.bytes"), 250u);
+    EXPECT_EQ(sink.counter("telemetry.rx.frames"), 3u);
+    EXPECT_EQ(sink.counter("telemetry.rx.bytes"), 64u);
+    // Heartbeat latency (now_ms - t_ms = 10) landed in the endpoint histogram.
+    const auto metrics = sink.telemetry_metrics();
+    const auto rtt = metrics.histograms.find("telemetry.endpoint.w1.rtt_ms");
+    ASSERT_NE(rtt, metrics.histograms.end());
+    EXPECT_EQ(rtt->second.count, 3u);
+}
+
+TEST(CampaignTelemetrySinkTest, StatusFieldsReportProgressWorkersAndEta) {
+    CampaignTelemetrySink sink(fake_clock_params(""));
+    sink.shard_issued(0, 0, 4, 0, 0, 0, false);
+    sink.shard_issued(1, 0, 4, 1, 0, 0, false);
+    sink.shard_done(0, 0, 0, 100);
+    WorkerTelemetry hb;
+    hb.worker = 1;
+    hb.task = 1;
+    hb.t_ms = 95;
+    hb.trials_done = 2;
+    hb.trials_total = 4;
+    sink.worker_heartbeat(hb, 100);
+
+    const std::string fields = sink.status_fields_json(100);
+    // 4 committed + 2 heartbeat-reported in-flight trials of 8 total; with
+    // 100 ms elapsed the remaining 2 trials project to 33 ms.
+    EXPECT_NE(fields.find("\"trials_done\":6"), std::string::npos);
+    EXPECT_NE(fields.find("\"done\":1"), std::string::npos);
+    EXPECT_NE(fields.find("\"eta_ms\":33"), std::string::npos);
+    EXPECT_NE(fields.find("\"worker\":1"), std::string::npos);
+    ASSERT_FALSE(fields.empty());
+    EXPECT_EQ(fields.front(), ',');  // splices into a status document
+}
+
+// ---------------------------------------------------------------------------
+
+/// CaptureSink that also records leader-aggregated campaign progress.
+class ProgressCaptureSink final : public world::ResultSink {
+public:
+    explicit ProgressCaptureSink(world::ResultChannels channels) : inner_(channels) {}
+
+    [[nodiscard]] const world::ResultChannels& channels() const noexcept override {
+        return inner_.channels();
+    }
+    void on_artifact(const world::TrialArtifact& artifact) override {
+        inner_.on_artifact(artifact);
+    }
+    void on_series_record(const world::ExperimentConfig& config,
+                          const world::SeriesSlice& slice,
+                          const std::vector<world::RunResult>& results,
+                          const ble::obs::MetricsSnapshot* metrics) override {
+        inner_.on_series_record(config, slice, results, metrics);
+    }
+    void on_progress(const std::string&, int done, int total) override {
+        progress.emplace_back(done, total);
+    }
+
+    CaptureSink& inner() { return inner_; }
+    std::vector<std::pair<int, int>> progress;
+
+private:
+    CaptureSink inner_;
+};
+
+TEST(CampaignTelemetryTest, InprocessCampaignEmitsSpansHeartbeatsAndStaysIdentical) {
+    std::vector<world::ExperimentConfig> series(1);
+    series[0].name = "telemetry";
+    series[0].runs = 6;
+    series[0].base_seed = 7000;
+    world::ResultChannels plan_channels;
+    plan_channels.metrics = true;  // gives the task-end snapshot counters
+    const CampaignPlan plan = plan_campaign("telemetry", std::move(series), 3, plan_channels);
+
+    CaptureSink reference(edge_channels(plan));
+    run_reference(plan, reference);
+
+    const std::string log = ::testing::TempDir() + "/telemetry_campaign.jsonl";
+    TelemetrySinkParams params;
+    params.campaign = plan.name;
+    params.jsonl_path = log;
+    params.total_trials = 6;
+    CampaignTelemetrySink telemetry(params);
+
+    world::ResultChannels channels = edge_channels(plan);
+    channels.progress = true;
+    ProgressCaptureSink merged(channels);
+
+    LeaderOptions options;
+    options.workers = 2;
+    options.telemetry = &telemetry;
+    const CampaignOutcome outcome = run_campaign(
+        plan,
+        [](int worker, int) {
+            WorkerOptions wo;
+            wo.worker_id = worker;
+            wo.heartbeat_ms = 0;  // heartbeat on every trial completion
+            return make_inprocess_endpoint(wo);
+        },
+        options, merged);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_EQ(outcome.stragglers, 0);
+
+    // Telemetry is informational: the merged stream is still bit-identical.
+    EXPECT_EQ(merged.inner().records(), reference.records());
+
+    EXPECT_EQ(telemetry.counter("telemetry.shards.issued"), 3u);
+    EXPECT_EQ(telemetry.counter("telemetry.shards.done"), 3u);
+    EXPECT_EQ(telemetry.counter("telemetry.shards.lost"), 0u);
+    EXPECT_GE(telemetry.counter("telemetry.heartbeats"), 6u);  // >= 1 per trial
+    EXPECT_GT(telemetry.counter("telemetry.rx.bytes"), 0u);
+    for (const auto& shard : telemetry.shards()) {
+        EXPECT_EQ(shard.state, ShardState::kDone);
+        EXPECT_EQ(shard.attempts, 1);
+    }
+    // The final-snapshot fold attributes sim counters to the workers.
+    std::uint64_t attributed = 0;
+    for (const auto& [name, value] : telemetry.telemetry_metrics().counters) {
+        if (name.rfind("telemetry.worker.", 0) == 0 &&
+            name.find("events_total") != std::string::npos) {
+            attributed += value;
+        }
+    }
+    EXPECT_GT(attributed, 0u);
+
+    // Leader-side progress aggregation: monotone, task-weighted, ends at 6/6.
+    ASSERT_FALSE(merged.progress.empty());
+    int last_done = 0;
+    for (const auto& [done, total] : merged.progress) {
+        EXPECT_EQ(total, 6);
+        EXPECT_GE(done, last_done);
+        last_done = done;
+    }
+    EXPECT_EQ(merged.progress.back(), (std::pair<int, int>{6, 6}));
+
+    // The telemetry log closed with a summary carrying worker attribution.
+    const std::vector<std::string> lines = ble::obs::read_jsonl_file(log);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back().rfind("{\"e\":\"summary\"", 0), 0u);
+    EXPECT_NE(lines.back().find("\"workers\":[{\"worker\":0"), std::string::npos);
+    std::remove(log.c_str());
+}
+
+}  // namespace
+}  // namespace injectable::campaign

@@ -69,6 +69,30 @@ TEST(CampaignWire, ControlMessagesRoundTrip) {
     EXPECT_EQ(error_msg.message, "boom \"quoted\"");
 }
 
+TEST(CampaignWire, TelemetryRoundTripsCountersAndHistograms) {
+    ble::obs::WorkerTelemetry hb;
+    hb.worker = 3;
+    hb.task = 7;
+    hb.t_ms = 123456;
+    hb.trials_done = 5;
+    hb.trials_total = 12;
+    hb.tx_frames = 40;
+    hb.tx_bytes = 9001;
+    hb.final_snapshot = true;
+    hb.counters["events_total"] = 77;
+    hb.counters["inject.success \"quoted\""] = 3;
+    hb.hists["attempts"] = {4, 10};
+    const WireMessage message = decode_one(encode_telemetry(hb));
+    EXPECT_EQ(message.type, WireType::kTelemetry);
+    EXPECT_EQ(message.telemetry, hb);
+
+    // An empty heartbeat (no snapshot) survives too.
+    ble::obs::WorkerTelemetry beat;
+    beat.worker = 1;
+    beat.t_ms = 42;
+    EXPECT_EQ(decode_one(encode_telemetry(beat)).telemetry, beat);
+}
+
 TEST(CampaignWire, DecoderRejectsUnknownTypesAndGarbage) {
     WireMessage message;
     std::string error;

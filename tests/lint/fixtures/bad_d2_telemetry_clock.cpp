@@ -1,0 +1,28 @@
+// lint-fixture-path: src/obs/telemetry.cpp
+//
+// The mistake the telemetry_now_ms() helper exists to prevent: reading
+// steady_clock directly in telemetry code scatters un-audited wall-clock
+// reads through the tree.  D2 must flag the raw read; the second site shows
+// the single-audited-suppression pattern src/common/time.hpp carries (the
+// finding still surfaces, marked suppressed, so `lint --strict` can count
+// the audit surface).
+#include <chrono>
+#include <cstdint>
+
+namespace ble::obs {
+
+std::int64_t telemetry_stamp_raw() {
+    // Un-audited: should call ble::telemetry_now_ms() instead.
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch())
+        .count();
+}
+
+std::int64_t telemetry_stamp_audited() {
+    // injectable-lint: allow(D2) -- the one audited telemetry clock read
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch())
+        .count();
+}
+
+}  // namespace ble::obs

@@ -132,6 +132,15 @@ TEST(FixtureBad, D2WallClockAndUnseededRandomness) {
     EXPECT_EQ(unsuppressed_count(findings), 5);
 }
 
+TEST(FixtureBad, D2TelemetryClockReadsRawAndAudited) {
+    const auto findings = scan_fixture("bad_d2_telemetry_clock.cpp");
+    // One raw steady_clock read fires; the audited-suppression site still
+    // surfaces, marked suppressed, so the audit surface stays countable.
+    EXPECT_EQ(count_rule(findings, Rule::kD2), 1);
+    EXPECT_EQ(count_rule(findings, Rule::kD2, /*suppressed=*/true), 1);
+    EXPECT_EQ(unsuppressed_count(findings), 1);
+}
+
 TEST(FixtureBad, D3FloatAccumulation) {
     const auto findings = scan_fixture("bad_d3_float_accum.cpp");
     EXPECT_EQ(count_rule(findings, Rule::kD3), 2);  // total +=, mean = mean +
@@ -201,6 +210,13 @@ TEST(FixtureGood, E1EdgeWiringAllowlisted) {
 TEST(FixtureGood, D2SimTime) {
     const auto findings = scan_fixture("good_d2_sim_time.cpp");
     EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(FixtureGood, D2TelemetryClockCallersStayClean) {
+    // Campaign code stamps telemetry via ble::telemetry_now_ms() and passes
+    // explicit now_ms values down — no clock primitive in sight.
+    const auto findings = scan_fixture("good_d2_telemetry_clock.cpp");
     EXPECT_TRUE(findings.empty());
 }
 
@@ -387,7 +403,7 @@ TEST(Reporting, JsonlShapeAndSummaryTotals) {
 TEST(Reporting, ScanPathsWalksTheFixtureCorpus) {
     std::vector<Finding> findings;
     const int files = scan_paths({LINT_FIXTURE_DIR}, findings);
-    EXPECT_EQ(files, 17);  // 9 bad_* + 8 good_* fixtures
+    EXPECT_EQ(files, 19);  // 10 bad_* + 9 good_* fixtures
     EXPECT_GT(unsuppressed_count(findings), 0);
     EXPECT_EQ(scan_paths({"/nonexistent/injectable"}, findings), -1);
 }
