@@ -22,7 +22,11 @@ bool ResultCache::accept(const WireMessage& message, std::string* error) {
         case WireType::kProgress:
         case WireType::kTelemetry: return true;  // informational, no task state
         case WireType::kError: return fail("worker error: " + message.message);
-        default: break;
+        case WireType::kTaskStart:
+        case WireType::kTaskResults:
+        case WireType::kTaskMetrics:
+        case WireType::kArtifact:
+        case WireType::kTaskDone: break;  // task-scoped: validated below
     }
     if (message.task < 0 || message.task >= static_cast<int>(outputs_.size())) {
         return fail("frame for unknown task " + std::to_string(message.task));
@@ -68,8 +72,14 @@ bool ResultCache::accept(const WireMessage& message, std::string* error) {
             }
             slot.done = true;
             return true;
-        default: return fail("unhandled frame type");
+        case WireType::kHello:
+        case WireType::kProgress:
+        case WireType::kWorkerDone:
+        case WireType::kError:
+        case WireType::kTelemetry:
+            break;  // already fully handled (returned) by the switch above
     }
+    return fail("unhandled frame type");
 }
 
 void ResultCache::abandon(int task) {

@@ -65,6 +65,10 @@ bool drain_stream(ByteStream& stream, int read_timeout_ms, ResultCache& cache,
             }
             if (telemetry != nullptr) {
                 const std::int64_t now = ble::telemetry_now_ms();
+                // Only lifecycle frames feed telemetry spans; result/error
+                // frames are handled by the cache.accept() path below, which
+                // lint does hold to exhaustiveness.
+                // injectable-lint: allow(W1) -- deliberate subset: lifecycle frames only, the rest is cache.accept()'s exhaustive switch
                 switch (message.type) {
                     case WireType::kTaskStart:
                         telemetry->shard_accepted(message.task, worker, round, now);

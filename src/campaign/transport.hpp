@@ -73,7 +73,7 @@ public:
     [[nodiscard]] ReadStatus pull(std::string& out, int timeout_ms);
 
 private:
-    std::mutex mutex_;
+    std::mutex mutex_;  // guards: buffer_, closed_ (cv_ waits under it)
     std::condition_variable cv_;
     std::string buffer_;
     bool closed_ = false;

@@ -170,7 +170,11 @@ bool decode_wire_message(const ble::common::Frame& frame, WireMessage& out, std:
             }
             break;
         }
-        default: break;
+        case WireType::kHello:
+        case WireType::kTaskStart:
+        case WireType::kTaskDone:
+        case WireType::kWorkerDone:
+            break;  // header-only frames: worker/task fields already decoded
     }
     return true;
 }

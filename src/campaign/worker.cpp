@@ -110,7 +110,7 @@ private:
     }
 
     CountingStream& stream_;
-    std::mutex& write_mutex_;
+    std::mutex& write_mutex_;  // guards: stream_ writes (frames must not interleave)
     int worker_;
     int task_;
     int task_total_;

@@ -56,7 +56,7 @@ public:
     }
 
 private:
-    mutable std::mutex mu_;
+    mutable std::mutex mu_;  // guards: ids_, names_
     std::map<std::string, int, std::less<>> ids_;
     std::vector<std::string> names_;  // id -> name
 };

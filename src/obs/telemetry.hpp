@@ -195,6 +195,7 @@ private:
     [[nodiscard]] std::uint64_t counter_unlocked(std::string_view name) const;
 
     TelemetrySinkParams params_;
+    // guards: registry_, shards_, workers_, flagged_ and the journal writer
     mutable std::mutex mutex_;
     MetricsRegistry registry_;
     std::vector<ShardRecord> shards_;

@@ -157,7 +157,7 @@ public:
 private:
     SinkPaths paths_;
     ResultChannels channels_;
-    std::mutex progress_mutex_;
+    std::mutex progress_mutex_;  // guards: meters_
     std::map<std::string, std::unique_ptr<ProgressMeter>> meters_;
 };
 

@@ -1,0 +1,29 @@
+// lint-fixture-path: src/campaign/bad_workers.cpp
+//
+// Every C1 shape at once: a detached thread, a bare lock()/unlock() pair
+// around a critical section (one early return between them leaks the lock),
+// and a mutex member with no `// guards:` documentation.  Four findings.
+#include <mutex>
+#include <thread>
+
+namespace ble::campaign {
+
+struct Pool {
+    std::mutex jobs_mutex;
+    int jobs = 0;
+
+    void spawn() {
+        std::thread worker([] {});
+        worker.detach();
+    }
+
+    bool take() {
+        jobs_mutex.lock();
+        if (jobs == 0) return false;  // leaks the lock
+        --jobs;
+        jobs_mutex.unlock();
+        return true;
+    }
+};
+
+}  // namespace ble::campaign

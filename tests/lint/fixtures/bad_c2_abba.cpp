@@ -1,0 +1,23 @@
+// lint-fixture-path: src/campaign/bad_lock_order.cpp
+//
+// The classic ABBA deadlock: one path acquires c2bad_a then c2bad_b, the
+// other c2bad_b then c2bad_a.  Both nested acquisitions are findings — each
+// edge participates in the cycle.
+#include <mutex>
+
+namespace ble::campaign {
+
+std::mutex c2bad_a;  // guards: shared state A (fixture)
+std::mutex c2bad_b;  // guards: shared state B (fixture)
+
+void path_one() {
+    const std::lock_guard<std::mutex> first(c2bad_a);
+    const std::lock_guard<std::mutex> second(c2bad_b);
+}
+
+void path_two() {
+    const std::lock_guard<std::mutex> first(c2bad_b);
+    const std::lock_guard<std::mutex> second(c2bad_a);
+}
+
+}  // namespace ble::campaign

@@ -1,0 +1,19 @@
+// lint-fixture-path: src/campaign/bad_cross_one.cpp
+//
+// Half of a cross-TU ABBA deadlock: this TU only ever takes c2x_a before
+// c2x_b — locally consistent, no cycle visible from this file alone.  The
+// reverse edge lives in bad_c2_cross_tu_two.cpp; only the merged phase-2
+// graph sees the cycle, which is exactly what a per-TU scanner misses.
+#include <mutex>
+
+namespace ble::campaign {
+
+std::mutex c2x_a;  // guards: shared state A (fixture)
+std::mutex c2x_b;  // guards: shared state B (fixture)
+
+void forward_path() {
+    const std::lock_guard<std::mutex> first(c2x_a);
+    const std::lock_guard<std::mutex> second(c2x_b);
+}
+
+}  // namespace ble::campaign

@@ -1,0 +1,18 @@
+// lint-fixture-path: src/campaign/bad_cross_two.cpp
+//
+// The other half of the cross-TU ABBA deadlock: c2x_b before c2x_a.  See
+// bad_c2_cross_tu_one.cpp — each file is clean in isolation; merged they
+// form the cycle and both acquisition sites become findings.
+#include <mutex>
+
+namespace ble::campaign {
+
+extern std::mutex c2x_a;
+extern std::mutex c2x_b;
+
+void reverse_path() {
+    const std::lock_guard<std::mutex> first(c2x_b);
+    const std::lock_guard<std::mutex> second(c2x_a);
+}
+
+}  // namespace ble::campaign

@@ -1,0 +1,15 @@
+// lint-fixture-path: src/link/cycle_a.hpp
+//
+// Half of an include cycle inside one layer: cycle_a.hpp includes
+// cycle_b.hpp which includes cycle_a.hpp back.  Same rank, so no upward
+// edge — only the resolved file-level graph catches it, and both include
+// sites become L1 findings.
+#include "link/cycle_b.hpp"
+
+namespace ble::link {
+
+struct CycleA {
+    int a = 0;
+};
+
+}  // namespace ble::link

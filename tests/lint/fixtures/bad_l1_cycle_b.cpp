@@ -1,0 +1,12 @@
+// lint-fixture-path: src/link/cycle_b.hpp
+//
+// The other half of the include cycle — see bad_l1_cycle_a.cpp.
+#include "link/cycle_a.hpp"
+
+namespace ble::link {
+
+struct CycleB {
+    int b = 0;
+};
+
+}  // namespace ble::link

@@ -1,0 +1,17 @@
+// lint-fixture-path: src/obs/telemetry_uplink.hpp
+//
+// Layering regression, mirroring the real temptation: the observability
+// layer (rank 1) reaching up into the campaign layer (rank 8) to reuse its
+// wire types.  The dependency must be inverted — campaign already includes
+// obs — so this upward include is an L1 finding.
+#include <cstdint>
+
+#include "campaign/wire.hpp"
+
+namespace ble::obs {
+
+struct TelemetryUplink {
+    std::uint32_t frame_type = 0;
+};
+
+}  // namespace ble::obs

@@ -1,0 +1,19 @@
+// lint-fixture-path: src/campaign/bad_wire_switch.cpp
+//
+// A dispatch switch missing an enumerator of a monitored wire enum (the W1
+// tests monitor FixWireBad explicitly).  The default: swallows kDone — which
+// is exactly how a newly added frame type silently falls through — so the
+// switch is still one W1 finding.
+namespace ble::campaign {
+
+enum class FixWireBad : unsigned { kHello = 1, kData = 2, kDone = 3 };
+
+inline bool dispatch(FixWireBad type) {
+    switch (type) {
+        case FixWireBad::kHello: return true;
+        case FixWireBad::kData: return true;
+        default: return false;
+    }
+}
+
+}  // namespace ble::campaign

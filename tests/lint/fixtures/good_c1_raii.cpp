@@ -1,0 +1,43 @@
+// lint-fixture-path: src/campaign/good_workers.cpp
+//
+// Compliant concurrency: documented mutex members, RAII guards only, threads
+// joined — and the one place a detach is genuinely wanted carries an audited
+// allow(C1).  Only that suppressed finding may appear.  The weak_ptr calls
+// exercise the false-positive guard: `.lock()` on a non-mutex receiver is
+// shared-pointer promotion, not a mutex acquisition.
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace ble::campaign {
+
+struct Pool {
+    std::mutex jobs_mutex;  // guards: jobs
+    int jobs = 0;
+
+    // guards: results (writers on the worker threads, reader in join())
+    std::mutex results_mutex;
+    int results = 0;
+
+    bool take() {
+        const std::lock_guard<std::mutex> lock(jobs_mutex);
+        if (jobs == 0) return false;
+        --jobs;
+        return true;
+    }
+
+    void record(std::weak_ptr<int> alive) {
+        if (auto live = alive.lock()) {
+            const std::lock_guard guard(results_mutex);
+            results += *live;
+        }
+    }
+
+    void fire_and_forget() {
+        std::thread logger([] {});
+        // injectable-lint: allow(C1) -- process-lifetime logger, owns no state
+        logger.detach();
+    }
+};
+
+}  // namespace ble::campaign

@@ -1,0 +1,28 @@
+// lint-fixture-path: src/campaign/good_lock_order.cpp
+//
+// Consistent lock order: every path that needs both mutexes takes c2good_a
+// before c2good_b, and scoped_lock acquires its whole argument list
+// atomically (std::lock) so it contributes no ordering edges between its
+// members.  Fully clean.
+#include <mutex>
+
+namespace ble::campaign {
+
+std::mutex c2good_a;  // guards: shared state A (fixture)
+std::mutex c2good_b;  // guards: shared state B (fixture)
+
+void path_one() {
+    const std::lock_guard<std::mutex> first(c2good_a);
+    const std::lock_guard<std::mutex> second(c2good_b);
+}
+
+void path_two() {
+    const std::lock_guard<std::mutex> first(c2good_a);
+    const std::lock_guard<std::mutex> second(c2good_b);
+}
+
+void path_three() {
+    const std::scoped_lock both(c2good_a, c2good_b);
+}
+
+}  // namespace ble::campaign

@@ -1,0 +1,26 @@
+// lint-fixture-path: src/campaign/good_lock_order_suppressed.cpp
+//
+// A deliberate two-order acquisition with both edges audited: the real
+// protocol bounds one side with a timed try-lock so the cycle can never
+// deadlock.  Both cycle edges surface as suppressed findings; nothing
+// unsuppressed remains.
+#include <mutex>
+
+namespace ble::campaign {
+
+std::mutex c2sup_a;  // guards: shared state A (fixture)
+std::mutex c2sup_b;  // guards: shared state B (fixture)
+
+void path_one() {
+    const std::lock_guard<std::mutex> first(c2sup_a);
+    // injectable-lint: allow(C2) -- fixture: forward edge of the audited pair
+    const std::lock_guard<std::mutex> second(c2sup_b);
+}
+
+void path_two() {
+    const std::lock_guard<std::mutex> first(c2sup_b);
+    // injectable-lint: allow(C2) -- fixture: reverse order is bounded by a timed try-lock
+    const std::lock_guard<std::mutex> second(c2sup_a);
+}
+
+}  // namespace ble::campaign

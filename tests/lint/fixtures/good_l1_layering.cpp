@@ -1,0 +1,19 @@
+// lint-fixture-path: src/campaign/good_layering.cpp
+//
+// Compliant layering: the campaign layer (rank 8) depending down on common
+// (rank 0), obs (rank 1) and world (rank 7).  Same-rank includes are fine
+// too.  Fully clean.
+#include <string>
+
+#include "campaign/wire.hpp"
+#include "common/rng.hpp"
+#include "obs/telemetry.hpp"
+#include "world/result_sink.hpp"
+
+namespace ble::campaign {
+
+struct GoodLayering {
+    std::string note = "dependencies point down the layer order";
+};
+
+}  // namespace ble::campaign

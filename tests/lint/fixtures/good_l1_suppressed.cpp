@@ -1,0 +1,15 @@
+// lint-fixture-path: src/world/good_layering_suppressed.cpp
+//
+// An audited upward include: world (rank 7) reading a campaign (rank 8)
+// header.  The allow(L1) carries the migration argument, so the finding
+// surfaces suppressed and nothing unsuppressed remains.
+// injectable-lint: allow(L1) -- fixture: transitional edge, tracked for removal in the shard-plan extraction
+#include "campaign/plan.hpp"
+
+namespace ble::world {
+
+struct PlanPreview {
+    int shard_count = 0;
+};
+
+}  // namespace ble::world

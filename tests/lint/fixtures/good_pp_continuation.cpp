@@ -1,0 +1,23 @@
+// lint-fixture-path: src/link/pp_continuation.cpp
+//
+// Tokenizer regression: a multi-line macro (backslash line-continuations)
+// whose body is full of would-be findings — rand(), steady_clock, bare spec
+// numbers in a src/link file.  Directive lines are skipped across the
+// continuations, so none of it may leak into the rule scans and the file
+// must be fully clean.  Line numbers of real tokens after the macro must
+// also stay correct (the trailing finding-free code pins that).
+#include "common/time.hpp"
+
+#define FIXTURE_NOISY_MACRO(x)                          \
+    do {                                                \
+        auto t = time(nullptr) + rand();                \
+        auto w = std::chrono::steady_clock::now();      \
+        auto gap = 150 + 1250 + (x);                    \
+        (void)t; (void)w; (void)gap;                    \
+    } while (0)
+
+namespace ble::link {
+
+inline ble::Duration after_macro() { return ble::kTifs; }
+
+}  // namespace ble::link

@@ -1,0 +1,30 @@
+// lint-fixture-path: src/campaign/good_wire_switch.cpp
+//
+// Exhaustive switches over a monitored wire enum (the W1 tests monitor
+// FixWireGood explicitly): every enumerator appears in every switch, with
+// and without a default.  Fully clean.
+#include <string>
+
+namespace ble::campaign {
+
+enum class FixWireGood : unsigned { kHello = 1, kData = 2, kDone = 3 };
+
+inline const char* name_of(FixWireGood type) {
+    switch (type) {
+        case FixWireGood::kHello: return "hello";
+        case FixWireGood::kData: return "data";
+        case FixWireGood::kDone: return "done";
+    }
+    return "?";
+}
+
+inline bool dispatch(FixWireGood type) {
+    switch (type) {
+        case FixWireGood::kHello: return true;
+        case FixWireGood::kData: return true;
+        case FixWireGood::kDone: return false;
+        default: return false;  // unknown wire value from a newer peer
+    }
+}
+
+}  // namespace ble::campaign

@@ -1,0 +1,18 @@
+// lint-fixture-path: src/campaign/good_wire_switch_suppressed.cpp
+//
+// A deliberate-subset switch over a monitored wire enum (the W1 tests
+// monitor FixWireSup explicitly) with an audited allow(W1): the finding
+// surfaces suppressed, nothing unsuppressed remains.
+namespace ble::campaign {
+
+enum class FixWireSup : unsigned { kHello = 1, kData = 2, kDone = 3 };
+
+inline bool is_handshake(FixWireSup type) {
+    // injectable-lint: allow(W1) -- fixture: handshake probe, every other frame is one caller up
+    switch (type) {
+        case FixWireSup::kHello: return true;
+        default: return false;
+    }
+}
+
+}  // namespace ble::campaign

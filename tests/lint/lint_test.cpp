@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "injectable_lint/lint.hpp"
@@ -75,6 +77,55 @@ TEST(Tokenizer, SkipsPreprocessorAndRawStrings) {
                                    [](const Token& t) { return t.text == "live"; });
     ASSERT_NE(live, s.tokens.end());
     EXPECT_EQ(live->line, 3);
+}
+
+TEST(Tokenizer, CollectsIncludeDirectives) {
+    const TokenStream s = tokenize(
+        "#include <vector>\n"
+        "#include \"link/connection.hpp\"\n"
+        "#  include   \"common/rng.hpp\"\n"
+        "int x = 0;\n");
+    ASSERT_EQ(s.includes.size(), 3u);
+    EXPECT_TRUE(s.includes[0].angled);
+    EXPECT_EQ(s.includes[0].path, "vector");
+    EXPECT_FALSE(s.includes[1].angled);
+    EXPECT_EQ(s.includes[1].path, "link/connection.hpp");
+    EXPECT_EQ(s.includes[1].line, 2);
+    EXPECT_EQ(s.includes[2].path, "common/rng.hpp");
+    EXPECT_EQ(s.includes[2].line, 3);
+}
+
+TEST(Tokenizer, DirectiveLineContinuationsDoNotLeakTokens) {
+    // A multi-line macro: every continued line belongs to the directive, so
+    // rand()/steady_clock in the body must not become tokens, and the line
+    // counter must stay correct for tokens after the macro.
+    const TokenStream s = tokenize(
+        "#define NOISY(x) \\\n"
+        "    time(nullptr) + rand() + \\\n"
+        "    (x)\n"
+        "int after = 1;\n");
+    for (const Token& t : s.tokens) {
+        EXPECT_NE(t.text, "rand");
+        EXPECT_NE(t.text, "time");
+    }
+    const auto after = std::find_if(s.tokens.begin(), s.tokens.end(),
+                                    [](const Token& t) { return t.text == "after"; });
+    ASSERT_NE(after, s.tokens.end());
+    EXPECT_EQ(after->line, 4);
+}
+
+TEST(Tokenizer, CrlfDirectiveContinuations) {
+    // Backslash + CRLF is a line continuation too (the historical leak: only
+    // backslash + LF was recognised, so CRLF macro bodies spilled tokens).
+    const TokenStream s = tokenize(
+        "#define NOISY \\\r\n"
+        "    rand()\r\n"
+        "int after = 1;\r\n");
+    for (const Token& t : s.tokens) EXPECT_NE(t.text, "rand");
+    const auto after = std::find_if(s.tokens.begin(), s.tokens.end(),
+                                    [](const Token& t) { return t.text == "after"; });
+    ASSERT_NE(after, s.tokens.end());
+    EXPECT_EQ(after->line, 3);
 }
 
 // --- fixture corpus, bad side: every rule fires where it must ---
@@ -403,9 +454,471 @@ TEST(Reporting, JsonlShapeAndSummaryTotals) {
 TEST(Reporting, ScanPathsWalksTheFixtureCorpus) {
     std::vector<Finding> findings;
     const int files = scan_paths({LINT_FIXTURE_DIR}, findings);
-    EXPECT_EQ(files, 19);  // 10 bad_* + 9 good_* fixtures
+    EXPECT_EQ(files, 35);  // 18 bad_* + 17 good_* fixtures
     EXPECT_GT(unsuppressed_count(findings), 0);
     EXPECT_EQ(scan_paths({"/nonexistent/injectable"}, findings), -1);
+}
+
+TEST(Reporting, OverlappingRootsScanEachFileOnce) {
+    // A directory plus a file it already contains, plus the same directory
+    // again: each fixture is scanned and reported exactly once, sorted.
+    std::vector<Finding> once, overlapped;
+    const int base = scan_paths({LINT_FIXTURE_DIR}, once);
+    const int deduped = scan_paths({LINT_FIXTURE_DIR,
+                                    std::string(LINT_FIXTURE_DIR) + "/bad_s1_magic.cpp",
+                                    LINT_FIXTURE_DIR},
+                                   overlapped);
+    EXPECT_EQ(base, deduped);
+    ASSERT_EQ(once.size(), overlapped.size());
+    for (std::size_t i = 0; i < once.size(); ++i) {
+        EXPECT_EQ(once[i].file, overlapped[i].file);
+        EXPECT_EQ(once[i].line, overlapped[i].line);
+    }
+    EXPECT_TRUE(std::is_sorted(overlapped.begin(), overlapped.end(),
+                               [](const Finding& a, const Finding& b) {
+                                   return a.file < b.file ||
+                                          (a.file == b.file && a.line < b.line);
+                               }));
+}
+
+// --- phase-1 summaries: collectors ---
+
+TEST(Summaries, CollectsEnumsSwitchesAndIncludes) {
+    const std::string src =
+        "#include \"campaign/wire.hpp\"\n"
+        "enum class WireType : unsigned { kA = 1, kB = 2, kC = 3 };\n"
+        "enum Unnamed { kX };\n"
+        "int f(WireType t) {\n"
+        "  switch (t) {\n"
+        "    case WireType::kA: return 1;\n"
+        "    case WireType::kB: return 2;\n"
+        "    default: return 0;\n"
+        "  }\n"
+        "}\n";
+    const FileSummary s = summarize_source("t.cpp", "src/campaign/t.cpp", src);
+    ASSERT_EQ(s.includes.size(), 1u);
+    EXPECT_EQ(s.includes[0].path, "campaign/wire.hpp");
+    ASSERT_EQ(s.enums.size(), 2u);
+    EXPECT_EQ(s.enums[0].name, "WireType");
+    EXPECT_EQ(s.enums[0].enumerators, (std::vector<std::string>{"kA", "kB", "kC"}));
+    EXPECT_EQ(s.enums[1].name, "Unnamed");
+    ASSERT_EQ(s.switches.size(), 1u);
+    EXPECT_EQ(s.switches[0].enum_name, "WireType");
+    EXPECT_EQ(s.switches[0].cases, (std::vector<std::string>{"kA", "kB"}));
+    EXPECT_TRUE(s.switches[0].has_default);
+    EXPECT_EQ(s.switches[0].line, 5);
+}
+
+TEST(Summaries, CollectsNestedLockEdgesAndSuppressions) {
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex a;  // guards: x (fixture)\n"
+        "std::mutex b;  // guards: y (fixture)\n"
+        "void f() {\n"
+        "  std::lock_guard<std::mutex> ga(a);\n"
+        "  { std::lock_guard gb(b); }\n"
+        "}\n"
+        "// injectable-lint: allow(C2) -- inline fixture reason\n"
+        "void g();\n";
+    const FileSummary s = summarize_source("t.cpp", "src/campaign/t.cpp", src);
+    ASSERT_EQ(s.lock_edges.size(), 1u);
+    EXPECT_EQ(s.lock_edges[0].outer, "a");
+    EXPECT_EQ(s.lock_edges[0].inner, "b");
+    EXPECT_EQ(s.lock_edges[0].line, 6);
+    ASSERT_EQ(s.suppressions.size(), 1u);
+    EXPECT_EQ(s.suppressions[0].rule, Rule::kC2);
+    EXPECT_EQ(s.suppressions[0].line, 8);
+    EXPECT_EQ(s.suppressions[0].reason, "inline fixture reason");
+}
+
+TEST(Summaries, ScopedLockContributesNoIntraCallEdges) {
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex a;  // guards: x (fixture)\n"
+        "std::mutex b;  // guards: y (fixture)\n"
+        "void f() { std::scoped_lock both(a, b); }\n";
+    const FileSummary s = summarize_source("t.cpp", "src/campaign/t.cpp", src);
+    EXPECT_TRUE(s.lock_edges.empty());
+}
+
+// --- phase-1 summary cache ---
+
+TEST(SummaryCache, SerializationRoundTripsEveryField) {
+    // One source exercising every summary section at once: a finding, a
+    // suppressed finding (reason with escaping-hostile characters), quoted
+    // and angled includes, an enum, a switch, a lock edge, a suppression.
+    const std::string src =
+        "#include \"campaign/wire.hpp\"\n"
+        "#include <mutex>\n"
+        "enum class FixCacheEnum { kA, kB };\n"
+        "std::mutex a;  // guards: x (fixture)\n"
+        "std::mutex b;  // guards: y (fixture)\n"
+        "int f(FixCacheEnum t) {\n"
+        "  std::lock_guard<std::mutex> ga(a);\n"
+        "  std::lock_guard<std::mutex> gb(b);\n"
+        "  // injectable-lint: allow(D2) -- fixture: 100% tricky  reason\n"
+        "  int r = rand();\n"
+        "  int q = rand();\n"
+        "  (void)r; (void)q;\n"
+        "  switch (t) { case FixCacheEnum::kA: return 1; default: return 0; }\n"
+        "}\n";
+    const FileSummary a = summarize_source("t.cpp", "src/campaign/t.cpp", src);
+    ASSERT_FALSE(a.findings.empty());
+    ASSERT_FALSE(a.includes.empty());
+    ASSERT_FALSE(a.enums.empty());
+    ASSERT_FALSE(a.switches.empty());
+    ASSERT_FALSE(a.lock_edges.empty());
+    ASSERT_FALSE(a.suppressions.empty());
+
+    FileSummary b;
+    ASSERT_TRUE(deserialize_summary(serialize_summary(a), b));
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.logical, b.logical);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+        EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+        EXPECT_EQ(a.findings[i].message, b.findings[i].message);
+        EXPECT_EQ(a.findings[i].suppressed, b.findings[i].suppressed);
+        EXPECT_EQ(a.findings[i].suppress_reason, b.findings[i].suppress_reason);
+    }
+    ASSERT_EQ(a.includes.size(), b.includes.size());
+    for (std::size_t i = 0; i < a.includes.size(); ++i) {
+        EXPECT_EQ(a.includes[i].path, b.includes[i].path);
+        EXPECT_EQ(a.includes[i].angled, b.includes[i].angled);
+        EXPECT_EQ(a.includes[i].line, b.includes[i].line);
+    }
+    ASSERT_EQ(a.enums.size(), b.enums.size());
+    EXPECT_EQ(a.enums[0].name, b.enums[0].name);
+    EXPECT_EQ(a.enums[0].enumerators, b.enums[0].enumerators);
+    ASSERT_EQ(a.switches.size(), b.switches.size());
+    EXPECT_EQ(a.switches[0].enum_name, b.switches[0].enum_name);
+    EXPECT_EQ(a.switches[0].cases, b.switches[0].cases);
+    EXPECT_EQ(a.switches[0].has_default, b.switches[0].has_default);
+    ASSERT_EQ(a.lock_edges.size(), b.lock_edges.size());
+    EXPECT_EQ(a.lock_edges[0].outer, b.lock_edges[0].outer);
+    EXPECT_EQ(a.lock_edges[0].inner, b.lock_edges[0].inner);
+    ASSERT_EQ(a.suppressions.size(), b.suppressions.size());
+    EXPECT_EQ(a.suppressions[0].rule, b.suppressions[0].rule);
+    EXPECT_EQ(a.suppressions[0].line, b.suppressions[0].line);
+    EXPECT_EQ(a.suppressions[0].reason, b.suppressions[0].reason);
+    EXPECT_EQ(a.suppressions[0].reason, "fixture: 100% tricky  reason");
+}
+
+TEST(SummaryCache, RejectsVersionMismatchAndGarbage) {
+    FileSummary out;
+    EXPECT_FALSE(deserialize_summary("", out));
+    EXPECT_FALSE(deserialize_summary("injectable-lint-summary v0\nP x\n", out));
+    EXPECT_FALSE(deserialize_summary("injectable-lint-summary v1\nZ bogus\n", out));
+}
+
+TEST(SummaryCache, KeyTracksPathAndContent) {
+    const auto k1 = summary_cache_key("a.cpp", "int x;");
+    EXPECT_EQ(k1, summary_cache_key("a.cpp", "int x;"));
+    EXPECT_NE(k1, summary_cache_key("b.cpp", "int x;"));
+    EXPECT_NE(k1, summary_cache_key("a.cpp", "int y;"));
+}
+
+TEST(SummaryCache, WarmAnalyzeServesEveryFileFromCache) {
+    Options options;
+    options.cache_dir = ::testing::TempDir() + "injectable_lint_cache_test";
+    std::filesystem::remove_all(options.cache_dir);
+
+    const Analysis cold = analyze_paths({LINT_FIXTURE_DIR}, options);
+    ASSERT_GT(cold.files_scanned, 0);
+    EXPECT_EQ(cold.cache_hits, 0);
+    EXPECT_EQ(cold.cache_misses, cold.files_scanned);
+
+    const Analysis warm = analyze_paths({LINT_FIXTURE_DIR}, options);
+    EXPECT_EQ(warm.cache_hits, warm.files_scanned);
+    EXPECT_EQ(warm.cache_misses, 0);
+
+    // Cached and fresh runs agree byte-for-byte on the findings.
+    EXPECT_EQ(to_jsonl(cold.findings), to_jsonl(warm.findings));
+    std::filesystem::remove_all(options.cache_dir);
+}
+
+// --- layer ranking ---
+
+TEST(Layering, RanksFollowTheDeclaredOrder) {
+    EXPECT_EQ(layer_rank("src/common/rng.hpp"), 0);
+    EXPECT_EQ(layer_rank("/abs/tree/src/obs/bus.hpp"), 1);
+    EXPECT_EQ(layer_rank("phy/frame.hpp"), layer_rank("sim/medium.hpp"));
+    EXPECT_LT(layer_rank("link/connection.hpp"), layer_rank("host/central.hpp"));
+    EXPECT_LT(layer_rank("src/core/session.cpp"), layer_rank("src/world/world.cpp"));
+    EXPECT_LT(layer_rank("src/world/world.cpp"), layer_rank("src/campaign/leader.cpp"));
+    EXPECT_LT(layer_rank("src/campaign/leader.cpp"), layer_rank("tools/lint.cpp"));
+    EXPECT_LT(layer_rank("tools/x/main.cpp"), layer_rank("bench/bench_micro.cpp"));
+    EXPECT_EQ(layer_rank("vector"), -1);
+    EXPECT_EQ(layer_rank("local_header.hpp"), -1);
+    EXPECT_STREQ(layer_name(0), "common");
+    EXPECT_STREQ(layer_name(8), "campaign");
+}
+
+// --- L1: architecture layering ---
+
+TEST(FixtureL1, UpwardIncludeIsAFinding) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_l1_upward.cpp"},
+                         findings),
+              0);
+    ASSERT_EQ(count_rule(findings, Rule::kL1), 1);
+    const auto& f = findings.front();
+    EXPECT_NE(f.message.find("layering violation"), std::string::npos);
+    EXPECT_NE(f.message.find("campaign"), std::string::npos);
+}
+
+TEST(FixtureL1, DownwardIncludesAreClean) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/good_l1_layering.cpp"},
+                         findings),
+              0);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(FixtureL1, AuditedUpwardIncludeIsSuppressed) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/good_l1_suppressed.cpp"},
+                         findings),
+              0);
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    ASSERT_EQ(count_rule(findings, Rule::kL1, /*suppressed=*/true), 1);
+    EXPECT_NE(findings.front().suppress_reason.find("transitional"), std::string::npos);
+}
+
+TEST(FixtureL1, IncludeCycleFlagsBothEdges) {
+    std::vector<Finding> findings;
+    const int files =
+        scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_l1_cycle_a.cpp",
+                    std::string(LINT_FIXTURE_DIR) + "/bad_l1_cycle_b.cpp"},
+                   findings);
+    ASSERT_EQ(files, 2);
+    EXPECT_EQ(count_rule(findings, Rule::kL1), 2);
+    for (const Finding& f : findings)
+        EXPECT_NE(f.message.find("include cycle"), std::string::npos);
+    // Each file alone has an unresolvable include: no cycle, no finding.
+    std::vector<Finding> alone;
+    ASSERT_EQ(scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_l1_cycle_a.cpp"}, alone),
+              1);
+    EXPECT_TRUE(alone.empty());
+}
+
+TEST(RuleL1, RealTreeLayerOrderHasNoUpwardEdgesByConstruction) {
+    // Inline mirror of every directory-level edge in the real tree (kept in
+    // sync by lint.tree itself): each must be downward or same-rank.
+    const std::pair<const char*, const char*> edges[] = {
+        {"src/att/a", "common/x"},    {"src/campaign/a", "obs/x"},
+        {"src/campaign/a", "world/x"}, {"src/core/a", "att/x"},
+        {"src/core/a", "host/x"},     {"src/core/a", "sim/x"},
+        {"src/crypto/a", "link/x"},   {"src/dongle/a", "core/x"},
+        {"src/gatt/a", "att/x"},      {"src/host/a", "crypto/x"},
+        {"src/host/a", "link/x"},     {"src/ids/a", "core/x"},
+        {"src/ids/a", "obs/x"},       {"src/link/a", "obs/x"},
+        {"src/link/a", "phy/x"},      {"src/link/a", "sim/x"},
+        {"src/obs/a", "common/x"},    {"src/phy/a", "sim/x"},
+        {"src/sim/a", "obs/x"},       {"src/world/a", "gatt/x"},
+        {"src/world/a", "host/x"},    {"tools/a/b", "campaign/x"},
+    };
+    for (const auto& [from, to] : edges) {
+        EXPECT_GE(layer_rank(from), layer_rank(to))
+            << from << " -> " << to << " would be an upward edge";
+    }
+}
+
+// --- C1: concurrency discipline ---
+
+TEST(FixtureC1, DetachBareLockAndUndocumentedMemberAreFindings) {
+    const auto findings = scan_fixture("bad_c1_discipline.cpp");
+    EXPECT_EQ(count_rule(findings, Rule::kC1), 4);
+    EXPECT_EQ(unsuppressed_count(findings), 4);
+}
+
+TEST(FixtureC1, RaiiDocumentedAndAuditedDetachAreClean) {
+    const auto findings = scan_fixture("good_c1_raii.cpp");
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    ASSERT_EQ(count_rule(findings, Rule::kC1, /*suppressed=*/true), 1);
+    EXPECT_NE(findings.front().suppress_reason.find("process-lifetime"),
+              std::string::npos);
+}
+
+TEST(RuleC1, WeakPtrLockIsNotAMutexAcquisition) {
+    const std::string src =
+        "bool f(std::weak_ptr<int> alive) { return alive.lock() != nullptr; }";
+    EXPECT_TRUE(scan_source("t.cpp", "src/core/t.cpp", src).empty());
+}
+
+TEST(RuleC1, LocalMutexesNeedNoGuardsComment) {
+    const std::string src =
+        "void f() {\n"
+        "  std::mutex local;\n"
+        "  const std::lock_guard<std::mutex> lock(local);\n"
+        "}\n";
+    EXPECT_TRUE(scan_source("t.cpp", "src/campaign/t.cpp", src).empty());
+}
+
+// --- C2: cross-TU lock order ---
+
+TEST(FixtureC2, AbbaCycleFlagsEveryEdge) {
+    std::vector<Finding> findings;
+    ASSERT_GT(
+        scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_c2_abba.cpp"}, findings), 0);
+    EXPECT_EQ(count_rule(findings, Rule::kC2), 2);
+    for (const Finding& f : findings)
+        EXPECT_NE(f.message.find("lock-order cycle"), std::string::npos);
+}
+
+TEST(FixtureC2, ConsistentOrderIsClean) {
+    std::vector<Finding> findings;
+    ASSERT_GT(
+        scan_paths({std::string(LINT_FIXTURE_DIR) + "/good_c2_order.cpp"}, findings), 0);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(FixtureC2, AuditedCycleIsSuppressed) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/good_c2_suppressed.cpp"},
+                         findings),
+              0);
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_EQ(count_rule(findings, Rule::kC2, /*suppressed=*/true), 2);
+}
+
+TEST(FixtureC2, CycleOnlyVisibleAcrossTranslationUnits) {
+    // Each TU is locally consistent; only the merged phase-2 graph deadlocks.
+    std::vector<Finding> one, both;
+    ASSERT_EQ(scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_c2_cross_tu_one.cpp"},
+                         one),
+              1);
+    EXPECT_EQ(count_rule(one, Rule::kC2), 0);
+    ASSERT_EQ(scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_c2_cross_tu_one.cpp",
+                          std::string(LINT_FIXTURE_DIR) + "/bad_c2_cross_tu_two.cpp"},
+                         both),
+              2);
+    EXPECT_EQ(count_rule(both, Rule::kC2), 2);
+}
+
+TEST(RuleC2, RecursiveAcquisitionIsASelfCycle) {
+    const std::string src =
+        "std::mutex m;  // guards: s (fixture)\n"
+        "void f() {\n"
+        "  std::lock_guard<std::mutex> a(m);\n"
+        "  std::lock_guard<std::mutex> b(m);\n"
+        "}\n";
+    std::vector<Finding> findings;
+    run_cross_tu_rules({summarize_source("t.cpp", "src/campaign/t.cpp", src)}, {},
+                       findings);
+    ASSERT_EQ(count_rule(findings, Rule::kC2), 1);
+    EXPECT_NE(findings.front().message.find("recursive acquisition"), std::string::npos);
+}
+
+// --- W1: wire/enum exhaustiveness ---
+
+Options w1_options(const char* enum_name) {
+    Options options;
+    options.w1_enums = {enum_name};
+    return options;
+}
+
+TEST(FixtureW1, ExhaustiveSwitchesAreClean) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/good_w1_exhaustive.cpp"},
+                         findings, w1_options("FixWireGood")),
+              0);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(FixtureW1, DefaultDoesNotExcuseAMissingEnumerator) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/bad_w1_missing.cpp"},
+                         findings, w1_options("FixWireBad")),
+              0);
+    ASSERT_EQ(count_rule(findings, Rule::kW1), 1);
+    EXPECT_NE(findings.front().message.find("kDone"), std::string::npos);
+    EXPECT_NE(findings.front().message.find("default"), std::string::npos);
+}
+
+TEST(FixtureW1, AuditedSubsetIsSuppressed) {
+    std::vector<Finding> findings;
+    ASSERT_GT(scan_paths({std::string(LINT_FIXTURE_DIR) + "/good_w1_suppressed.cpp"},
+                         findings, w1_options("FixWireSup")),
+              0);
+    EXPECT_EQ(unsuppressed_count(findings), 0);
+    EXPECT_EQ(count_rule(findings, Rule::kW1, /*suppressed=*/true), 1);
+}
+
+TEST(RuleW1, EnumAndSwitchMergeAcrossTranslationUnits) {
+    // The enum lives in one TU (the wire header), the switch in another (a
+    // dispatch site): phase 2 joins them by the case-label qualifier.
+    const FileSummary header = summarize_source(
+        "wire.hpp", "src/campaign/wire.hpp",
+        "enum class FixWireX : unsigned { kA = 1, kB = 2 };\n",
+        w1_options("FixWireX"));
+    const FileSummary dispatch = summarize_source(
+        "dispatch.cpp", "src/campaign/dispatch.cpp",
+        "int f(FixWireX t) { switch (t) { case FixWireX::kA: return 1; } return 0; }\n",
+        w1_options("FixWireX"));
+    std::vector<Finding> findings;
+    run_cross_tu_rules({header, dispatch}, w1_options("FixWireX"), findings);
+    ASSERT_EQ(count_rule(findings, Rule::kW1), 1);
+    EXPECT_EQ(findings.front().file, "dispatch.cpp");
+    EXPECT_NE(findings.front().message.find("kB"), std::string::npos);
+}
+
+TEST(RuleW1, UnmonitoredEnumsAreIgnored) {
+    const std::string src =
+        "enum class Internal { kA, kB };\n"
+        "int f(Internal t) { switch (t) { case Internal::kA: return 1; } return 0; }\n";
+    std::vector<Finding> findings;
+    run_cross_tu_rules({summarize_source("t.cpp", "src/campaign/t.cpp", src)}, {},
+                       findings);
+    EXPECT_EQ(count_rule(findings, Rule::kW1), 0);
+}
+
+// --- include-graph DOT + suppression inventory artifacts ---
+
+TEST(Artifacts, IncludeGraphDotIsDeterministicAndMarksUpwardEdges) {
+    const FileSummary link = summarize_source(
+        "a.hpp", "src/link/a.hpp",
+        "#include \"common/x.hpp\"\n#include \"phy/y.hpp\"\nint a;\n");
+    const FileSummary bad = summarize_source(
+        "b.hpp", "src/common/b.hpp", "#include \"campaign/z.hpp\"\nint b;\n");
+    const std::string expected =
+        "digraph injectable_layers {\n"
+        "  rankdir=BT;\n"
+        "  node [shape=box, fontname=\"monospace\"];\n"
+        "  { rank=same; \"common\"; }  // layer 0: common\n"
+        "  { rank=same; \"phy\"; }  // layer 2: phy/sim\n"
+        "  { rank=same; \"link\"; }  // layer 3: link/crypto\n"
+        "  { rank=same; \"campaign\"; }  // layer 8: campaign\n"
+        "  \"common\" -> \"campaign\" [color=red, penwidth=2.0, label=\"UPWARD\"];\n"
+        "  \"link\" -> \"common\";\n"
+        "  \"link\" -> \"phy\";\n"
+        "}\n";
+    EXPECT_EQ(include_graph_dot({link, bad}), expected);
+    // Input order must not matter.
+    EXPECT_EQ(include_graph_dot({bad, link}), expected);
+}
+
+TEST(Artifacts, SuppressionInventoryIsStableJsonl) {
+    const Analysis analysis =
+        analyze_paths({std::string(LINT_FIXTURE_DIR) + "/good_c1_raii.cpp",
+                       std::string(LINT_FIXTURE_DIR) + "/good_l1_suppressed.cpp"});
+    ASSERT_EQ(analysis.files_scanned, 2);
+    const std::string jsonl = suppressions_jsonl(analysis.files);
+    EXPECT_NE(jsonl.find("\"rule\":\"C1\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"rule\":\"L1\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"reason\":\"process-lifetime logger, owns no state\""),
+              std::string::npos);
+    // One JSON object per directive, sorted by (file, line, rule).
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < jsonl.size()) {
+        const std::size_t eol = jsonl.find('\n', pos);
+        lines.push_back(jsonl.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+    EXPECT_EQ(lines.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
 }
 
 }  // namespace

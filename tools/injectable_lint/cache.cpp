@@ -1,0 +1,322 @@
+// Phase-1 summary cache (DESIGN.md §13): FileSummary serialization plus the
+// content-hash keyed on-disk store that keeps the tier-1 `lint.tree` ctest
+// cheap on warm runs.  Invalidation is by construction: the key hashes the
+// file path, the full file content and the summary-format version, so an
+// edited file — or a format change in a new lint build — simply misses and is
+// re-summarized; stale entries are never read, only orphaned (and re-used
+// again when a file reverts, e.g. across a rebase).
+#include "injectable_lint/lint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace injectable::lint {
+
+namespace {
+
+/// Bump on ANY change to the serialized shape or to what phase 1 computes
+/// (new per-TU rule, new summary field): the version participates in the
+/// cache key, so old entries become unreachable instead of wrongly reused.
+constexpr std::string_view kFormatTag = "injectable-lint-summary v1";
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view data) noexcept {
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kPrime;
+    }
+    return h;
+}
+
+/// %XX-escapes the field separators (space, newline) and non-printables so
+/// every serialized field is a single whitespace-free word.
+std::string escape_field(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '%' || c == ' ' || u < 0x21 || u == 0x7f) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    // An empty field still has to occupy a word position.
+    return out.empty() ? std::string("%") : out;
+}
+
+std::optional<std::string> unescape_field(std::string_view s) {
+    if (s == "%") return std::string();
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size()) return std::nullopt;
+        const auto hex = [](char c) -> int {
+            if (c >= '0' && c <= '9') return c - '0';
+            if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+            if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+            return -1;
+        };
+        const int hi = hex(s[i + 1]);
+        const int lo = hex(s[i + 2]);
+        if (hi < 0 || lo < 0) return std::nullopt;
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+    }
+    return out;
+}
+
+std::optional<Rule> rule_from_name(std::string_view name) {
+    if (name == "D1") return Rule::kD1;
+    if (name == "D2") return Rule::kD2;
+    if (name == "D3") return Rule::kD3;
+    if (name == "D4") return Rule::kD4;
+    if (name == "E1") return Rule::kE1;
+    if (name == "S1") return Rule::kS1;
+    if (name == "C1") return Rule::kC1;
+    if (name == "C2") return Rule::kC2;
+    if (name == "L1") return Rule::kL1;
+    if (name == "W1") return Rule::kW1;
+    if (name == "lint-suppression") return Rule::kBadSuppression;
+    return std::nullopt;
+}
+
+std::vector<std::string_view> split_words(std::string_view line) {
+    std::vector<std::string_view> words;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && line[i] == ' ') ++i;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != ' ') ++j;
+        if (j > i) words.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return words;
+}
+
+std::optional<int> parse_int(std::string_view s) {
+    if (s.empty()) return std::nullopt;
+    int value = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') return std::nullopt;
+        value = value * 10 + (c - '0');
+    }
+    return value;
+}
+
+}  // namespace
+
+std::uint64_t summary_cache_key(const std::string& path, std::string_view source) {
+    constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+    std::uint64_t h = fnv1a(kOffsetBasis, kFormatTag);
+    h = fnv1a(h, "\x1f");
+    h = fnv1a(h, path);
+    h = fnv1a(h, "\x1f");
+    h = fnv1a(h, source);
+    return h;
+}
+
+std::string serialize_summary(const FileSummary& summary) {
+    std::string out;
+    out += kFormatTag;
+    out += '\n';
+    out += "P " + escape_field(summary.path) + '\n';
+    out += "L " + escape_field(summary.logical) + '\n';
+    for (const Finding& f : summary.findings) {
+        out += "F ";
+        out += rule_name(f.rule);
+        out += ' ' + std::to_string(f.line);
+        out += f.suppressed ? " 1 " : " 0 ";
+        out += escape_field(f.message) + ' ' + escape_field(f.suppress_reason) + '\n';
+    }
+    for (const IncludeDirective& inc : summary.includes) {
+        out += "I " + std::to_string(inc.line) + (inc.angled ? " 1 " : " 0 ") +
+               escape_field(inc.path) + '\n';
+    }
+    for (const EnumDef& e : summary.enums) {
+        out += "E " + std::to_string(e.line) + ' ' + escape_field(e.name);
+        for (const std::string& en : e.enumerators) out += ' ' + escape_field(en);
+        out += '\n';
+    }
+    for (const SwitchShape& sw : summary.switches) {
+        out += "W " + std::to_string(sw.line) + (sw.has_default ? " 1 " : " 0 ") +
+               escape_field(sw.enum_name);
+        for (const std::string& c : sw.cases) out += ' ' + escape_field(c);
+        out += '\n';
+    }
+    for (const LockEdge& edge : summary.lock_edges) {
+        out += "K " + std::to_string(edge.line) + ' ' + escape_field(edge.outer) + ' ' +
+               escape_field(edge.inner) + '\n';
+    }
+    for (const SuppressionRecord& s : summary.suppressions) {
+        out += "S ";
+        out += rule_name(s.rule);
+        out += ' ' + std::to_string(s.line) + ' ' + escape_field(s.reason) + '\n';
+    }
+    return out;
+}
+
+bool deserialize_summary(std::string_view text, FileSummary& out) {
+    FileSummary summary;
+    std::size_t pos = 0;
+    bool first = true;
+    bool have_path = false;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (first) {
+            if (line != kFormatTag) return false;
+            first = false;
+            continue;
+        }
+        if (line.empty()) continue;
+        const auto words = split_words(line);
+        const auto field = [&](std::size_t i) -> std::optional<std::string> {
+            return i < words.size() ? unescape_field(words[i]) : std::nullopt;
+        };
+        const auto num = [&](std::size_t i) -> std::optional<int> {
+            return i < words.size() ? parse_int(words[i]) : std::nullopt;
+        };
+        switch (words.empty() ? '\0' : words[0][0]) {
+            case 'P': {
+                const auto p = field(1);
+                if (!p) return false;
+                summary.path = *p;
+                have_path = true;
+                break;
+            }
+            case 'L': {
+                const auto l = field(1);
+                if (!l) return false;
+                summary.logical = *l;
+                break;
+            }
+            case 'F': {
+                const auto rule = words.size() > 1 ? rule_from_name(words[1]) : std::nullopt;
+                const auto line_no = num(2);
+                const auto sup = num(3);
+                const auto msg = field(4);
+                const auto reason = field(5);
+                if (!rule || !line_no || !sup || !msg || !reason) return false;
+                summary.findings.push_back({*rule, summary.path, *line_no, *msg, *sup != 0,
+                                            *reason});
+                break;
+            }
+            case 'I': {
+                const auto line_no = num(1);
+                const auto angled = num(2);
+                const auto p = field(3);
+                if (!line_no || !angled || !p) return false;
+                summary.includes.push_back({*p, *angled != 0, *line_no});
+                break;
+            }
+            case 'E': {
+                const auto line_no = num(1);
+                const auto name = field(2);
+                if (!line_no || !name) return false;
+                EnumDef def;
+                def.line = *line_no;
+                def.name = *name;
+                for (std::size_t i = 3; i < words.size(); ++i) {
+                    const auto en = field(i);
+                    if (!en) return false;
+                    def.enumerators.push_back(*en);
+                }
+                summary.enums.push_back(std::move(def));
+                break;
+            }
+            case 'W': {
+                const auto line_no = num(1);
+                const auto has_default = num(2);
+                const auto name = field(3);
+                if (!line_no || !has_default || !name) return false;
+                SwitchShape sw;
+                sw.line = *line_no;
+                sw.has_default = *has_default != 0;
+                sw.enum_name = *name;
+                for (std::size_t i = 4; i < words.size(); ++i) {
+                    const auto c = field(i);
+                    if (!c) return false;
+                    sw.cases.push_back(*c);
+                }
+                summary.switches.push_back(std::move(sw));
+                break;
+            }
+            case 'K': {
+                const auto line_no = num(1);
+                const auto outer = field(2);
+                const auto inner = field(3);
+                if (!line_no || !outer || !inner) return false;
+                summary.lock_edges.push_back({*outer, *inner, *line_no});
+                break;
+            }
+            case 'S': {
+                const auto rule = words.size() > 1 ? rule_from_name(words[1]) : std::nullopt;
+                const auto line_no = num(2);
+                const auto reason = field(3);
+                if (!rule || !line_no || !reason) return false;
+                summary.suppressions.push_back({*rule, *line_no, *reason});
+                break;
+            }
+            default: return false;
+        }
+    }
+    if (first || !have_path) return false;
+    out = std::move(summary);
+    return true;
+}
+
+namespace {
+
+std::string cache_entry_path(const std::string& cache_dir, std::uint64_t key) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.sum",
+                  static_cast<unsigned long long>(key));
+    return cache_dir + "/" + name;
+}
+
+}  // namespace
+
+bool cache_load(const std::string& cache_dir, std::uint64_t key, FileSummary& out) {
+    if (cache_dir.empty()) return false;
+    std::ifstream in(cache_entry_path(cache_dir, key), std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return deserialize_summary(buf.str(), out);
+}
+
+void cache_store(const std::string& cache_dir, std::uint64_t key,
+                 const FileSummary& summary) {
+    if (cache_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    if (ec) return;  // cache is best-effort: failure to store is a slow run, not an error
+    const std::string path = cache_entry_path(cache_dir, key);
+    // Write-then-rename so a concurrent reader never sees a torn entry.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+        if (!outf) return;
+        outf << serialize_summary(summary);
+        if (!outf) return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace injectable::lint

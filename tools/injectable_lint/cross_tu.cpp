@@ -1,0 +1,432 @@
+// Phase 2 (DESIGN.md §13): whole-program rules over merged FileSummary
+// records — architecture layering (L1), cross-TU lock order (C2) and
+// wire-enum exhaustiveness (W1) — plus the deterministic include-graph DOT
+// and the audited-suppression inventory that CI uploads as artifacts.
+#include "injectable_lint/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace injectable::lint {
+
+namespace {
+
+/// The directory family a logical path belongs to: the component after the
+/// last `src/` segment, the tool/bench root itself, or the first component
+/// for include-style relative paths ("link/connection.hpp").  Empty when the
+/// path carries no layer information (bare file names, system headers).
+std::string layer_component(std::string_view path) {
+    std::vector<std::string_view> parts;
+    std::size_t i = 0;
+    while (i <= path.size()) {
+        std::size_t j = path.find('/', i);
+        if (j == std::string_view::npos) j = path.size();
+        if (j > i) parts.push_back(path.substr(i, j - i));
+        i = j + 1;
+    }
+    if (parts.empty()) return "";
+    for (std::size_t k = parts.size(); k-- > 0;) {
+        if (parts[k] == "src" && k + 1 < parts.size()) return std::string(parts[k + 1]);
+        if ((parts[k] == "tools" || parts[k] == "bench" || parts[k] == "examples" ||
+             parts[k] == "tests") &&
+            k + 1 < parts.size()) {
+            return std::string(parts[k]);
+        }
+    }
+    // Include-style path: the first component names the family directly —
+    // but only when there actually is a directory component.
+    return parts.size() > 1 ? std::string(parts.front()) : "";
+}
+
+int family_rank(std::string_view family) noexcept {
+    if (family == "common") return 0;
+    if (family == "obs") return 1;
+    if (family == "phy" || family == "sim") return 2;
+    if (family == "link" || family == "crypto") return 3;
+    if (family == "att" || family == "gatt") return 4;
+    if (family == "host") return 5;
+    if (family == "core") return 6;
+    if (family == "ids" || family == "dongle" || family == "world") return 7;
+    if (family == "campaign") return 8;
+    if (family == "tools" || family == "injectable_lint" || family == "campaign_report" ||
+        family == "campaign_ctl" || family == "trace_replay") {
+        return 9;
+    }
+    if (family == "bench" || family == "examples" || family == "tests") return 10;
+    return -1;
+}
+
+/// Suppression lookup for cross-TU findings: same line / line-above contract
+/// as the per-TU rules, fed from the summaries' parsed directives.
+struct SuppressionIndex {
+    // (path, line) -> per-rule reason
+    std::map<std::pair<std::string, int>, std::map<Rule, std::string>> by_site;
+
+    explicit SuppressionIndex(const std::vector<FileSummary>& files) {
+        for (const FileSummary& f : files) {
+            for (const SuppressionRecord& s : f.suppressions)
+                by_site[{f.path, s.line}][s.rule] = s.reason;
+        }
+    }
+
+    void apply(Finding& f) const {
+        for (const int line : {f.line, f.line - 1}) {
+            const auto it = by_site.find({f.file, line});
+            if (it == by_site.end()) continue;
+            const auto rule_it = it->second.find(f.rule);
+            if (rule_it == it->second.end()) continue;
+            f.suppressed = true;
+            f.suppress_reason = rule_it->second;
+            return;
+        }
+    }
+};
+
+/// L1 — architecture layering.  Upward edges are judged from the include
+/// spelling alone (the include does not need to be in the scan set); cycles
+/// are detected on the resolved file-level graph.
+void rule_l1(const std::vector<FileSummary>& files, std::vector<Finding>& out) {
+    for (const FileSummary& f : files) {
+        const int from = layer_rank(f.logical);
+        if (from < 0) continue;
+        for (const IncludeDirective& inc : f.includes) {
+            if (inc.angled) continue;
+            const int to = layer_rank(inc.path);
+            if (to < 0 || to <= from) continue;
+            out.push_back({Rule::kL1, f.path, inc.line,
+                           "layering violation: " + std::string(layer_name(from)) +
+                               " (rank " + std::to_string(from) + ") includes \"" +
+                               inc.path + "\" from " + layer_name(to) + " (rank " +
+                               std::to_string(to) +
+                               "); dependencies must point down the layer order, so "
+                               "invert the dependency (callback/interface in the lower "
+                               "layer) or move the shared piece down",
+                           false,
+                           {}});
+        }
+    }
+
+    // Resolve include spellings to scanned files: a file is reachable under
+    // its logical path and under that path relative to its src/tools root.
+    std::map<std::string, int> by_key;
+    const auto add_key = [&](std::string key, int index) {
+        if (!key.empty()) by_key.emplace(std::move(key), index);
+    };
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string& logical = files[i].logical;
+        add_key(logical, static_cast<int>(i));
+        for (const std::string_view marker : {"src/", "tools/"}) {
+            const std::size_t pos = logical.rfind(marker);
+            if (pos != std::string::npos && (pos == 0 || logical[pos - 1] == '/'))
+                add_key(logical.substr(pos + marker.size()), static_cast<int>(i));
+        }
+    }
+    struct Edge {
+        int from;
+        int to;
+        const IncludeDirective* inc;
+    };
+    std::vector<Edge> edges;
+    std::vector<std::vector<int>> adj(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        for (const IncludeDirective& inc : files[i].includes) {
+            if (inc.angled) continue;
+            const auto it = by_key.find(inc.path);
+            if (it == by_key.end()) continue;
+            edges.push_back({static_cast<int>(i), it->second, &inc});
+            adj[i].push_back(it->second);
+        }
+    }
+
+    // Tarjan SCC (iterative): any edge inside a multi-node component — or a
+    // self-include — participates in a cycle.
+    const int n = static_cast<int>(files.size());
+    std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+    std::vector<bool> on_stack(n, false);
+    std::vector<int> stack;
+    int next_index = 0, next_comp = 0;
+    struct Frame {
+        int v;
+        std::size_t child;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        std::vector<Frame> work{{root, 0}};
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+        while (!work.empty()) {
+            Frame& fr = work.back();
+            if (fr.child < adj[fr.v].size()) {
+                const int w = adj[fr.v][fr.child++];
+                if (index[w] == -1) {
+                    index[w] = low[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    work.push_back({w, 0});
+                } else if (on_stack[w]) {
+                    low[fr.v] = std::min(low[fr.v], index[w]);
+                }
+                continue;
+            }
+            if (low[fr.v] == index[fr.v]) {
+                int w;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp[w] = next_comp;
+                } while (w != fr.v);
+                ++next_comp;
+            }
+            const int v = fr.v;
+            work.pop_back();
+            if (!work.empty()) low[work.back().v] = std::min(low[work.back().v], low[v]);
+        }
+    }
+    std::vector<int> comp_size(next_comp, 0);
+    for (int v = 0; v < n; ++v) ++comp_size[comp[v]];
+    for (const Edge& e : edges) {
+        const bool in_cycle =
+            (comp[e.from] == comp[e.to]) && (comp_size[comp[e.from]] > 1 || e.from == e.to);
+        if (!in_cycle) continue;
+        out.push_back({Rule::kL1, files[e.from].path, e.inc->line,
+                       "include cycle: \"" + files[e.from].logical + "\" -> \"" +
+                           e.inc->path +
+                           "\" closes a cycle in the project include graph; break it "
+                           "with a forward declaration or by moving the shared "
+                           "declarations into a lower-layer header",
+                       false,
+                       {}});
+    }
+}
+
+/// C2 — cross-TU lock order.  Mutex identity is the variable name (merged
+/// across TUs: the campaign leader's `cache_mutex` is one lock everywhere);
+/// an acquisition edge whose inner mutex can reach back to its outer mutex
+/// through the merged graph closes an ABBA cycle.
+void rule_c2(const std::vector<FileSummary>& files, std::vector<Finding>& out) {
+    std::map<std::string, std::set<std::string>> adj;
+    for (const FileSummary& f : files) {
+        for (const LockEdge& e : f.lock_edges) adj[e.outer].insert(e.inner);
+    }
+    const auto reaches = [&](const std::string& from, const std::string& to) {
+        if (from == to) return true;
+        std::set<std::string> seen{from};
+        std::vector<const std::string*> frontier{&from};
+        while (!frontier.empty()) {
+            const std::string* v = frontier.back();
+            frontier.pop_back();
+            const auto it = adj.find(*v);
+            if (it == adj.end()) continue;
+            for (const std::string& w : it->second) {
+                if (w == to) return true;
+                if (seen.insert(w).second) frontier.push_back(&w);
+            }
+        }
+        return false;
+    };
+    for (const FileSummary& f : files) {
+        for (const LockEdge& e : f.lock_edges) {
+            if (!reaches(e.inner, e.outer)) continue;
+            out.push_back(
+                {Rule::kC2, f.path, e.line,
+                 e.outer == e.inner
+                     ? "lock-order cycle: guard over '" + e.inner +
+                           "' acquired while '" + e.outer +
+                           "' is already held — recursive acquisition deadlocks a "
+                           "non-recursive mutex"
+                     : "lock-order cycle: acquiring '" + e.inner + "' while holding '" +
+                           e.outer +
+                           "' closes a cycle in the cross-TU lock-order graph (ABBA "
+                           "deadlock shape); pick one global order for these mutexes "
+                           "or merge the critical sections",
+                 false,
+                 {}});
+        }
+    }
+}
+
+/// W1 — wire/enum exhaustiveness over the monitored enums.
+void rule_w1(const std::vector<FileSummary>& files, const Options& options,
+             std::vector<Finding>& out) {
+    const std::set<std::string> monitored(options.w1_enums.begin(), options.w1_enums.end());
+    // Merged enumerator lists, first-definition order (the order the wire
+    // header declares is the order findings report missing cases in).
+    std::map<std::string, std::vector<std::string>> enumerators;
+    for (const FileSummary& f : files) {
+        for (const EnumDef& e : f.enums) {
+            if (monitored.count(e.name) == 0) continue;
+            std::vector<std::string>& merged = enumerators[e.name];
+            for (const std::string& en : e.enumerators) {
+                if (std::find(merged.begin(), merged.end(), en) == merged.end())
+                    merged.push_back(en);
+            }
+        }
+    }
+    for (const FileSummary& f : files) {
+        for (const SwitchShape& sw : f.switches) {
+            const auto it = enumerators.find(sw.enum_name);
+            if (it == enumerators.end()) continue;
+            const std::set<std::string> present(sw.cases.begin(), sw.cases.end());
+            std::string missing;
+            for (const std::string& en : it->second) {
+                if (present.count(en) != 0) continue;
+                if (!missing.empty()) missing += ", ";
+                missing += en;
+            }
+            if (missing.empty()) continue;
+            out.push_back({Rule::kW1, f.path, sw.line,
+                           "switch over " + sw.enum_name + " is missing enumerator" +
+                               (missing.find(',') == std::string::npos ? "" : "s") + " " +
+                               missing +
+                               (sw.has_default
+                                    ? " (a default: does not excuse them — that is "
+                                      "exactly how a new frame type silently falls "
+                                      "through a dispatch site)"
+                                    : "") +
+                               "; handle every case or allow(W1) with an argument for "
+                               "why this site is a deliberate subset",
+                           false,
+                           {}});
+        }
+    }
+}
+
+}  // namespace
+
+int layer_rank(std::string_view logical_path) noexcept {
+    return family_rank(layer_component(logical_path));
+}
+
+const char* layer_name(int rank) noexcept {
+    switch (rank) {
+        case 0: return "common";
+        case 1: return "obs";
+        case 2: return "phy/sim";
+        case 3: return "link/crypto";
+        case 4: return "att/gatt";
+        case 5: return "host";
+        case 6: return "core";
+        case 7: return "ids/dongle/world";
+        case 8: return "campaign";
+        case 9: return "tools";
+        case 10: return "bench/examples/tests";
+        default: return "?";
+    }
+}
+
+void run_cross_tu_rules(const std::vector<FileSummary>& files, const Options& options,
+                        std::vector<Finding>& findings) {
+    std::vector<Finding> fresh;
+    rule_l1(files, fresh);
+    rule_c2(files, fresh);
+    rule_w1(files, options, fresh);
+    const SuppressionIndex suppressions(files);
+    for (Finding& f : fresh) suppressions.apply(f);
+    findings.insert(findings.end(), std::make_move_iterator(fresh.begin()),
+                    std::make_move_iterator(fresh.end()));
+}
+
+std::string include_graph_dot(const std::vector<FileSummary>& files) {
+    // Directory-family graph: nodes grouped into rank clusters, edges deduped
+    // and sorted, upward edges highlighted.  Byte-deterministic for a given
+    // summary set — the CI artifact is diffable across runs.
+    std::set<std::string> nodes;
+    std::set<std::pair<std::string, std::string>> edges;
+    for (const FileSummary& f : files) {
+        const std::string from = layer_component(f.logical);
+        if (from.empty() || family_rank(from) < 0) continue;
+        nodes.insert(from);
+        for (const IncludeDirective& inc : f.includes) {
+            if (inc.angled) continue;
+            const std::string to = layer_component(inc.path);
+            if (to.empty() || family_rank(to) < 0 || to == from) continue;
+            nodes.insert(to);
+            edges.insert({from, to});
+        }
+    }
+    std::string out;
+    out += "digraph injectable_layers {\n";
+    out += "  rankdir=BT;\n";
+    out += "  node [shape=box, fontname=\"monospace\"];\n";
+    std::map<int, std::vector<std::string>> by_rank;
+    for (const std::string& node : nodes) by_rank[family_rank(node)].push_back(node);
+    for (const auto& [rank, members] : by_rank) {
+        out += "  { rank=same;";
+        for (const std::string& m : members) out += " \"" + m + "\";";
+        out += " }  // layer " + std::to_string(rank) + ": " + layer_name(rank) + "\n";
+    }
+    for (const auto& [from, to] : edges) {
+        out += "  \"" + from + "\" -> \"" + to + "\"";
+        if (family_rank(from) < family_rank(to))
+            out += " [color=red, penwidth=2.0, label=\"UPWARD\"]";
+        out += ";\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+namespace {
+
+void append_json_string_field(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+std::string suppressions_jsonl(const std::vector<FileSummary>& files) {
+    struct Row {
+        std::string file;
+        int line;
+        std::string rule;
+        std::string reason;
+    };
+    std::vector<Row> rows;
+    for (const FileSummary& f : files) {
+        for (const SuppressionRecord& s : f.suppressions)
+            rows.push_back({f.path, s.line, rule_name(s.rule), s.reason});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+        if (a.file != b.file) return a.file < b.file;
+        if (a.line != b.line) return a.line < b.line;
+        return a.rule < b.rule;
+    });
+    std::string out;
+    for (const Row& r : rows) {
+        out += "{\"rule\":";
+        append_json_string_field(out, r.rule);
+        out += ",\"file\":";
+        append_json_string_field(out, r.file);
+        out += ",\"line\":" + std::to_string(r.line);
+        out += ",\"reason\":";
+        append_json_string_field(out, r.reason);
+        out += "}\n";
+    }
+    return out;
+}
+
+}  // namespace injectable::lint

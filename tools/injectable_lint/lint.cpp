@@ -39,6 +39,10 @@ const char* rule_name(Rule rule) noexcept {
         case Rule::kD4: return "D4";
         case Rule::kE1: return "E1";
         case Rule::kS1: return "S1";
+        case Rule::kC1: return "C1";
+        case Rule::kC2: return "C2";
+        case Rule::kL1: return "L1";
+        case Rule::kW1: return "W1";
         case Rule::kBadSuppression: return "lint-suppression";
     }
     return "?";
@@ -69,13 +73,38 @@ TokenStream tokenize(std::string_view src) {
             ++i;
             continue;
         }
-        // Preprocessor directive: skip the whole (possibly continued) line.
+        // Preprocessor directive: collect #include targets, then skip the
+        // whole directive.  A backslash at end of line (LF or CRLF — the
+        // carriage return cost a real leak: a CRLF macro body used to spill
+        // its tokens into the rule scans) continues the directive.
         if (c == '#' && line_start) {
+            const int directive_line = line;
+            std::size_t j = i + 1;
+            while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) ++j;
+            std::size_t word_end = j;
+            while (word_end < src.size() && is_ident_char(src[word_end])) ++word_end;
+            if (src.substr(j, word_end - j) == "include") {
+                std::size_t p = word_end;
+                while (p < src.size() && (src[p] == ' ' || src[p] == '\t')) ++p;
+                if (p < src.size() && (src[p] == '"' || src[p] == '<')) {
+                    const char closer = src[p] == '<' ? '>' : '"';
+                    std::size_t q = p + 1;
+                    while (q < src.size() && src[q] != closer && src[q] != '\n') ++q;
+                    if (q < src.size() && src[q] == closer) {
+                        out.includes.push_back({std::string(src.substr(p + 1, q - p - 1)),
+                                                closer == '>', directive_line});
+                    }
+                }
+            }
             while (i < src.size()) {
-                if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
-                    ++line;
-                    i += 2;
-                    continue;
+                if (src[i] == '\\') {
+                    std::size_t nl = i + 1;
+                    if (nl < src.size() && src[nl] == '\r') ++nl;
+                    if (nl < src.size() && src[nl] == '\n') {
+                        ++line;
+                        i = nl + 1;
+                        continue;
+                    }
                 }
                 if (src[i] == '\n') break;
                 ++i;
@@ -197,6 +226,10 @@ std::optional<Rule> parse_rule_name(std::string_view name) {
     if (name == "D4") return Rule::kD4;
     if (name == "E1") return Rule::kE1;
     if (name == "S1") return Rule::kS1;
+    if (name == "C1") return Rule::kC1;
+    if (name == "C2") return Rule::kC2;
+    if (name == "L1") return Rule::kL1;
+    if (name == "W1") return Rule::kW1;
     return std::nullopt;
 }
 
@@ -313,10 +346,21 @@ bool has_time_suffix(std::string_view text) {
            text.ends_with("_s");
 }
 
+/// Mutex type names (the simple identifier, `std::` qualification and
+/// member-access contexts are checked at the use site).
+const std::set<std::string, std::less<>>& mutex_type_names() {
+    static const std::set<std::string, std::less<>> kTypes = {
+        "mutex",        "timed_mutex",  "recursive_mutex", "recursive_timed_mutex",
+        "shared_mutex", "shared_timed_mutex"};
+    return kTypes;
+}
+
 struct Scanner {
     const std::string& file;
     const std::vector<Token>& toks;
     std::vector<Finding>& findings;
+    /// Lines carrying a `// guards: <state>` comment (C1 mutex-member doc).
+    const std::set<int>* guards_lines = nullptr;
 
     void emit(Rule rule, int line, std::string message) {
         findings.push_back({rule, file, line, std::move(message), false, {}});
@@ -713,20 +757,309 @@ struct Scanner {
             }
         }
     }
+
+    // C1: concurrency discipline.  Three shapes:
+    //   (a) .detach() — a detached thread outlives every join point and
+    //       races process teardown; the campaign leader joins everything;
+    //   (b) bare .lock()/.unlock() on a declared mutex — any early return or
+    //       exception between the pair leaks the lock (RAII guards only);
+    //   (c) a mutex *member* without a `// guards: <state>` comment — what a
+    //       mutex protects is tribal knowledge the next refactor loses.
+    void rule_c1() {
+        // Pass 1: names declared with a mutex type (members, locals,
+        // globals, reference bindings) — the receivers shape (b) checks —
+        // plus member-declaration sites for shape (c).  Member detection
+        // tracks scope kinds: a `{` opening after class/struct/union (with
+        // no intervening parens) is a class scope; declarations there at
+        // paren depth zero are members.
+        std::set<std::string> mutex_vars;
+        std::vector<char> scopes = {'n'};  // file scope behaves like a namespace
+        char pending = 0;
+        int paren_depth = 0;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind == TokenKind::kPunct) {
+                if (t.text == "(") { ++paren_depth; pending = 0; }
+                else if (t.text == ")") { if (paren_depth > 0) --paren_depth; }
+                else if (t.text == "<") pending = 0;  // template-parameter `class T`
+                else if (t.text == ";") pending = 0;
+                else if (t.text == "{") {
+                    scopes.push_back(pending != 0 ? pending : 'b');
+                    pending = 0;
+                } else if (t.text == "}") {
+                    if (scopes.size() > 1) scopes.pop_back();
+                }
+                continue;
+            }
+            if (t.kind != TokenKind::kIdentifier) continue;
+            if (t.text == "class" || t.text == "struct" || t.text == "union") {
+                pending = 'c';
+                continue;
+            }
+            if (t.text == "namespace") { pending = 'n'; continue; }
+            if (t.text == "enum") { pending = 'e'; continue; }
+            if (mutex_type_names().count(t.text) == 0) continue;
+            const bool member_access =
+                i > 0 && toks[i - 1].kind == TokenKind::kPunct &&
+                (toks[i - 1].text == "." || toks[i - 1].text == "->");
+            if (member_access) continue;
+            // Declaration shape: mutex-type token, optional &/*, a name, and
+            // a declaration terminator.  `lock_guard<std::mutex>` fails the
+            // name test (next token is `>`), function parameters fail the
+            // paren-depth test for membership but still register the name.
+            std::size_t j = i + 1;
+            while (punct_at(j, "&") || punct_at(j, "*")) ++j;
+            const Token* name = at(j);
+            if (name == nullptr || name->kind != TokenKind::kIdentifier) continue;
+            const bool terminated = punct_at(j + 1, ";") || punct_at(j + 1, "=") ||
+                                    punct_at(j + 1, "{") || punct_at(j + 1, ",") ||
+                                    punct_at(j + 1, ")");
+            if (!terminated) continue;
+            mutex_vars.insert(name->text);
+            if (scopes.back() == 'c' && paren_depth == 0 && guards_lines != nullptr &&
+                guards_lines->count(t.line) == 0 && guards_lines->count(t.line - 1) == 0) {
+                emit(Rule::kC1, t.line,
+                     "mutex member '" + name->text +
+                         "' does not document what it protects: add a `// guards: "
+                         "<state>` comment on the declaration (or the line above), or "
+                         "allow(C1) with an argument");
+            }
+        }
+        // Pass 2: detach() calls and bare lock()/unlock() on declared
+        // mutexes (weak_ptr::lock() receivers are not in mutex_vars).
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            const Token& t = toks[i];
+            if (t.kind != TokenKind::kIdentifier) continue;
+            const bool member_call = i > 0 && toks[i - 1].kind == TokenKind::kPunct &&
+                                     (toks[i - 1].text == "." || toks[i - 1].text == "->");
+            if (!member_call || !punct_at(i + 1, "(") || !punct_at(i + 2, ")")) continue;
+            if (t.text == "detach") {
+                emit(Rule::kC1, t.line,
+                     "detach() call: a detached thread outlives every join point and "
+                     "races teardown; keep the std::thread joinable and join it, or "
+                     "allow(C1) with a lifetime argument");
+                continue;
+            }
+            if ((t.text == "lock" || t.text == "unlock") && i >= 2 &&
+                toks[i - 2].kind == TokenKind::kIdentifier &&
+                mutex_vars.count(toks[i - 2].text) > 0) {
+                emit(Rule::kC1, t.line,
+                     "bare " + t.text + "() on mutex '" + toks[i - 2].text +
+                         "': an early return or exception between lock/unlock leaks "
+                         "the lock; use std::lock_guard / std::unique_lock, or "
+                         "allow(C1) with an argument");
+            }
+        }
+    }
 };
+
+/// Collects named enum definitions: `enum [class|struct] Name [: base] {
+/// enumerator [= init], ... }`.
+std::vector<EnumDef> collect_enums(const std::vector<Token>& toks) {
+    std::vector<EnumDef> out;
+    const auto punct_at = [&](std::size_t i, std::string_view p) {
+        return i < toks.size() && toks[i].kind == TokenKind::kPunct && toks[i].text == p;
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::kIdentifier || toks[i].text != "enum") continue;
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+            (toks[j].text == "class" || toks[j].text == "struct")) {
+            ++j;
+        }
+        if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) continue;
+        EnumDef def;
+        def.name = toks[j].text;
+        def.line = toks[j].line;
+        ++j;
+        while (j < toks.size() && !punct_at(j, "{") && !punct_at(j, ";")) ++j;
+        if (!punct_at(j, "{")) continue;  // opaque declaration
+        ++j;
+        while (j < toks.size() && !punct_at(j, "}")) {
+            if (toks[j].kind != TokenKind::kIdentifier) break;  // malformed
+            def.enumerators.push_back(toks[j].text);
+            ++j;
+            int paren = 0;  // initializers may contain parenthesised casts
+            while (j < toks.size()) {
+                if (punct_at(j, "(")) ++paren;
+                else if (punct_at(j, ")")) --paren;
+                else if (paren == 0 && (punct_at(j, ",") || punct_at(j, "}"))) break;
+                ++j;
+            }
+            if (punct_at(j, ",")) ++j;
+        }
+        if (!def.enumerators.empty()) out.push_back(std::move(def));
+        i = j;
+    }
+    return out;
+}
+
+/// Parses one switch starting at `i` (toks[i] == "switch"), appending its
+/// shape and recursing into nested switches.  Returns the index just past
+/// the switch body.
+std::size_t parse_switch(const std::vector<Token>& toks, std::size_t i,
+                         std::vector<SwitchShape>& out) {
+    const auto punct_at = [&](std::size_t k, std::string_view p) {
+        return k < toks.size() && toks[k].kind == TokenKind::kPunct && toks[k].text == p;
+    };
+    SwitchShape shape;
+    shape.line = toks[i].line;
+    std::size_t j = i + 1;
+    if (!punct_at(j, "(")) return j;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+        if (punct_at(j, "(")) ++depth;
+        else if (punct_at(j, ")") && --depth == 0) break;
+    }
+    ++j;
+    if (!punct_at(j, "{")) return j;  // unbraced switch body: nothing to check
+    const std::size_t body_begin = j;
+    int braces = 0;
+    for (j = body_begin; j < toks.size(); ++j) {
+        if (punct_at(j, "{")) { ++braces; continue; }
+        if (punct_at(j, "}")) {
+            if (--braces == 0) { ++j; break; }
+            continue;
+        }
+        if (toks[j].kind != TokenKind::kIdentifier) continue;
+        if (toks[j].text == "switch" && punct_at(j + 1, "(")) {
+            // Nested switch: recurse, then compensate for the loop's brace
+            // accounting by resuming just after the nested body.
+            j = parse_switch(toks, j, out) - 1;
+            continue;
+        }
+        if (toks[j].text == "default" && punct_at(j + 1, ":")) {
+            shape.has_default = true;
+            continue;
+        }
+        if (toks[j].text != "case") continue;
+        std::vector<std::string> ids;
+        std::size_t k = j + 1;
+        while (k < toks.size() &&
+               (toks[k].kind == TokenKind::kIdentifier ||
+                (toks[k].kind == TokenKind::kPunct && toks[k].text == "::"))) {
+            if (toks[k].kind == TokenKind::kIdentifier) ids.push_back(toks[k].text);
+            ++k;
+        }
+        if (!ids.empty()) {
+            shape.cases.push_back(ids.back());
+            if (shape.enum_name.empty() && ids.size() >= 2)
+                shape.enum_name = ids[ids.size() - 2];
+        }
+        j = k - 1;
+    }
+    out.push_back(std::move(shape));
+    return j;
+}
+
+std::vector<SwitchShape> collect_switches(const std::vector<Token>& toks) {
+    std::vector<SwitchShape> out;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind == TokenKind::kIdentifier && toks[i].text == "switch" &&
+            i + 1 < toks.size() && toks[i + 1].kind == TokenKind::kPunct &&
+            toks[i + 1].text == "(") {
+            i = parse_switch(toks, i, out) - 1;
+        }
+    }
+    // parse_switch appends post-order (nested first); report in source order.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SwitchShape& a, const SwitchShape& b) { return a.line < b.line; });
+    return out;
+}
+
+/// Collects nested RAII guard acquisitions: while a guard over mutex A is
+/// live in an enclosing scope, constructing a guard over mutex B records the
+/// lock-order edge A → B.  scoped_lock's own argument list is acquired
+/// atomically (std::lock), so no edges form between its members.
+std::vector<LockEdge> collect_lock_edges(const std::vector<Token>& toks) {
+    static const std::set<std::string, std::less<>> kGuardTypes = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+    static const std::set<std::string, std::less<>> kLockTags = {
+        "defer_lock", "adopt_lock", "try_to_lock"};
+    const auto punct_at = [&](std::size_t i, std::string_view p) {
+        return i < toks.size() && toks[i].kind == TokenKind::kPunct && toks[i].text == p;
+    };
+    std::vector<LockEdge> edges;
+    struct Held {
+        std::string name;
+        int depth;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind == TokenKind::kPunct) {
+            if (t.text == "{") ++depth;
+            else if (t.text == "}") {
+                --depth;
+                while (!held.empty() && held.back().depth > depth) held.pop_back();
+            }
+            continue;
+        }
+        if (t.kind != TokenKind::kIdentifier || kGuardTypes.count(t.text) == 0) continue;
+        std::size_t j = i + 1;
+        if (punct_at(j, "<")) {
+            int angle = 1;
+            for (++j; j < toks.size() && angle > 0; ++j) {
+                if (punct_at(j, "<")) ++angle;
+                else if (punct_at(j, ">")) --angle;
+            }
+        }
+        if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) continue;
+        const int line = toks[j].line;
+        if (!punct_at(j + 1, "(")) continue;
+        // Split the constructor arguments at top-level commas; each plain
+        // identifier chain names a mutex (its last component).
+        std::vector<std::string> acquired;
+        int paren = 1;
+        std::string last_ident;
+        for (j += 2; j < toks.size() && paren > 0; ++j) {
+            if (punct_at(j, "(")) ++paren;
+            else if (punct_at(j, ")")) {
+                if (--paren == 0) break;
+            } else if (paren == 1 && punct_at(j, ",")) {
+                if (!last_ident.empty() && kLockTags.count(last_ident) == 0)
+                    acquired.push_back(last_ident);
+                last_ident.clear();
+            } else if (toks[j].kind == TokenKind::kIdentifier) {
+                last_ident = toks[j].text;
+            }
+        }
+        if (!last_ident.empty() && kLockTags.count(last_ident) == 0)
+            acquired.push_back(last_ident);
+        for (const Held& h : held) {
+            for (const std::string& m : acquired) edges.push_back({h.name, m, line});
+        }
+        for (const std::string& m : acquired) held.push_back({m, depth});
+        i = j;
+    }
+    return edges;
+}
 
 }  // namespace
 
-std::vector<Finding> scan_source(const std::string& file, const std::string& logical_path,
-                                 std::string_view source, const Options& options) {
-    std::vector<Finding> findings;
+FileSummary summarize_source(const std::string& file, const std::string& logical_path,
+                             std::string_view source, const Options& options) {
+    FileSummary out;
+    out.path = file;
+    out.logical = logical_path;
+    std::vector<Finding>& findings = out.findings;
     TokenStream stream = tokenize(source);
     const auto suppressions = collect_suppressions(stream.comments, file, findings);
 
-    Scanner scanner{file, stream.tokens, findings};
+    // Lines whose comment documents a mutex member (`// guards: <state>`),
+    // consumed by C1's member-documentation check.
+    std::set<int> guards_lines;
+    for (const Comment& comment : stream.comments) {
+        if (comment.text.find("guards:") != std::string::npos)
+            guards_lines.insert(comment.line);
+    }
+
+    Scanner scanner{file, stream.tokens, findings, &guards_lines};
     scanner.rule_d1();
     scanner.rule_d1_unordered_emit();
     scanner.rule_d4();
+    scanner.rule_c1();
 
     bool d2_allowlisted = false;
     for (const std::string& allowed : options.d2_allowlist) {
@@ -761,64 +1094,145 @@ std::vector<Finding> scan_source(const std::string& file, const std::string& log
     }
     std::stable_sort(findings.begin(), findings.end(),
                      [](const Finding& a, const Finding& b) { return a.line < b.line; });
-    return findings;
+
+    // Cross-TU raw material (phase 2 input).
+    out.includes = std::move(stream.includes);
+    out.enums = collect_enums(stream.tokens);
+    out.switches = collect_switches(stream.tokens);
+    out.lock_edges = collect_lock_edges(stream.tokens);
+    for (const auto& [line, sup] : suppressions) {
+        for (const Rule rule : sup.rules) out.suppressions.push_back({rule, line, sup.reason});
+    }
+    return out;
 }
 
-bool scan_file(const std::string& path, std::vector<Finding>& findings,
-               const Options& options) {
+std::vector<Finding> scan_source(const std::string& file, const std::string& logical_path,
+                                 std::string_view source, const Options& options) {
+    return summarize_source(file, logical_path, source, options).findings;
+}
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
     std::ifstream in(path, std::ios::binary);
     if (!in) return false;
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string source = buf.str();
+    out = buf.str();
+    return true;
+}
 
-    // Fixtures impersonate a tree location for rule applicability while
-    // findings keep reporting the real path.
-    std::string logical = path;
+/// Fixtures impersonate a tree location for rule applicability while findings
+/// keep reporting the real path.
+std::string fixture_logical_path(const std::string& path, std::string_view source) {
     constexpr std::string_view kPathTag = "// lint-fixture-path:";
-    if (source.rfind(kPathTag, 0) == 0) {
-        const std::size_t eol = source.find('\n');
-        logical = std::string(
-            trim(std::string_view(source).substr(kPathTag.size(),
-                                                 eol == std::string::npos
-                                                     ? std::string::npos
-                                                     : eol - kPathTag.size())));
-    }
-    auto file_findings = scan_source(path, logical, source, options);
+    if (!source.starts_with(kPathTag)) return path;
+    const std::size_t eol = source.find('\n');
+    return std::string(trim(source.substr(
+        kPathTag.size(),
+        eol == std::string_view::npos ? std::string_view::npos : eol - kPathTag.size())));
+}
+
+}  // namespace
+
+bool scan_file(const std::string& path, std::vector<Finding>& findings,
+               const Options& options) {
+    std::string source;
+    if (!read_file(path, source)) return false;
+    auto file_findings =
+        scan_source(path, fixture_logical_path(path, source), source, options);
     findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
     return true;
 }
 
-int scan_paths(const std::vector<std::string>& roots, std::vector<Finding>& findings,
-               const Options& options) {
+Analysis analyze_paths(const std::vector<std::string>& roots, const Options& options) {
     namespace fs = std::filesystem;
     static const std::set<std::string, std::less<>> kExtensions = {".cpp", ".cc",  ".cxx",
                                                                    ".hpp", ".h",   ".hh"};
-    std::vector<std::string> files;
+    Analysis analysis;
+    // Canonical-path dedup: overlapping roots — or a file passed next to a
+    // directory that already contains it — contribute each file exactly once.
+    // The reported spelling is the lexicographically smallest one seen, so
+    // output order is deterministic no matter how the roots were spelt.
+    std::map<std::string, std::string> by_canonical;
+    const auto add = [&](const fs::path& p) {
+        std::error_code ec;
+        const fs::path canon = fs::weakly_canonical(p, ec);
+        std::string key = ec ? p.generic_string() : canon.generic_string();
+        std::string reported = p.generic_string();
+        auto [it, inserted] = by_canonical.emplace(std::move(key), reported);
+        if (!inserted && reported < it->second) it->second = std::move(reported);
+    };
     for (const std::string& root : roots) {
         std::error_code ec;
         if (fs::is_regular_file(root, ec)) {
-            files.push_back(root);
+            add(root);
             continue;
         }
-        if (!fs::is_directory(root, ec)) return -1;
+        if (!fs::is_directory(root, ec)) {
+            analysis.files_scanned = -1;
+            return analysis;
+        }
         for (fs::recursive_directory_iterator it(root, ec), end; it != end;
              it.increment(ec)) {
-            if (ec) return -1;
+            if (ec) {
+                analysis.files_scanned = -1;
+                return analysis;
+            }
             if (!it->is_regular_file(ec)) continue;
-            if (kExtensions.count(it->path().extension().string()) > 0)
-                files.push_back(it->path().generic_string());
+            if (kExtensions.count(it->path().extension().string()) > 0) add(it->path());
         }
     }
+    std::vector<std::string> files;
+    files.reserve(by_canonical.size());
+    for (const auto& [canon, reported] : by_canonical) files.push_back(reported);
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
-    int scanned = 0;
+
+    // Phase 1: per-TU summaries, served from the content-hash cache when the
+    // file is unchanged.
     for (const std::string& file : files) {
-        if (!scan_file(file, findings, options)) return -1;
-        ++scanned;
+        std::string source;
+        if (!read_file(file, source)) {
+            analysis.files_scanned = -1;
+            return analysis;
+        }
+        const std::uint64_t key = summary_cache_key(file, source);
+        FileSummary summary;
+        if (!options.cache_dir.empty() && cache_load(options.cache_dir, key, summary)) {
+            ++analysis.cache_hits;
+        } else {
+            summary = summarize_source(file, fixture_logical_path(file, source), source,
+                                       options);
+            ++analysis.cache_misses;
+            if (!options.cache_dir.empty()) cache_store(options.cache_dir, key, summary);
+        }
+        analysis.files.push_back(std::move(summary));
+        ++analysis.files_scanned;
     }
-    return scanned;
+
+    // Phase 2: whole-program rules over the merged summaries.
+    for (const FileSummary& s : analysis.files) {
+        analysis.findings.insert(analysis.findings.end(), s.findings.begin(),
+                                 s.findings.end());
+    }
+    run_cross_tu_rules(analysis.files, options, analysis.findings);
+    std::stable_sort(analysis.findings.begin(), analysis.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         if (a.file != b.file) return a.file < b.file;
+                         return a.line < b.line;
+                     });
+    return analysis;
+}
+
+int scan_paths(const std::vector<std::string>& roots, std::vector<Finding>& findings,
+               const Options& options) {
+    Analysis analysis = analyze_paths(roots, options);
+    if (analysis.files_scanned < 0) return -1;
+    findings.insert(findings.end(), std::make_move_iterator(analysis.findings.begin()),
+                    std::make_move_iterator(analysis.findings.end()));
+    return analysis.files_scanned;
 }
 
 int unsuppressed_count(const std::vector<Finding>& findings) noexcept {

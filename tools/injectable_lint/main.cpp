@@ -1,7 +1,9 @@
-// injectable_lint CLI: scan source trees for determinism & spec-invariant
-// violations (rules D1–D4, S1 — see lint.hpp / DESIGN.md §8).
+// injectable_lint CLI: two-phase static analysis over source trees —
+// per-TU determinism & spec-invariant rules plus whole-program layering /
+// lock-order / wire-exhaustiveness rules (see lint.hpp, DESIGN.md §8 §13).
 //
-//   injectable_lint [--jsonl FILE] [--quiet] <path>...
+//   injectable_lint [--jsonl FILE] [--cache DIR] [--graph-dot FILE]
+//                   [--suppressions] [--quiet] <path>...
 //
 // exits 0 when the tree is clean (suppressed findings with audited reasons
 // are fine), 1 when any unsuppressed finding remains, 2 on usage/IO errors.
@@ -17,20 +19,32 @@ namespace {
 
 void print_usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--jsonl FILE] [--quiet] <path>...\n"
-                 "  Scans *.cpp/*.hpp under each path for determinism and\n"
-                 "  spec-invariant violations:\n"
+                 "usage: %s [--jsonl FILE] [--cache DIR] [--graph-dot FILE]\n"
+                 "          [--suppressions] [--quiet] <path>...\n"
+                 "  Scans *.cpp/*.hpp under each path (overlapping paths are\n"
+                 "  deduplicated) for determinism and spec-invariant violations:\n"
                  "    D1  pointer-keyed unordered_map/unordered_set, and event\n"
                  "        emission inside iteration over any unordered container\n"
                  "    D2  wall-clock time / unseeded randomness\n"
                  "    D3  float/double accumulation in the stats layer\n"
                  "    D4  discarded [[nodiscard]] scheduler handles\n"
+                 "    E1  getenv outside the edge-wiring allowlist\n"
                  "    S1  bare spec magic numbers in src/phy, src/link\n"
+                 "    C1  thread detach / bare mutex lock / undocumented mutex member\n"
+                 "  and whole-program rules over the merged per-file summaries:\n"
+                 "    L1  architecture layering (upward includes, include cycles)\n"
+                 "    C2  cross-TU lock-order cycles (ABBA deadlock shape)\n"
+                 "    W1  non-exhaustive switches over wire-protocol enums\n"
                  "  Suppress a finding with an audited comment on (or above)\n"
                  "  the line:  // injectable-lint: allow(D1) -- <reason>\n"
-                 "  --jsonl FILE  also write findings as JSONL (suppressed\n"
-                 "                ones included, with their reasons)\n"
-                 "  --quiet       print only the totals line\n",
+                 "  --jsonl FILE     also write findings as JSONL (suppressed\n"
+                 "                   ones included, with their reasons)\n"
+                 "  --cache DIR      phase-1 summary cache keyed by content hash\n"
+                 "                   (warm runs skip re-lexing unchanged files)\n"
+                 "  --graph-dot FILE write the include-layer graph as DOT\n"
+                 "  --suppressions   print the audited allow() inventory as JSONL\n"
+                 "                   (rule, file, line, reason) instead of findings\n"
+                 "  --quiet          print only the totals line\n",
                  argv0);
 }
 
@@ -40,16 +54,40 @@ int main(int argc, char** argv) {
     using namespace injectable::lint;
 
     std::string jsonl_path;
+    std::string graph_dot_path;
     bool quiet = false;
+    bool suppressions_mode = false;
+    Options options;
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
-        if (std::strcmp(arg, "--jsonl") == 0) {
+        const auto needs_value = [&](const char* flag) -> const char* {
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: --jsonl needs a file argument\n", argv[0]);
-                return 2;
+                std::fprintf(stderr, "%s: %s needs an argument\n", argv[0], flag);
+                return nullptr;
             }
-            jsonl_path = argv[++i];
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--jsonl") == 0) {
+            const char* value = needs_value("--jsonl");
+            if (value == nullptr) return 2;
+            jsonl_path = value;
+            continue;
+        }
+        if (std::strcmp(arg, "--cache") == 0) {
+            const char* value = needs_value("--cache");
+            if (value == nullptr) return 2;
+            options.cache_dir = value;
+            continue;
+        }
+        if (std::strcmp(arg, "--graph-dot") == 0) {
+            const char* value = needs_value("--graph-dot");
+            if (value == nullptr) return 2;
+            graph_dot_path = value;
+            continue;
+        }
+        if (std::strcmp(arg, "--suppressions") == 0) {
+            suppressions_mode = true;
             continue;
         }
         if (std::strcmp(arg, "--quiet") == 0) {
@@ -72,11 +110,24 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    std::vector<Finding> findings;
-    const int scanned = scan_paths(roots, findings);
-    if (scanned < 0) {
+    const Analysis analysis = analyze_paths(roots, options);
+    if (analysis.files_scanned < 0) {
         std::fprintf(stderr, "%s: could not read one of the given paths\n", argv[0]);
         return 2;
+    }
+
+    if (suppressions_mode) {
+        std::fputs(suppressions_jsonl(analysis.files).c_str(), stdout);
+        return 0;
+    }
+
+    if (!graph_dot_path.empty()) {
+        std::ofstream out(graph_dot_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write %s\n", argv[0], graph_dot_path.c_str());
+            return 2;
+        }
+        out << include_graph_dot(analysis.files);
     }
 
     if (!jsonl_path.empty()) {
@@ -85,10 +136,10 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "%s: cannot write %s\n", argv[0], jsonl_path.c_str());
             return 2;
         }
-        out << to_jsonl(findings);
+        out << to_jsonl(analysis.findings);
     }
 
-    const std::string text = summary(findings, scanned);
+    const std::string text = summary(analysis.findings, analysis.files_scanned);
     if (quiet) {
         const std::size_t last_line = text.rfind('\n', text.size() - 2);
         std::fputs(last_line == std::string::npos ? text.c_str()
@@ -97,5 +148,10 @@ int main(int argc, char** argv) {
     } else {
         std::fputs(text.c_str(), stdout);
     }
-    return unsuppressed_count(findings) > 0 ? 1 : 0;
+    if (!options.cache_dir.empty() && !quiet) {
+        std::fprintf(stdout, "injectable_lint: summary cache: %d hit%s, %d miss%s\n",
+                     analysis.cache_hits, analysis.cache_hits == 1 ? "" : "s",
+                     analysis.cache_misses, analysis.cache_misses == 1 ? "" : "es");
+    }
+    return unsuppressed_count(analysis.findings) > 0 ? 1 : 0;
 }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Runs the full static-analysis pass locally, mirroring the CI `lint` job:
 #
-#   1. injectable_lint (determinism & spec-invariant rules D1-D3, S1) over
-#      src/ tools/ bench/ examples/, writing the JSONL audit trail that CI
-#      uploads as an artifact.
+#   1. injectable_lint (two-phase: per-TU rules D1-D4, E1, S1, C1 plus the
+#      whole-program rules L1 layering / C2 lock order / W1 wire-enum
+#      exhaustiveness) over src/ tools/ bench/ examples/, with the phase-1
+#      summary cache under the build dir so warm re-runs skip unchanged
+#      files.  Writes the same artifacts CI uploads: the findings JSONL,
+#      the include-layer DOT graph, and the audited allow() inventory.
 #   2. clang-tidy (profile in .clang-tidy) over the same trees, when a
 #      compile_commands.json and run-clang-tidy are available.
 #
@@ -20,9 +23,24 @@ if [[ ! -x "$build_dir/tools/injectable_lint" ]]; then
 fi
 
 status=0
-"$build_dir/tools/injectable_lint" --jsonl "$build_dir/lint-findings.jsonl" \
+"$build_dir/tools/injectable_lint" \
+    --cache "$build_dir/lint-cache" \
+    --jsonl "$build_dir/lint-findings.jsonl" \
+    --graph-dot "$build_dir/lint-include-graph.dot" \
     src tools bench examples || status=$?
 echo "lint.sh: JSONL audit trail at $build_dir/lint-findings.jsonl"
+
+if grep -q "UPWARD" "$build_dir/lint-include-graph.dot" 2>/dev/null; then
+    echo "lint.sh: UPWARD edge in $build_dir/lint-include-graph.dot (layering broken)"
+    status=1
+else
+    echo "lint.sh: include-layer graph at $build_dir/lint-include-graph.dot (no upward edges)"
+fi
+
+"$build_dir/tools/injectable_lint" \
+    --cache "$build_dir/lint-cache" --suppressions \
+    src tools bench examples > "$build_dir/lint-suppressions.jsonl" || status=$?
+echo "lint.sh: audited suppression inventory at $build_dir/lint-suppressions.jsonl"
 
 if command -v run-clang-tidy >/dev/null 2>&1 && [[ -f "$build_dir/compile_commands.json" ]]; then
     echo "lint.sh: running clang-tidy (profile: .clang-tidy) ..."
