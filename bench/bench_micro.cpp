@@ -12,6 +12,7 @@
 #include "crypto/ccm.hpp"
 #include "link/channel_selection.hpp"
 #include "campaign/wire.hpp"
+#include "obs/capture/capture.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof/profiler.hpp"
 #include "obs/sinks.hpp"
@@ -174,6 +175,31 @@ void BM_ObsEmitMetricsSink(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsEmitMetricsSink);
+
+void BM_PcapSinkFrame(benchmark::State& state) {
+    // Per-frame cost of the omniscient capture sink (DESIGN.md §14): one
+    // TxStart append — record construction plus the frame-byte copy.  This is
+    // the marginal cost INJECTABLE_PCAP_DIR adds to every on-air frame.
+    obs::EventBus bus;
+    obs::capture::CaptureSink sink;
+    bus.attach(sink);
+    const std::vector<std::uint8_t> frame_bytes(26, 0x5A);  // 22B frame + AA
+    obs::TxStart tx;
+    tx.time = 1'000'000;
+    tx.channel = 17;
+    tx.sender = "phone";
+    tx.bytes = frame_bytes;
+    tx.duration = 176'000;
+    tx.tx_power_dbm = 0.0;
+    std::uint64_t tx_id = 0;
+    for (auto _ : state) {
+        tx.tx_id = tx_id++;
+        bus.emit(obs::Event(tx));
+    }
+    benchmark::DoNotOptimize(sink.records().size());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcapSinkFrame);
 
 // ---------------------------------------------------------------------------
 // Profiler-span overhead (DESIGN.md §9): every instrumented site pays one
@@ -347,6 +373,31 @@ void BM_InjectionTrialBaseline(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_InjectionTrialBaseline);
+
+void BM_CaptureOmniscientTrial(benchmark::State& state) {
+    // The identical trial with an omniscient CaptureSink attached and the
+    // pcap image serialized per trial — what the captures channel
+    // (INJECTABLE_PCAP_DIR) costs end to end.  Acceptance budget: within 3%
+    // of BM_InjectionTrialBaseline; both land in BENCH_micro.json so CI can
+    // diff the ratio across PRs.
+    injectable::world::ExperimentConfig config;
+    config.name = "bench-micro-trial";
+    config.max_attempts = 200;
+    std::shared_ptr<obs::capture::CaptureSink> sink;
+    config.per_trial_sinks = [&sink](obs::EventBus& bus, std::uint64_t) {
+        sink = std::make_shared<obs::capture::CaptureSink>();
+        bus.attach(*sink);
+    };
+    std::uint64_t seed = 7000;
+    for (auto _ : state) {
+        const auto result = injectable::world::run_injection_experiment(config, seed++);
+        benchmark::DoNotOptimize(result.attempts);
+        const std::string pcap = sink->pcap_bytes();
+        benchmark::DoNotOptimize(pcap.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CaptureOmniscientTrial);
 
 void BM_InjectionTrialProfiled(benchmark::State& state) {
     // The identical trial with the INJECTABLE_PROF=1 profiler installed

@@ -83,6 +83,7 @@ std::string channels_to_json(const world::ResultChannels& ch) {
     append_bool_field(out, "profile", ch.profile, first);
     append_bool_field(out, "profile_wall", ch.profile_wall, first);
     append_bool_field(out, "progress", ch.progress, first);
+    append_bool_field(out, "captures", ch.captures, first);
     append_bool_field(out, "wall_clock", ch.wall_clock, first);
     out += '}';
     return out;
@@ -98,6 +99,7 @@ world::ResultChannels channels_from_json(const ble::json::Value& value) {
     ch.profile = value.boolean_at("profile");
     ch.profile_wall = value.boolean_at("profile_wall");
     ch.progress = value.boolean_at("progress");
+    ch.captures = value.boolean_at("captures");
     ch.wall_clock = value.boolean_at("wall_clock");
     return ch;
 }

@@ -129,7 +129,7 @@ bool decode_wire_message(const ble::common::Frame& frame, WireMessage& out, std:
         }
         case WireType::kArtifact: {
             const std::int64_t kind = doc.i64("kind", -1);
-            if (kind < 0 || kind > 2) return fail("artifact kind out of range");
+            if (kind < 0 || kind > 3) return fail("artifact kind out of range");
             out.artifact.kind = static_cast<world::ArtifactKind>(kind);
             out.artifact.stem = doc.string_at("stem");
             out.artifact.seed = doc.u64("seed");

@@ -25,6 +25,47 @@ const char* adv_type_name(AdvPduType type) {
     }
     return "ADV_UNKNOWN";
 }
+
+/// CONNECT_REQ carries every parameter the attacker needs (paper Table II) —
+/// surface the ones an analyst greps for when validating a capture.
+std::string connect_req_detail(const AdvPdu& pdu) {
+    const auto req = ConnectReqPdu::parse(pdu);
+    if (!req) return {};
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " AA=%08x hop=%u inc=%u win=%u+%u", req->params.access_address,
+                  req->params.hop_interval, req->params.hop_increment, req->params.win_size,
+                  req->params.win_offset);
+    return buf;
+}
+
+/// Procedure payload detail for the control PDUs the attack scenarios use:
+/// the paper's injections hinge on instants (Fig. 2/7), so name them.
+std::string control_detail(const ControlPdu& control) {
+    char buf[96];
+    switch (control.opcode) {
+        case ControlOpcode::kConnectionUpdateInd:
+            if (const auto update = ConnectionUpdateInd::parse(control)) {
+                std::snprintf(buf, sizeof(buf), " interval=%u instant=%u", update->interval,
+                              update->instant);
+                return buf;
+            }
+            break;
+        case ControlOpcode::kChannelMapInd:
+            if (const auto map = ChannelMapInd::parse(control)) {
+                std::snprintf(buf, sizeof(buf), " instant=%u", map->instant);
+                return buf;
+            }
+            break;
+        case ControlOpcode::kTerminateInd:
+            if (const auto term = TerminateInd::parse(control)) {
+                std::snprintf(buf, sizeof(buf), " error=0x%02x", term->error_code);
+                return buf;
+            }
+            break;
+        default: break;
+    }
+    return {};
+}
 }  // namespace
 
 std::string describe_frame(BytesView bytes) {
@@ -35,8 +76,10 @@ std::string describe_frame(BytesView bytes) {
     if (raw->access_address == phy::kAdvertisingAccessAddress) {
         const auto pdu = AdvPdu::parse(raw->pdu);
         if (!pdu) return "ADV malformed";
-        std::snprintf(buf, sizeof(buf), "%s (%zuB)%s", adv_type_name(pdu->type),
-                      pdu->payload.size(), pdu->ch_sel ? " ChSel" : "");
+        std::string extra;
+        if (pdu->type == AdvPduType::kConnectReq) extra = connect_req_detail(*pdu);
+        std::snprintf(buf, sizeof(buf), "%s (%zuB)%s%s", adv_type_name(pdu->type),
+                      pdu->payload.size(), pdu->ch_sel ? " ChSel" : "", extra.c_str());
         return buf;
     }
 
@@ -46,6 +89,7 @@ std::string describe_frame(BytesView bytes) {
     if (pdu->is_control()) {
         if (const auto control = ControlPdu::parse(pdu->payload)) {
             detail = control_opcode_name(control->opcode);
+            detail += control_detail(*control);
         } else {
             detail = "LL control (empty)";
         }

@@ -1,0 +1,540 @@
+#include "obs/capture/capture.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/hex.hpp"
+#include "common/json.hpp"
+
+namespace ble::obs::capture {
+
+namespace {
+
+// PCAP container constants (nanosecond-resolution magic; we write the file
+// little-endian, the host byte order of every platform we run on).
+constexpr std::uint32_t kPcapMagicNs = 0xA1B23C4D;
+constexpr std::uint16_t kPcapVersionMajor = 2;
+constexpr std::uint16_t kPcapVersionMinor = 4;
+constexpr std::uint32_t kPcapSnaplen = 0x40000;
+/// DLT_BLUETOOTH_LE_LL_WITH_PHDR.
+constexpr std::uint32_t kLinktypeBleLlWithPhdr = 256;
+
+// btsnoop constants (big-endian container).
+constexpr char kBtsnoopMagic[8] = {'b', 't', 's', 'n', 'o', 'o', 'p', '\0'};
+constexpr std::uint32_t kBtsnoopVersion = 1;
+/// Microseconds between the btsnoop epoch (0 AD) and the Unix epoch; sim-time
+/// zero maps to the Unix epoch so timestamps are sane in viewers.
+constexpr std::int64_t kBtsnoopEpochDeltaUs = 0x00E03AB44A676000LL;
+
+// LE_LL_WITH_PHDR flag bits (the subset we produce).
+constexpr std::uint16_t kFlagDewhitened = 0x0001;
+constexpr std::uint16_t kFlagSignalValid = 0x0002;
+constexpr std::uint16_t kFlagNoiseValid = 0x0004;
+constexpr std::uint16_t kFlagRefAaValid = 0x0010;
+constexpr std::uint16_t kFlagOffensesValid = 0x0020;
+constexpr std::uint16_t kFlagCrcChecked = 0x0400;
+constexpr std::uint16_t kFlagCrcValid = 0x0800;
+
+constexpr std::size_t kPhdrSize = 10;
+
+/// Device-vantage pending horizon: a parked frame whose verdict never arrived
+/// (receiver below sensitivity, or retuned away) is dropped once the stream
+/// has moved this far past its start.  Far beyond any frame airtime (~2 ms),
+/// and a pure function of event times, so pruning is deterministic.
+constexpr Duration kPendingHorizonNs = 100'000'000;  // 100 ms
+
+void put_u16le(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u32be(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_u64be(std::string& out, std::uint64_t v) {
+    put_u32be(out, static_cast<std::uint32_t>(v >> 32));
+    put_u32be(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+}
+
+struct ByteCursor {
+    std::string_view data;
+    std::size_t pos = 0;
+    bool failed = false;
+
+    [[nodiscard]] std::size_t remaining() const { return data.size() - pos; }
+    std::uint8_t u8() {
+        if (remaining() < 1) {
+            failed = true;
+            return 0;
+        }
+        return static_cast<std::uint8_t>(data[pos++]);
+    }
+    std::uint16_t u16le() {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+    }
+    std::uint32_t u32le() {
+        const std::uint32_t lo = u16le();
+        return lo | (static_cast<std::uint32_t>(u16le()) << 16);
+    }
+    std::uint32_t u32be() {
+        const std::uint32_t hi = u8();
+        const std::uint32_t b1 = u8();
+        const std::uint32_t b2 = u8();
+        const std::uint32_t b3 = u8();
+        return (hi << 24) | (b1 << 16) | (b2 << 8) | b3;
+    }
+    std::uint64_t u64be() {
+        const std::uint64_t hi = u32be();
+        return (hi << 32) | u32be();
+    }
+};
+
+/// Parses the 10-byte pseudo-header + frame body of one packet payload.
+bool parse_phdr_packet(std::string_view payload, CaptureRecord& record,
+                       std::string* error) {
+    if (payload.size() < kPhdrSize) {
+        *error = "packet shorter than the pseudo-header";
+        return false;
+    }
+    ByteCursor c{payload};
+    const std::uint8_t rf = c.u8();
+    record.channel = logical_channel_from_rf(rf);
+    record.signal_dbm = static_cast<std::int8_t>(c.u8());
+    record.noise_dbm = static_cast<std::int8_t>(c.u8());
+    record.aa_offenses = c.u8();
+    (void)c.u32le();  // reference AA: redundant with the frame's own bytes
+    const std::uint16_t flags = c.u16le();
+    record.signal_valid = (flags & kFlagSignalValid) != 0;
+    record.noise_valid = (flags & kFlagNoiseValid) != 0;
+    record.offenses_valid = (flags & kFlagOffensesValid) != 0;
+    record.crc_checked = (flags & kFlagCrcChecked) != 0;
+    record.crc_valid = (flags & kFlagCrcValid) != 0;
+    const auto* body = reinterpret_cast<const std::uint8_t*>(payload.data());
+    record.bytes.assign(body + kPhdrSize, body + payload.size());
+    return true;
+}
+
+RxVerdict verdict_from_name(std::string_view name, bool* ok) {
+    *ok = true;
+    if (name == "delivered") return RxVerdict::kDelivered;
+    if (name == "corrupted") return RxVerdict::kDeliveredCorrupted;
+    if (name == "lost-sync") return RxVerdict::kLostSync;
+    *ok = false;
+    return RxVerdict::kLostSync;
+}
+
+}  // namespace
+
+const char* capture_format_name(CaptureFormat format) noexcept {
+    switch (format) {
+        case CaptureFormat::kPcap: return "pcap";
+        case CaptureFormat::kBtsnoop: return "btsnoop";
+    }
+    return "?";
+}
+
+const char* capture_format_extension(CaptureFormat format) noexcept {
+    switch (format) {
+        case CaptureFormat::kPcap: return ".pcap";
+        case CaptureFormat::kBtsnoop: return ".btsnoop";
+    }
+    return "";
+}
+
+const char* vantage_kind_name(VantageKind kind) noexcept {
+    switch (kind) {
+        case VantageKind::kOmniscient: return "omniscient";
+        case VantageKind::kDevice: return "device";
+    }
+    return "?";
+}
+
+std::uint8_t rf_channel_from_logical(std::uint8_t channel) noexcept {
+    // Spec Vol 6 Part B §1.4.1: advertising channels 37/38/39 sit at RF
+    // indexes 0/12/39; data channels fill the gaps in order.
+    if (channel == 37) return 0;
+    if (channel == 38) return 12;
+    if (channel == 39) return 39;
+    if (channel <= 10) return static_cast<std::uint8_t>(channel + 1);
+    if (channel <= 36) return static_cast<std::uint8_t>(channel + 2);
+    return channel;  // out of BLE range: pass through
+}
+
+std::uint8_t logical_channel_from_rf(std::uint8_t rf) noexcept {
+    if (rf == 0) return 37;
+    if (rf == 12) return 38;
+    if (rf == 39) return 39;
+    if (rf <= 11) return static_cast<std::uint8_t>(rf - 1);
+    if (rf <= 38) return static_cast<std::uint8_t>(rf - 2);
+    return rf;
+}
+
+std::int8_t quantize_dbm(double dbm) noexcept {
+    // A capture stream repeats a handful of power figures (each device's TX
+    // power, the world noise floor), and the snprintf below dominates the
+    // capture sink's per-frame cost — a tiny exact-bits memo of this pure
+    // function removes it from the hot path (BM_PcapSinkFrame).
+    struct Memo {
+        std::uint64_t bits = 0;
+        std::int8_t value = 0;
+        bool used = false;
+    };
+    thread_local Memo memo[4] = {};
+    thread_local unsigned next_slot = 0;
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(dbm));
+    std::memcpy(&bits, &dbm, sizeof(bits));
+    for (const Memo& entry : memo) {
+        if (entry.used && entry.bits == bits) return entry.value;
+    }
+    // Round-trip through the exact "%.1f" text form the JSONL trace stores,
+    // so live events and re-parsed trace lines quantize identically (a raw
+    // lround() would disagree near x.x5 boundaries after the 1-decimal
+    // rounding the trace applies).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", dbm);
+    const double quantized = std::strtod(buf, nullptr);
+    long rounded = std::lround(quantized);
+    if (rounded < -128) rounded = -128;
+    if (rounded > 127) rounded = 127;
+    const auto value = static_cast<std::int8_t>(rounded);
+    memo[next_slot] = {bits, value, true};
+    next_slot = (next_slot + 1) % 4;
+    return value;
+}
+
+void append_phdr(std::string& out, const CaptureRecord& record) {
+    out.push_back(static_cast<char>(rf_channel_from_logical(record.channel)));
+    out.push_back(static_cast<char>(record.signal_dbm));
+    out.push_back(static_cast<char>(record.noise_dbm));
+    out.push_back(static_cast<char>(record.aa_offenses));
+    std::uint32_t ref_aa = 0;
+    bool ref_aa_valid = false;
+    if (record.bytes.size() >= 4) {
+        ref_aa = static_cast<std::uint32_t>(record.bytes[0]) |
+                 (static_cast<std::uint32_t>(record.bytes[1]) << 8) |
+                 (static_cast<std::uint32_t>(record.bytes[2]) << 16) |
+                 (static_cast<std::uint32_t>(record.bytes[3]) << 24);
+        ref_aa_valid = true;
+    }
+    put_u32le(out, ref_aa);
+    std::uint16_t flags = kFlagDewhitened;  // our frames are always unwhitened
+    if (record.signal_valid) flags |= kFlagSignalValid;
+    if (record.noise_valid) flags |= kFlagNoiseValid;
+    if (ref_aa_valid) flags |= kFlagRefAaValid;
+    if (record.offenses_valid) flags |= kFlagOffensesValid;
+    if (record.crc_checked) flags |= kFlagCrcChecked;
+    if (record.crc_valid) flags |= kFlagCrcValid;
+    put_u16le(out, flags);
+}
+
+std::string pcap_bytes(const std::vector<CaptureRecord>& records) {
+    std::string out;
+    out.reserve(24 + records.size() * 64);
+    put_u32le(out, kPcapMagicNs);
+    put_u16le(out, kPcapVersionMajor);
+    put_u16le(out, kPcapVersionMinor);
+    put_u32le(out, 0);  // thiszone
+    put_u32le(out, 0);  // sigfigs
+    put_u32le(out, kPcapSnaplen);
+    put_u32le(out, kLinktypeBleLlWithPhdr);
+    for (const CaptureRecord& record : records) {
+        const auto t = static_cast<std::uint64_t>(record.time < 0 ? 0 : record.time);
+        put_u32le(out, static_cast<std::uint32_t>(t / 1'000'000'000ull));
+        put_u32le(out, static_cast<std::uint32_t>(t % 1'000'000'000ull));
+        const auto len = static_cast<std::uint32_t>(kPhdrSize + record.bytes.size());
+        put_u32le(out, len);  // incl_len
+        put_u32le(out, len);  // orig_len
+        append_phdr(out, record);
+        out.append(reinterpret_cast<const char*>(record.bytes.data()), record.bytes.size());
+    }
+    return out;
+}
+
+std::string btsnoop_bytes(const std::vector<CaptureRecord>& records) {
+    std::string out;
+    out.reserve(16 + records.size() * 72);
+    out.append(kBtsnoopMagic, sizeof(kBtsnoopMagic));
+    put_u32be(out, kBtsnoopVersion);
+    put_u32be(out, kLinktypeBleLlWithPhdr);
+    for (const CaptureRecord& record : records) {
+        const auto len = static_cast<std::uint32_t>(kPhdrSize + record.bytes.size());
+        put_u32be(out, len);  // orig_len
+        put_u32be(out, len);  // incl_len
+        put_u32be(out, 0);    // flags (direction/type: not meaningful at LL)
+        put_u32be(out, 0);    // cumulative drops
+        const std::int64_t us = (record.time < 0 ? 0 : record.time) / 1000;
+        put_u64be(out, static_cast<std::uint64_t>(kBtsnoopEpochDeltaUs + us));
+        append_phdr(out, record);
+        out.append(reinterpret_cast<const char*>(record.bytes.data()), record.bytes.size());
+    }
+    return out;
+}
+
+std::string capture_bytes(const std::vector<CaptureRecord>& records, CaptureFormat format) {
+    switch (format) {
+        case CaptureFormat::kPcap: return pcap_bytes(records);
+        case CaptureFormat::kBtsnoop: return btsnoop_bytes(records);
+    }
+    return {};
+}
+
+ParsedCapture parse_pcap(std::string_view bytes) {
+    ParsedCapture parsed;
+    parsed.format = CaptureFormat::kPcap;
+    ByteCursor c{bytes};
+    if (c.remaining() < 24) {
+        parsed.error = "truncated pcap header";
+        return parsed;
+    }
+    if (c.u32le() != kPcapMagicNs) {
+        parsed.error = "not a nanosecond-resolution pcap (bad magic)";
+        return parsed;
+    }
+    const std::uint16_t major = c.u16le();
+    const std::uint16_t minor = c.u16le();
+    if (major != kPcapVersionMajor || minor != kPcapVersionMinor) {
+        parsed.error = "unsupported pcap version";
+        return parsed;
+    }
+    (void)c.u32le();  // thiszone
+    (void)c.u32le();  // sigfigs
+    (void)c.u32le();  // snaplen
+    if (c.u32le() != kLinktypeBleLlWithPhdr) {
+        parsed.error = "unexpected linktype (want 256, LE_LL_WITH_PHDR)";
+        return parsed;
+    }
+    while (c.remaining() > 0) {
+        if (c.remaining() < 16) {
+            parsed.error = "truncated pcap record header";
+            return parsed;
+        }
+        const std::uint64_t sec = c.u32le();
+        const std::uint64_t nsec = c.u32le();
+        const std::uint32_t incl = c.u32le();
+        const std::uint32_t orig = c.u32le();
+        if (incl != orig) {
+            parsed.error = "truncated packet (incl_len != orig_len)";
+            return parsed;
+        }
+        if (c.remaining() < incl) {
+            parsed.error = "truncated pcap packet body";
+            return parsed;
+        }
+        CaptureRecord record;
+        record.time = static_cast<TimePoint>(sec * 1'000'000'000ull + nsec);
+        if (!parse_phdr_packet(bytes.substr(c.pos, incl), record, &parsed.error)) {
+            return parsed;
+        }
+        c.pos += incl;
+        parsed.records.push_back(std::move(record));
+    }
+    parsed.ok = true;
+    return parsed;
+}
+
+ParsedCapture parse_btsnoop(std::string_view bytes) {
+    ParsedCapture parsed;
+    parsed.format = CaptureFormat::kBtsnoop;
+    ByteCursor c{bytes};
+    if (c.remaining() < 16 ||
+        std::memcmp(bytes.data(), kBtsnoopMagic, sizeof(kBtsnoopMagic)) != 0) {
+        parsed.error = "not a btsnoop file (bad magic)";
+        return parsed;
+    }
+    c.pos = sizeof(kBtsnoopMagic);
+    if (c.u32be() != kBtsnoopVersion) {
+        parsed.error = "unsupported btsnoop version";
+        return parsed;
+    }
+    if (c.u32be() != kLinktypeBleLlWithPhdr) {
+        parsed.error = "unexpected btsnoop datalink (want 256, LE_LL_WITH_PHDR)";
+        return parsed;
+    }
+    while (c.remaining() > 0) {
+        if (c.remaining() < 24) {
+            parsed.error = "truncated btsnoop record header";
+            return parsed;
+        }
+        const std::uint32_t orig = c.u32be();
+        const std::uint32_t incl = c.u32be();
+        (void)c.u32be();  // flags
+        (void)c.u32be();  // cumulative drops
+        const auto ts = static_cast<std::int64_t>(c.u64be());
+        if (incl != orig) {
+            parsed.error = "truncated packet (incl_len != orig_len)";
+            return parsed;
+        }
+        if (c.remaining() < incl) {
+            parsed.error = "truncated btsnoop packet body";
+            return parsed;
+        }
+        CaptureRecord record;
+        // µs resolution: sub-µs sim-time is truncated on write, so the
+        // re-serialized file is still byte-identical.
+        record.time = static_cast<TimePoint>((ts - kBtsnoopEpochDeltaUs) * 1000);
+        if (!parse_phdr_packet(bytes.substr(c.pos, incl), record, &parsed.error)) {
+            return parsed;
+        }
+        c.pos += incl;
+        parsed.records.push_back(std::move(record));
+    }
+    parsed.ok = true;
+    return parsed;
+}
+
+ParsedCapture parse_capture(std::string_view bytes) {
+    if (bytes.size() >= sizeof(kBtsnoopMagic) &&
+        std::memcmp(bytes.data(), kBtsnoopMagic, sizeof(kBtsnoopMagic)) == 0) {
+        return parse_btsnoop(bytes);
+    }
+    return parse_pcap(bytes);
+}
+
+CaptureBuilder::CaptureBuilder(VantagePoint vantage) : vantage_(std::move(vantage)) {}
+
+void CaptureBuilder::on_tx(TimePoint time, std::uint64_t tx_id, std::uint8_t channel,
+                           double tx_power_dbm, BytesView bytes) {
+    switch (vantage_.kind) {
+        case VantageKind::kOmniscient: {
+            CaptureRecord record;
+            record.time = time;
+            record.channel = channel;
+            // God view: the only power figure that exists without a receiver
+            // is the sender's TX power; no CRC judgement either.
+            record.signal_dbm = quantize_dbm(tx_power_dbm);
+            record.signal_valid = true;
+            record.bytes.assign(bytes.begin(), bytes.end());
+            records_.push_back(std::move(record));
+            return;
+        }
+        case VantageKind::kDevice: {
+            // Park the frame until the named receiver's verdict arrives
+            // (RxDecision fires at the frame's end).  Prune stale entries
+            // first: pending_ is tx_id-ordered and tx ids are monotonic in
+            // start time, so popping from the front is exact.
+            while (!pending_.empty() &&
+                   pending_.begin()->second.time + kPendingHorizonNs < time) {
+                pending_.erase(pending_.begin());
+            }
+            PendingTx tx;
+            tx.time = time;
+            tx.channel = channel;
+            tx.tx_power_dbm = tx_power_dbm;
+            tx.bytes.assign(bytes.begin(), bytes.end());
+            pending_.emplace(tx_id, std::move(tx));
+            return;
+        }
+    }
+}
+
+void CaptureBuilder::on_rx(std::uint64_t tx_id, std::string_view receiver,
+                           RxVerdict verdict, double rssi_dbm, double noise_dbm,
+                           int sync_bit_errors) {
+    if (vantage_.kind != VantageKind::kDevice) return;
+    if (receiver != vantage_.device) return;
+    const auto it = pending_.find(tx_id);
+    if (it == pending_.end()) return;
+    const PendingTx& tx = it->second;
+    // The verdict is this receiver's final word on the frame.
+    switch (verdict) {
+        case RxVerdict::kLostSync:
+            // The correlator never matched — a real sniffer logs nothing.
+            break;
+        case RxVerdict::kDelivered:
+        case RxVerdict::kDeliveredCorrupted: {
+            CaptureRecord record;
+            record.time = tx.time;
+            record.channel = tx.channel;
+            record.signal_dbm = quantize_dbm(rssi_dbm);
+            record.noise_dbm = quantize_dbm(noise_dbm);
+            record.signal_valid = true;
+            record.noise_valid = true;
+            const int offenses = sync_bit_errors < 0 ? 0 : sync_bit_errors;
+            record.aa_offenses = static_cast<std::uint8_t>(offenses > 255 ? 255 : offenses);
+            record.offenses_valid = true;
+            record.crc_checked = true;
+            record.crc_valid = verdict == RxVerdict::kDelivered;
+            // The parked bytes are the sender's: corruption is reflected in
+            // the CRC flags, not by mutating the payload (the medium does not
+            // publish the corrupted image).
+            record.bytes = tx.bytes;
+            records_.push_back(std::move(record));
+            break;
+        }
+    }
+    pending_.erase(it);
+}
+
+void CaptureSink::on_event(const Event& event) {
+    if (const auto* tx = std::get_if<TxStart>(&event)) {
+        builder_.on_tx(tx->time, tx->tx_id, tx->channel, tx->tx_power_dbm, tx->bytes);
+    } else if (const auto* rx = std::get_if<RxDecision>(&event)) {
+        builder_.on_rx(rx->tx_id, rx->receiver, rx->verdict, rx->rssi_dbm, rx->noise_dbm,
+                       rx->sync_bit_errors);
+    }
+}
+
+std::vector<CaptureRecord> records_from_trace_lines(const std::vector<std::string>& lines,
+                                                    const VantagePoint& vantage,
+                                                    std::string* error) {
+    CaptureBuilder builder(vantage);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& line = lines[i];
+        if (line.empty()) continue;
+        const json::ParseResult parsed = json::parse(line);
+        if (!parsed.ok || !parsed.value.is_object()) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(i + 1) + ": " +
+                         (parsed.ok ? "not a JSON object" : parsed.error);
+            }
+            return {};
+        }
+        const json::Value& v = parsed.value;
+        const std::string kind = v.string_at("e");
+        if (kind == "tx") {
+            const std::optional<Bytes> bytes = from_hex(v.string_at("hex"));
+            if (!bytes) {
+                if (error != nullptr) {
+                    *error = "line " + std::to_string(i + 1) + ": bad tx hex";
+                }
+                return {};
+            }
+            builder.on_tx(v.i64("t_ns"), v.u64("tx_id"),
+                          static_cast<std::uint8_t>(v.u64("ch")),
+                          v.number("tx_dbm", 0.0), *bytes);
+        } else if (kind == "rx") {
+            bool verdict_ok = false;
+            const RxVerdict verdict = verdict_from_name(v.string_at("verdict"), &verdict_ok);
+            if (!verdict_ok) {
+                if (error != nullptr) {
+                    *error = "line " + std::to_string(i + 1) + ": unknown rx verdict \"" +
+                             v.string_at("verdict") + "\"";
+                }
+                return {};
+            }
+            builder.on_rx(v.u64("tx_id"), v.string_at("receiver"), verdict,
+                          v.number("rssi_dbm", -127.0), v.number("noise_dbm", -100.0),
+                          static_cast<int>(v.i64("sync_bit_errors")));
+        }
+        // Every other event kind (and the meta header, which has no "e") is
+        // irrelevant to captures.
+    }
+    return builder.records();
+}
+
+}  // namespace ble::obs::capture

@@ -39,6 +39,7 @@ struct TxStart {
     std::string_view sender;  ///< device name (view; valid during dispatch)
     BytesView bytes;          ///< AA + PDU + CRC, unwhitened
     Duration duration = 0;    ///< airtime including the preamble
+    double tx_power_dbm = 0.0;  ///< sender's transmit power (capture phdr signal)
     /// Emitter-side handles for legacy shims (e.g. RadioMedium's TxObserver);
     /// valid only during dispatch.
     const sim::RadioDevice* sender_device = nullptr;
@@ -62,6 +63,7 @@ struct RxDecision {
     std::string_view receiver;
     RxVerdict verdict = RxVerdict::kDelivered;
     double rssi_dbm = -127.0;
+    double noise_dbm = -100.0;  ///< medium noise floor at this receiver
     int corrupted_bytes = 0;
     int sync_bit_errors = 0;
 };

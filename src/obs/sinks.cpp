@@ -93,6 +93,18 @@ void append_bool(std::string& out, const char* key, bool value) {
     out += value ? "true" : "false";
 }
 
+/// dBm figures serialize at one decimal — the exact quantization the capture
+/// subsystem's phdr uses, so offline trace-to-pcap rendering is bit-identical
+/// to the live sink (obs::capture::quantize_dbm round-trips this form).
+void append_fixed1(std::string& out, const char* key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += buf;
+}
+
 struct JsonVisitor {
     std::string& out;
     const FrameDescriber& describe;
@@ -102,6 +114,7 @@ struct JsonVisitor {
         append_int(out, "ch", e.channel);
         append_str(out, "sender", e.sender);
         append_int(out, "dur_ns", e.duration);
+        append_fixed1(out, "tx_dbm", e.tx_power_dbm);
         append_str(out, "hex", to_hex(e.bytes));
         if (describe) append_str(out, "desc", describe(e.bytes));
     }
@@ -110,10 +123,8 @@ struct JsonVisitor {
         append_int(out, "ch", e.channel);
         append_str(out, "receiver", e.receiver);
         append_str(out, "verdict", rx_verdict_name(e.verdict));
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.1f", e.rssi_dbm);
-        out += ",\"rssi_dbm\":";
-        out += buf;
+        append_fixed1(out, "rssi_dbm", e.rssi_dbm);
+        append_fixed1(out, "noise_dbm", e.noise_dbm);
         append_int(out, "corrupted_bytes", e.corrupted_bytes);
         append_int(out, "sync_bit_errors", e.sync_bit_errors);
     }
@@ -306,12 +317,12 @@ bool JsonlTraceSink::write_file(const std::string& path, bool gzip) const {
     return write_text_file(path, str(), gzip);
 }
 
-std::vector<std::string> read_jsonl_file(const std::string& path, std::string* error) {
-    std::string content;
+bool read_binary_file(const std::string& path, std::string& content, std::string* error) {
+    content.clear();
     bool ok = false;
 #if BLE_OBS_HAS_ZLIB
     // gzread is transparent: it inflates gzip streams and passes plain files
-    // through unchanged, so one path serves .jsonl and .jsonl.gz.
+    // through unchanged, so one path serves .pcap and .pcap.gz alike.
     if (gzFile gz = gzopen(path.c_str(), "rb")) {
         char buf[1 << 16];
         int n = 0;
@@ -323,7 +334,7 @@ std::vector<std::string> read_jsonl_file(const std::string& path, std::string* e
 #else
     if (path.size() >= 3 && path.compare(path.size() - 3, 3, ".gz") == 0) {
         if (error != nullptr) *error = "built without zlib: cannot read " + path;
-        return {};
+        return false;
     }
     if (FILE* f = std::fopen(path.c_str(), "rb")) {
         char buf[1 << 16];
@@ -334,10 +345,13 @@ std::vector<std::string> read_jsonl_file(const std::string& path, std::string* e
         std::fclose(f);
     }
 #endif
-    if (!ok) {
-        if (error != nullptr) *error = "cannot read " + path;
-        return {};
-    }
+    if (!ok && error != nullptr) *error = "cannot read " + path;
+    return ok;
+}
+
+std::vector<std::string> read_jsonl_file(const std::string& path, std::string* error) {
+    std::string content;
+    if (!read_binary_file(path, content, error)) return {};
     std::vector<std::string> lines;
     std::size_t pos = 0;
     while (pos < content.size()) {

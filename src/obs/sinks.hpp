@@ -50,6 +50,14 @@ void append_json_escaped(std::string& out, std::string_view s);
 /// are identical no matter which sink routed them.
 bool write_text_file(const std::string& path, std::string_view content, bool gzip = false);
 
+/// Reads a whole file into `content` as raw bytes.  Reads gzip-compressed
+/// files transparently when built with zlib (plain files work either way).
+/// The binary counterpart of read_jsonl_file — capture files (.pcap[.gz],
+/// .btsnoop[.gz]) come back through here.  Returns false and sets *error on
+/// failure.
+[[nodiscard]] bool read_binary_file(const std::string& path, std::string& content,
+                                    std::string* error = nullptr);
+
 /// Reads a JSONL file into lines (without the trailing newlines).  Reads
 /// gzip-compressed files transparently when built with zlib (plain files work
 /// either way).  On failure returns an empty vector and sets *error.

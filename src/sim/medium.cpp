@@ -135,6 +135,7 @@ std::uint64_t RadioMedium::transmit(RadioDevice& device, Channel channel, AirFra
         event.sender = device.name();
         event.bytes = stored.frame.bytes;
         event.duration = stored.frame.duration();
+        event.tx_power_dbm = device.tx_power_dbm();
         event.sender_device = &device;
         event.frame = &stored.frame;
         bus_.emit(event);
@@ -270,6 +271,7 @@ void RadioMedium::deliver(Transmission& tx, RadioDevice& receiver) {
                            : corrupted   ? obs::RxVerdict::kDeliveredCorrupted
                                          : obs::RxVerdict::kDelivered;
         decision.rssi_dbm = signal_dbm;
+        decision.noise_dbm = params_.noise_floor_dbm;
         decision.corrupted_bytes = corrupted_bytes;
         decision.sync_bit_errors = sync_bit_errors;
         // Buffered, not emitted: runs of lost-sync verdicts (the common case

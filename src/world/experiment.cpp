@@ -7,6 +7,7 @@
 
 #include "core/forge.hpp"
 #include "link/trace.hpp"
+#include "obs/capture/capture.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof/profiler.hpp"
 #include "obs/sinks.hpp"
@@ -200,7 +201,8 @@ std::vector<RunResult> run_series(const ExperimentConfig& config, ResultSink& si
         std::shared_ptr<obs::MetricsRegistry> registry;
         std::shared_ptr<obs::MetricsSink> metrics;
         std::shared_ptr<obs::ChannelOccupancySink> occupancy;
-        if (ch.traces || ch.timelines || want_metrics) {
+        std::shared_ptr<obs::capture::CaptureSink> capture;
+        if (ch.traces || ch.timelines || want_metrics || ch.captures) {
             instrumented_config = config;
             // Each setup retry builds a fresh world (and bus): restart every
             // sink so they hold exactly the surviving world's events.
@@ -218,6 +220,10 @@ std::vector<RunResult> run_series(const ExperimentConfig& config, ResultSink& si
                 if (ch.timelines) {
                     occupancy = std::make_shared<obs::ChannelOccupancySink>();
                     bus.attach(*occupancy);
+                }
+                if (ch.captures) {
+                    capture = std::make_shared<obs::capture::CaptureSink>();
+                    bus.attach(*capture);
                 }
                 if (config.per_trial_sinks) config.per_trial_sinks(bus, seed);
             };
@@ -265,6 +271,9 @@ std::vector<RunResult> run_series(const ExperimentConfig& config, ResultSink& si
         }
         if (occupancy) {
             emit_artifact(ArtifactKind::kChromeTimeline, occupancy->chrome_trace_json());
+        }
+        if (capture) {
+            emit_artifact(ArtifactKind::kPcapCapture, capture->pcap_bytes());
         }
         if (profiler != nullptr && ch.timelines) {
             emit_artifact(ArtifactKind::kProfTimeline, profiler->chrome_trace_json());

@@ -27,6 +27,7 @@ ResultChannels channels_for(const SinkPaths& paths) {
     ch.profile = paths.profile;
     ch.profile_wall = paths.profile_wall;
     ch.progress = paths.progress;
+    ch.captures = !paths.pcap_dir.empty();
     ch.wall_clock = paths.wall_clock;
     return ch;
 }
@@ -57,6 +58,15 @@ void PathsResultSink::on_artifact(const TrialArtifact& artifact) {
             if (paths_.chrome_dir.empty()) return;
             ble::obs::write_text_file(
                 paths_.chrome_dir + "/" + artifact.stem + ".prof.trace.json", artifact.content);
+            return;
+        }
+        case ArtifactKind::kPcapCapture: {
+            if (paths_.pcap_dir.empty()) return;
+            // Same gzip toggle as the JSONL traces: one INJECTABLE_TRACE_COMPRESS
+            // knob compresses every per-trial artifact family.
+            const std::string path = paths_.pcap_dir + "/" + artifact.stem + ".pcap" +
+                                     (paths_.trace_gzip ? ".gz" : "");
+            ble::obs::write_text_file(path, artifact.content, paths_.trace_gzip);
             return;
         }
     }
@@ -100,6 +110,7 @@ SinkPaths sink_paths_from_env() {
     paths.trace_gzip = std::getenv("INJECTABLE_TRACE_COMPRESS") != nullptr &&
                        ble::obs::trace_compression_available();
     if (const char* env = std::getenv("INJECTABLE_CHROME_TRACE_DIR")) paths.chrome_dir = env;
+    if (const char* env = std::getenv("INJECTABLE_PCAP_DIR")) paths.pcap_dir = env;
     paths.metrics_print = std::getenv("INJECTABLE_METRICS") != nullptr;
     paths.profile = std::getenv("INJECTABLE_PROF") != nullptr;
     paths.profile_wall = std::getenv("INJECTABLE_PROF_WALL") != nullptr;

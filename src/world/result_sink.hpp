@@ -51,6 +51,7 @@ struct ResultChannels {
     bool profile = false;        ///< deterministic self-profiler spans
     bool profile_wall = false;   ///< wall-clock span tables (stderr only)
     bool progress = false;       ///< per-trial heartbeats via on_progress()
+    bool captures = false;       ///< per-trial omniscient PCAP link captures
     /// Record host wall-clock cost in RunResult::wall_ms.  Campaign runs turn
     /// this off so shard outputs are bit-identical however they were produced.
     bool wall_clock = true;
@@ -60,6 +61,7 @@ enum class ArtifactKind : std::uint8_t {
     kEventTrace = 0,      ///< replayable JSONL (meta header + event lines)
     kChromeTimeline = 1,  ///< channel-occupancy Chrome trace-event JSON
     kProfTimeline = 2,    ///< profiler span Chrome trace-event JSON
+    kPcapCapture = 3,     ///< omniscient link-layer PCAP (DESIGN.md §14)
 };
 
 /// One per-trial by-product, carried as bytes so any transport can move it.
@@ -120,7 +122,7 @@ private:
     // Every channel off, wall clock included: results are a pure function
     // of (config, seed).
     ResultChannels channels_{false, false, false, false, false, false,
-                             false, false, /*wall_clock=*/false};
+                             false, false, /*captures=*/false, /*wall_clock=*/false};
 };
 
 /// Filesystem/console wiring for the classic single-process flow: series
@@ -132,6 +134,7 @@ struct SinkPaths {
     bool trace_all = false;  ///< keep successful-trial traces too
     bool trace_gzip = false; ///< gzip traces on write (when zlib is in)
     std::string chrome_dir;  ///< Chrome occupancy + profiler timelines
+    std::string pcap_dir;    ///< seed-keyed omniscient .pcap captures
     bool metrics_print = false;  ///< print the merged metrics summary
     bool metrics = false;        ///< collect metrics even without json/print
     bool profile = false;        ///< enable the self-profiler
@@ -168,8 +171,8 @@ private:
 // configuration.
 
 /// Reads the classic INJECTABLE_JSON / _TRACE_DIR / _TRACE_ALL /
-/// _TRACE_COMPRESS / _CHROME_TRACE_DIR / _METRICS / _PROF / _PROF_WALL /
-/// _PROGRESS variables into a SinkPaths.
+/// _TRACE_COMPRESS / _CHROME_TRACE_DIR / _PCAP_DIR / _METRICS / _PROF /
+/// _PROF_WALL / _PROGRESS variables into a SinkPaths.
 [[nodiscard]] SinkPaths sink_paths_from_env();
 
 /// INJECTABLE_RUNS override for the per-series run count (`runs` unchanged

@@ -52,6 +52,7 @@ TEST(CampaignPlan, JsonRoundTripReproducesThePlanExactly) {
     CampaignPlan plan = plan_campaign("exp1", experiment1_grid(7), 4);
     plan.channels.metrics = true;
     plan.channels.traces = true;
+    plan.channels.captures = true;
     const std::string text = plan_to_json(plan);
 
     CampaignPlan loaded;
@@ -68,6 +69,7 @@ TEST(CampaignPlan, JsonRoundTripReproducesThePlanExactly) {
     }
     EXPECT_TRUE(loaded.channels.metrics);
     EXPECT_TRUE(loaded.channels.traces);
+    EXPECT_TRUE(loaded.channels.captures);
     EXPECT_FALSE(loaded.channels.wall_clock);
     // A serialize -> parse -> serialize cycle is bit-stable (the meta codec
     // keeps number tokens verbatim).

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/capture/capture.hpp"
+
 namespace injectable::campaign {
 namespace {
 
@@ -54,6 +56,39 @@ TEST(CampaignWire, ArtifactContentSurvivesArbitraryBytes) {
     EXPECT_EQ(message.artifact.seed, artifact.seed);
     EXPECT_EQ(message.artifact.success, artifact.success);
     EXPECT_EQ(message.artifact.content, artifact.content);
+}
+
+TEST(CampaignWire, PcapCaptureArtifactRoundTripsAsRawBinary) {
+    // Capture artifacts are genuine binary (pcap headers are full of NULs and
+    // high bytes); the wire framing must carry them unmangled so the leader's
+    // merged files stay byte-identical to a single-process run.
+    world::TrialArtifact artifact;
+    artifact.kind = world::ArtifactKind::kPcapCapture;
+    artifact.stem = "exp1-seed1025";
+    artifact.seed = 1025;
+    artifact.success = true;
+    artifact.content = ble::obs::capture::pcap_bytes({ble::obs::capture::CaptureRecord{
+        /*time=*/1000,
+        /*channel=*/37,
+        /*signal_dbm=*/-60,
+        /*noise_dbm=*/0,
+        /*aa_offenses=*/0,
+        /*signal_valid=*/true,
+        /*noise_valid=*/false,
+        /*offenses_valid=*/false,
+        /*crc_checked=*/false,
+        /*crc_valid=*/false,
+        /*bytes=*/{0xD6, 0xBE, 0x89, 0x8E, 0x00, 0x01, 0x02}}});
+    ASSERT_NE(artifact.content.find('\0'), std::string::npos);  // really binary
+
+    const WireMessage message = decode_one(encode_artifact(2, artifact));
+    EXPECT_EQ(message.type, WireType::kArtifact);
+    EXPECT_EQ(message.artifact.kind, world::ArtifactKind::kPcapCapture);
+    EXPECT_EQ(message.artifact.content, artifact.content);
+    const auto parsed = ble::obs::capture::parse_capture(message.artifact.content);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].channel, 37);
 }
 
 TEST(CampaignWire, ControlMessagesRoundTrip) {

@@ -27,7 +27,10 @@ TEST(DescribeFrameTest, ChSelBitShown) {
     pdu.payload = Bytes(34, 0);
     const auto frame = phy::make_air_frame(phy::kAdvertisingAccessAddress,
                                            pdu.serialize(), 0x555555);
-    EXPECT_EQ(describe_frame(frame.bytes), "CONNECT_REQ (34B) ChSel");
+    // An all-zero 34B payload parses as a CONNECT_REQ, so the parameter
+    // detail (AA/hop/increment/window) rides along.
+    EXPECT_EQ(describe_frame(frame.bytes),
+              "CONNECT_REQ (34B) ChSel AA=00000000 hop=0 inc=0 win=0+0");
 }
 
 TEST(DescribeFrameTest, DataAndControlFrames) {
@@ -40,7 +43,7 @@ TEST(DescribeFrameTest, DataAndControlFrames) {
     ctl.sn = true;
     ctl.payload = TerminateInd{0x13}.to_control().serialize();
     frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
-    EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=1 nesn=0 LL_TERMINATE_IND");
+    EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=1 nesn=0 LL_TERMINATE_IND error=0x13");
 
     DataPdu l2cap;
     l2cap.llid = Llid::kDataStart;
@@ -48,6 +51,27 @@ TEST(DescribeFrameTest, DataAndControlFrames) {
     l2cap.payload = Bytes(9, 0x00);
     frame = phy::make_air_frame(0xAF9A9CD4, l2cap.serialize(), 0x123456);
     EXPECT_EQ(describe_frame(frame.bytes), "DATA sn=0 nesn=0 MD L2CAP start 9B");
+}
+
+TEST(DescribeFrameTest, InstantBearingControlPdusShowTheirParameters) {
+    // The paper's injections race connection instants (Fig. 2/7), so the
+    // decoder surfaces them for capture analysis.
+    ConnectionUpdateInd update;
+    update.interval = 24;
+    update.instant = 150;
+    DataPdu ctl;
+    ctl.llid = Llid::kControl;
+    ctl.payload = update.to_control().serialize();
+    auto frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
+    EXPECT_EQ(describe_frame(frame.bytes),
+              "DATA sn=0 nesn=0 LL_CONNECTION_UPDATE_IND interval=24 instant=150");
+
+    ChannelMapInd remap;
+    remap.instant = 77;
+    ctl.payload = remap.to_control().serialize();
+    frame = phy::make_air_frame(0xAF9A9CD4, ctl.serialize(), 0x123456);
+    EXPECT_EQ(describe_frame(frame.bytes),
+              "DATA sn=0 nesn=0 LL_CHANNEL_MAP_IND instant=77");
 }
 
 TEST(DescribeFrameTest, AllControlOpcodes) {

@@ -2,12 +2,12 @@
 //
 //   campaign_ctl plan   --out FILE [--name S] [--runs N] [--shards N]
 //                       [--metrics] [--traces] [--trace-all] [--timelines]
-//                       [--profile] [--progress]
+//                       [--captures] [--profile] [--progress]
 //   campaign_ctl run    --plan FILE [--transport inprocess|uds|tcp|spawn|local]
 //                       [--workers N] [--rounds N] [--timeout-ms N]
 //                       [--json FILE] [--trace-dir DIR] [--trace-all] [--gzip]
-//                       [--chrome-dir DIR] [--metrics-print] [--progress]
-//                       [--status FILE] [--uds-dir DIR] [--self BIN]
+//                       [--chrome-dir DIR] [--pcap-dir DIR] [--metrics-print]
+//                       [--progress] [--status FILE] [--uds-dir DIR] [--self BIN]
 //                       [--chaos-kill-first N] [--telemetry FILE]
 //                       [--straggler-factor X] [--heartbeat-ms N]
 //   campaign_ctl worker --plan FILE --tasks ID[,ID...] [--worker N] [--jobs N]
@@ -148,6 +148,7 @@ struct Options {
     bool plan_traces = false;
     bool plan_trace_all = false;
     bool plan_timelines = false;
+    bool plan_captures = false;
     bool plan_profile = false;
     bool plan_progress = false;
     std::vector<std::string> positional;
@@ -184,12 +185,14 @@ bool parse_options(int argc, char** argv, int first, Options& options) {
         else if (arg == "--trace-all") { options.sink.trace_all = true; options.plan_trace_all = true; }
         else if (arg == "--gzip") { options.sink.trace_gzip = true; }
         else if (arg == "--chrome-dir") { if (!value_of(options.sink.chrome_dir)) return false; }
+        else if (arg == "--pcap-dir") { if (!value_of(options.sink.pcap_dir)) return false; }
         else if (arg == "--metrics-print") { options.sink.metrics_print = true; }
         else if (arg == "--metrics") { options.sink.metrics = true; options.plan_metrics = true; }
         else if (arg == "--profile") { options.sink.profile = true; options.plan_profile = true; }
         else if (arg == "--progress") { options.sink.progress = true; options.plan_progress = true; }
         else if (arg == "--traces") { options.plan_traces = true; }
         else if (arg == "--timelines") { options.plan_timelines = true; }
+        else if (arg == "--captures") { options.plan_captures = true; }
         else if (arg == "--status") { if (!value_of(options.status_path)) return false; }
         else if (arg == "--uds-dir") { if (!value_of(options.uds_dir)) return false; }
         else if (arg == "--self") { if (!value_of(options.self_path)) return false; }
@@ -228,6 +231,7 @@ int cmd_plan(const Options& options) {
     channels.traces = options.plan_traces;
     channels.trace_all = options.plan_trace_all;
     channels.timelines = options.plan_timelines;
+    channels.captures = options.plan_captures;
     channels.profile = options.plan_profile;
     channels.progress = options.plan_progress;
     const CampaignPlan plan =

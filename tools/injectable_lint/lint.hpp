@@ -89,7 +89,8 @@
 //       finding at its acquisition site.
 //   W1  Wire/enum exhaustiveness: every enumerator of the monitored
 //       wire-protocol enums (WireType, ShardState, RxVerdict, CommandType,
-//       NotificationType) must appear as a case in every switch over that
+//       NotificationType, CaptureFormat, VantageKind) must appear as a case
+//       in every switch over that
 //       enum — a `default:` does not excuse a missing enumerator, because
 //       `default` is exactly how a newly added frame type silently falls
 //       through an encode/decode/dispatch site.  Adding a WireType without
@@ -156,8 +157,9 @@ struct Options {
                                              "src/world/trial_runner.cpp"};
     /// Enums whose switches rule W1 holds to exhaustiveness (matched by the
     /// enum's simple name, i.e. the qualifier of the case labels).
-    std::vector<std::string> w1_enums = {"WireType", "ShardState", "RxVerdict",
-                                         "CommandType", "NotificationType"};
+    std::vector<std::string> w1_enums = {"WireType",    "ShardState",       "RxVerdict",
+                                         "CommandType", "NotificationType", "CaptureFormat",
+                                         "VantageKind"};
     /// Directory for the phase-1 summary cache, keyed by (path, content)
     /// hash.  Empty disables caching; the directory is created on demand.
     std::string cache_dir;
